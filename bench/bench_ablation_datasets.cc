@@ -1,0 +1,82 @@
+// Ablation: dataset shape. The paper motivates DIESEL with ImageNet-1K
+// (1.28M x ~110KB) and Open Images (~9M x ~60KB). This sweep ingests scaled
+// versions of the three presets and reports what changes across shapes:
+// chunks, metadata keys, snapshot size, ingest rate, and one chunk-wise
+// epoch's read bandwidth.
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "shuffle/group_reader.h"
+#include "shuffle/shuffle.h"
+
+namespace diesel {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation: dataset shapes (scaled presets)");
+  bench::Table table({"dataset", "files", "mean size", "chunks", "KV keys",
+                      "snapshot KB", "ingest files/s", "epoch MB/s"});
+
+  struct Preset {
+    const char* label;
+    dlt::DatasetSpec spec;
+  };
+  const Preset presets[] = {
+      {"imagenet-1k/160", dlt::ImageNetLike(8000)},
+      {"cifar-10/6", dlt::CifarLike(8000)},
+      {"open-images/1125", dlt::OpenImagesLike(8000)},
+  };
+
+  for (const Preset& p : presets) {
+    core::DeploymentOptions opts;
+    core::Deployment dep(opts);
+    auto writer = dep.MakeClient(0, 0, p.spec.name);
+    if (!dlt::ForEachFile(p.spec, [&](const dlt::GeneratedFile& f) {
+          return writer->Put(f.path, f.content);
+        }).ok() ||
+        !writer->Flush().ok()) {
+      std::abort();
+    }
+    Nanos ingest_end = std::max(writer->clock().now(),
+                                writer->stats().last_ingest_durable_ns);
+    double ingest_rate =
+        static_cast<double>(p.spec.total_files()) / ToSeconds(ingest_end);
+
+    sim::VirtualClock clock;
+    auto snap = dep.server(0).BuildSnapshot(clock, 0, p.spec.name);
+    if (!snap.ok()) std::abort();
+    dep.ResetDevices();
+
+    Rng rng(1);
+    shuffle::GroupWindowReader reader(dep.server(0), *snap, 0, 8);
+    reader.StartEpoch(shuffle::ChunkWiseShuffle(*snap, {.group_size = 2},
+                                                rng));
+    sim::VirtualClock epoch;
+    while (!reader.Done()) {
+      if (!reader.Next(epoch).ok()) std::abort();
+    }
+    double epoch_mb = static_cast<double>(reader.stats().bytes_read) / 1e6 /
+                      ToSeconds(epoch.now());
+
+    table.AddRow({p.label, std::to_string(p.spec.total_files()),
+                  bench::FmtCount(static_cast<double>(p.spec.mean_file_bytes)) + "B",
+                  std::to_string(snap->chunks().size()),
+                  bench::FmtCount(static_cast<double>(dep.kv().TotalKeys())),
+                  bench::Fmt("%.0f", static_cast<double>(
+                                         snap->Serialize().size()) / 1024),
+                  bench::FmtCount(ingest_rate),
+                  bench::Fmt("%.0f", epoch_mb)});
+  }
+  table.Print();
+  std::printf("\nSmaller files (Open Images) mean more metadata per byte; "
+              "chunking makes the storage traffic shape identical across "
+              "presets while the snapshot grows only with file count.\n");
+}
+
+}  // namespace
+}  // namespace diesel
+
+int main() {
+  diesel::Run();
+  return 0;
+}

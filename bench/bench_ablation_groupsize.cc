@@ -1,0 +1,127 @@
+// Ablation: chunk-wise shuffle group size. Larger groups randomize better
+// (lower adjacent-same-chunk fraction) and amortize nothing extra; smaller
+// groups shrink the memory window. The paper reports ~88% of fully-cached
+// speed with a ~2GB window on a 150GB dataset; this sweep shows speed and
+// window size versus G, plus the fully-cached reference.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "cache/registry.h"
+#include "cache/task_cache.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "shuffle/group_reader.h"
+#include "shuffle/shuffle.h"
+
+namespace diesel {
+namespace {
+
+constexpr size_t kFiles = 20000;
+constexpr uint64_t kFileSize = 8 * 1024;
+
+void Run() {
+  bench::Banner("Ablation: shuffle group size (20k files x 8KB, 1MB chunks)");
+  dlt::DatasetSpec spec;
+  spec.name = "grp";
+  spec.num_classes = 10;
+  spec.files_per_class = kFiles / 10;
+  spec.mean_file_bytes = kFileSize;
+  spec.fixed_size = true;
+
+  core::DeploymentOptions opts;
+  opts.num_client_nodes = 4;
+  core::Deployment dep(opts);
+  auto writer = dep.MakeClient(0, 0, spec.name, 256 * 1024);
+  if (!dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+        return writer->Put(f.path, f.content);
+      }).ok() ||
+      !writer->Flush().ok()) {
+    std::abort();
+  }
+  auto snap = dep.server(0).BuildSnapshot(writer->clock(), 0, spec.name);
+  if (!snap.ok()) std::abort();
+
+  // Fully-cached reference: the task-grained distributed cache across 4
+  // nodes (what the paper compares against in "the fully cached scenario"),
+  // so peer fetches over the network dominate, not local memcpys.
+  const size_t kThreads = 16;
+  double cached_files_per_sec;
+  std::vector<std::unique_ptr<core::DieselClient>> clients;
+  {
+    cache::TaskRegistry registry;
+    for (size_t t = 0; t < kThreads; ++t) {
+      clients.push_back(dep.MakeClient(t % 4, static_cast<uint32_t>(t / 4),
+                                       spec.name));
+      registry.Register(clients.back()->endpoint());
+    }
+    cache::TaskCache cache(dep.fabric(), dep.server(0), *snap, registry,
+                           {.policy = cache::CachePolicy::kOneshot});
+    cache.EstablishConnections();
+    if (!cache.Preload(0).ok()) std::abort();
+    Rng rng(5);
+    const size_t kOps = 2000;  // per thread
+    Nanos end = bench::DriveClosedLoop(
+        kThreads, kOps, [&](size_t t, sim::VirtualClock& clock) {
+          const core::FileMeta* fm = snap->Lookup(
+              dlt::FilePath(spec, rng.Uniform(spec.total_files())));
+          auto r = cache.GetFile(clock, clients[t]->endpoint(), *fm);
+          if (!r.ok()) std::abort();
+        });
+    cached_files_per_sec =
+        static_cast<double>(kThreads * kOps) / ToSeconds(end);
+  }
+
+  bench::Table table({"group size", "files/s (16 rdrs)", "% of fully cached",
+                      "peak window/rdr", "adjacent-same-chunk"});
+  for (size_t g : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    Rng rng(6);
+    shuffle::ShufflePlan plan =
+        shuffle::ChunkWiseShuffle(*snap, {.group_size = g}, rng);
+    double locality = shuffle::AdjacentSameChunkFraction(*snap,
+                                                         plan.file_order);
+    // 16 concurrent readers on 4 nodes, each owning a slice of groups.
+    std::vector<std::unique_ptr<shuffle::GroupWindowReader>> readers;
+    std::vector<sim::VirtualClock> clocks(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      readers.push_back(std::make_unique<shuffle::GroupWindowReader>(
+          dep.server(0), *snap, static_cast<sim::NodeId>(t % 4)));
+      readers.back()->StartEpoch(shuffle::PartitionPlan(plan, t, kThreads));
+    }
+    uint64_t files = 0, window = 0;
+    for (;;) {
+      size_t next = kThreads;
+      for (size_t t = 0; t < kThreads; ++t) {
+        if (readers[t]->Done()) continue;
+        if (next == kThreads || clocks[t].now() < clocks[next].now()) next = t;
+      }
+      if (next == kThreads) break;
+      auto r = readers[next]->Next(clocks[next]);
+      if (!r.ok()) std::abort();
+      ++files;
+    }
+    Nanos end = 0;
+    for (size_t t = 0; t < kThreads; ++t) {
+      end = std::max(end, clocks[t].now());
+      window = std::max(window, readers[t]->stats().peak_window_bytes);
+    }
+    double rate = static_cast<double>(files) / ToSeconds(end);
+    table.AddRow(
+        {std::to_string(g), bench::FmtCount(rate),
+         bench::Fmt("%.1f%%", 100.0 * rate / cached_files_per_sec),
+         bench::FmtCount(static_cast<double>(window) / 1024) + "KB",
+         bench::Fmt("%.4f", locality)});
+  }
+  table.Print();
+  std::printf("\nfully-cached reference: %s files/s. Paper: chunk-wise "
+              "shuffle reaches >=88%% of fully-cached speed with a window "
+              "~1.3%% of the dataset.\n",
+              bench::FmtCount(cached_files_per_sec).c_str());
+}
+
+}  // namespace
+}  // namespace diesel
+
+int main() {
+  diesel::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: metadata recovery strategies (§4.1.2). Compares
+//  (1) header-only scans (read 12 bytes -> header length -> header) versus a
+//      hypothetical full-chunk scan, and
+//  (2) watermark recovery (scenario a: only chunks newer than the watermark)
+//      versus a full rebuild (scenario b),
+// as dataset size grows.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+
+namespace diesel {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation: metadata recovery — header-only vs full scan, "
+                "watermark vs full rebuild");
+  bench::Table table({"files", "chunks", "header-only (s)", "bytes read",
+                      "full-chunk scan (s)", "speedup",
+                      "watermark 50% (s)"});
+
+  for (size_t files : {2000u, 8000u, 32000u}) {
+    dlt::DatasetSpec spec;
+    spec.name = "rec";
+    spec.num_classes = 10;
+    spec.files_per_class = files / 10;
+    spec.mean_file_bytes = 32 * 1024;
+
+    core::DeploymentOptions opts;
+    core::Deployment dep(opts);
+    auto writer = dep.MakeClient(0, 0, spec.name);
+    // Spread chunk timestamps so a watermark can split them: advance the
+    // writer's clock midway through the ingest.
+    size_t i = 0;
+    uint32_t midpoint_ts = 0;
+    if (!dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+          if (i++ == spec.total_files() / 2) {
+            if (!writer->Flush().ok()) return Status::Internal("flush");
+            writer->clock().Advance(Seconds(100.0));
+            midpoint_ts =
+                static_cast<uint32_t>(writer->clock().now() / 1000000000ULL);
+          }
+          return writer->Put(f.path, f.content);
+        }).ok() ||
+        !writer->Flush().ok()) {
+      std::abort();
+    }
+
+    auto wipe = [&] {
+      for (uint32_t s = 0; s < dep.kv().NumShards(); ++s) {
+        dep.kv().FailShard(s);
+        dep.kv().RestartShard(s);
+      }
+      dep.ResetDevices();
+    };
+
+    // (a) header-only scan (the implemented strategy).
+    wipe();
+    sim::VirtualClock header_clock;
+    auto header_stats =
+        dep.server(0).RecoverMetadata(header_clock, spec.name, 0);
+    if (!header_stats.ok()) std::abort();
+
+    // (b) hypothetical full-chunk scan: read every blob end to end. The
+    // metadata work is identical, so we time the raw reads on top of the
+    // header scan's KV cost by replaying full-object reads.
+    wipe();
+    sim::VirtualClock full_clock;
+    {
+      auto keys = dep.store().List(full_clock, dep.server_node(0),
+                                   core::ChunkObjectPrefix(spec.name));
+      if (!keys.ok()) std::abort();
+      for (const auto& key : keys.value()) {
+        auto blob = dep.store().Get(full_clock, dep.server_node(0), key);
+        if (!blob.ok()) std::abort();
+      }
+      auto stats = dep.server(0).RecoverMetadata(full_clock, spec.name, 0);
+      if (!stats.ok()) std::abort();
+      // Subtract the double-counted header reads? They are part of both
+      // strategies; the comparison keeps them in both arms.
+    }
+
+    // (c) watermark recovery: only the newer half is scanned.
+    wipe();
+    // First restore everything (the "old" half was never lost in scenario
+    // a); then wipe only... in the sim we model scenario (a) by recovering
+    // from the midpoint watermark over an empty KV: half the chunks scanned.
+    sim::VirtualClock wm_clock;
+    auto wm_stats =
+        dep.server(0).RecoverMetadata(wm_clock, spec.name, midpoint_ts);
+    if (!wm_stats.ok()) std::abort();
+
+    table.AddRow(
+        {std::to_string(files), std::to_string(header_stats->chunks_scanned),
+         bench::Fmt("%.3f", ToSeconds(header_clock.now())),
+         bench::FmtCount(static_cast<double>(header_stats->header_bytes_read)),
+         bench::Fmt("%.3f", ToSeconds(full_clock.now())),
+         bench::Fmt("%.1fx", ToSeconds(full_clock.now()) /
+                                 ToSeconds(header_clock.now())),
+         bench::Fmt("%.3f", ToSeconds(wm_clock.now()))});
+  }
+  table.Print();
+  std::printf("\nSelf-contained chunk headers let recovery read a few KB per "
+              "chunk instead of the whole blob; the timestamp-sortable chunk "
+              "IDs let scenario-(a) recovery skip everything older than the "
+              "watermark.\n");
+}
+
+}  // namespace
+}  // namespace diesel
+
+int main() {
+  diesel::Run();
+  return 0;
+}

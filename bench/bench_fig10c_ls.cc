@@ -1,0 +1,106 @@
+// Figure 10c: elapsed time of `ls -R` (readdir only) and `ls -lR`
+// (readdir + stat-with-size) over an ImageNet-1K-like namespace on Lustre,
+// local XFS, and DIESEL-FUSE with the metadata snapshot loaded. Single
+// threaded, like the command-line tools in §6.3.
+//
+// Namespace is scaled to 128k files (1/10 of ImageNet-1K); virtual elapsed
+// times scale linearly with entry count, so multiply by 10 to compare with
+// the paper's 30-170s figures.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "fusefs/fusefs.h"
+#include "fusefs/localfs.h"
+#include "fusefs/lustre_adapter.h"
+#include "lustre/lustre.h"
+
+namespace diesel {
+namespace {
+
+constexpr size_t kFiles = 128000;   // ImageNet-1K / 10
+constexpr size_t kClasses = 100;    // 1000 / 10
+
+void Run() {
+  bench::Banner("Figure 10c: ls -R / ls -lR elapsed (128k files = 1/10 of "
+                "ImageNet-1K; x10 to compare with the paper)");
+
+  dlt::DatasetSpec spec;
+  spec.name = "inetls";
+  spec.num_classes = kClasses;
+  spec.files_per_class = kFiles / kClasses;
+  spec.mean_file_bytes = 64;  // metadata-only walk: content size irrelevant
+
+  // --- Lustre ---------------------------------------------------------------
+  sim::Cluster lcluster(3);
+  net::Fabric lfabric(lcluster);
+  lustre::LustreFs lfs(lfabric, {.mds_node = 1, .oss_node = 2});
+  {
+    sim::VirtualClock setup;
+    for (size_t i = 0; i < spec.total_files(); ++i) {
+      if (!lfs.CreateSized(setup, 0, dlt::FilePath(spec, i), 110 * 1024).ok())
+        std::abort();
+    }
+  }
+  fusefs::LustreAdapter lustre_fs(lfs, 0);
+
+  // --- XFS -------------------------------------------------------------------
+  fusefs::XfsFs xfs;
+  for (size_t i = 0; i < spec.total_files(); ++i) {
+    xfs.AddFile(dlt::FilePath(spec, i), 110 * 1024);
+  }
+
+  // --- DIESEL-FUSE -----------------------------------------------------------
+  core::DeploymentOptions dopts;
+  dopts.num_client_nodes = 1;
+  core::Deployment dep(dopts);
+  auto writer = dep.MakeClient(0, 0, spec.name, 4 * 1024 * 1024);
+  if (!dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+        return writer->Put(f.path, f.content);
+      }).ok() ||
+      !writer->Flush().ok()) {
+    std::abort();
+  }
+  auto client = dep.MakeClient(0, 1, spec.name);
+  if (!client->FetchSnapshot().ok()) std::abort();
+  core::DieselClient* raw = client.get();
+  fusefs::FuseMount mount({raw});
+
+  std::string root = "/" + spec.name;
+  bench::Table table({"system", "ls -R (s)", "ls -lR (s)",
+                      "x10 -> paper scale (s)"});
+  struct Sys {
+    const char* name;
+    fusefs::PosixLike* fs;
+  };
+  for (const Sys& sys : {Sys{"Lustre", &lustre_fs}, Sys{"XFS", &xfs},
+                         Sys{"DIESEL-FUSE", &mount}}) {
+    sim::VirtualClock plain, sized;
+    if (sys.fs == &mount) raw->clock().Reset(0);
+    auto w1 = fusefs::LsRecursive(*sys.fs, plain, root, false);
+    if (!w1.ok()) std::abort();
+    if (sys.fs == &mount) {
+      // Reset the daemon clock between walks so both start cold.
+      raw->clock().Reset(0);
+    }
+    auto w2 = fusefs::LsRecursive(*sys.fs, sized, root, true);
+    if (!w2.ok()) std::abort();
+    table.AddRow({sys.name, bench::Fmt("%.2f", ToSeconds(plain.now())),
+                  bench::Fmt("%.2f", ToSeconds(sized.now())),
+                  bench::Fmt("%.1f", ToSeconds(plain.now()) * 10) + " / " +
+                      bench::Fmt("%.1f", ToSeconds(sized.now()) * 10)});
+  }
+  table.Print();
+  std::printf("\nPaper: Lustre and DIESEL-FUSE ~30-40s for ls -R; Lustre "
+              "~170s for ls -lR (size lives on the OSS); DIESEL-FUSE "
+              "unchanged (O(1) snapshot lookups).\n");
+}
+
+}  // namespace
+}  // namespace diesel
+
+int main() {
+  diesel::Run();
+  return 0;
+}

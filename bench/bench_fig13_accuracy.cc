@@ -1,0 +1,195 @@
+// Figure 13: model accuracy/convergence with chunk-wise shuffle vs the
+// conventional shuffle-over-dataset. Real SGD (softmax classifier) on a
+// synthetic labelled dataset stored as files in DIESEL: each epoch the
+// sample files are read back in the order the shuffle strategy dictates and
+// the model trains on them. The paper's claim: chunk-wise shuffle affects
+// neither accuracy nor convergence speed for reasonable group sizes.
+//
+// Scaled substitution for ImageNet-1K/ResNet-50 and CIFAR-10/ResNet-18
+// (documented in DESIGN.md): two synthetic mixtures of different sizes; the
+// group sizes are scaled to keep the paper's group/dataset chunk ratios.
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "dlt/trainer.h"
+#include "shuffle/group_reader.h"
+#include "shuffle/shuffle.h"
+
+namespace diesel {
+namespace {
+
+struct Arm {
+  std::string label;
+  std::vector<double> top1;  // per epoch
+  std::vector<double> top5;
+};
+
+struct Experiment {
+  const char* title;
+  size_t train_samples;
+  size_t eval_samples;
+  size_t classes;
+  size_t dims;
+  double separation;
+  double learning_rate;
+  size_t epochs;
+  std::vector<size_t> group_sizes;  // chunk-wise arms
+};
+
+Arm TrainArm(const Experiment& exp, const std::string& label,
+             core::Deployment& dep, const core::MetadataSnapshot& snap,
+             const std::vector<dlt::LabelledSample>& eval, size_t group_size,
+             bool dataset_shuffle, uint64_t seed) {
+  Arm arm;
+  arm.label = label;
+  dlt::TrainerOptions topts;
+  topts.num_classes = exp.classes;
+  topts.dims = exp.dims;
+  topts.learning_rate = exp.learning_rate;
+  dlt::SoftmaxTrainer trainer(topts);
+  Rng rng(seed);
+  shuffle::GroupWindowReader reader(dep.server(0), snap, 0);
+  sim::VirtualClock clock;
+
+  for (size_t epoch = 0; epoch < exp.epochs; ++epoch) {
+    std::vector<dlt::LabelledSample> ordered;
+    ordered.reserve(exp.train_samples);
+    if (dataset_shuffle) {
+      // Conventional: random permutation of all files, read individually.
+      std::vector<uint32_t> order = shuffle::ShuffleDataset(snap, rng);
+      for (uint32_t idx : order) {
+        const core::FileMeta& fm = snap.files()[idx];
+        auto content = dep.server(0).ReadFile(clock, 0, snap.dataset(),
+                                              fm.full_name);
+        if (!content.ok()) std::abort();
+        auto sample = dlt::SoftmaxTrainer::Decode(content.value());
+        if (!sample.ok()) std::abort();
+        ordered.push_back(std::move(sample).value());
+      }
+    } else {
+      shuffle::ShufflePlan plan = shuffle::ChunkWiseShuffle(
+          snap, {.group_size = group_size}, rng);
+      reader.StartEpoch(std::move(plan));
+      while (!reader.Done()) {
+        auto content = reader.Next(clock);
+        if (!content.ok()) std::abort();
+        auto sample = dlt::SoftmaxTrainer::Decode(content.value());
+        if (!sample.ok()) std::abort();
+        ordered.push_back(std::move(sample).value());
+      }
+    }
+    trainer.TrainEpoch(ordered);
+    arm.top1.push_back(trainer.TopKAccuracy(eval, 1));
+    arm.top5.push_back(trainer.TopKAccuracy(eval, 5));
+  }
+  return arm;
+}
+
+void RunExperiment(const Experiment& exp) {
+  bench::Banner(exp.title);
+
+  dlt::SampleSpec sample_spec;
+  sample_spec.num_classes = exp.classes;
+  sample_spec.dims = exp.dims;
+  sample_spec.separation = exp.separation;
+
+  // Store the training set in DIESEL, class-sorted (worst case for
+  // chunk locality, like ImageNet's directory order): file i = sample whose
+  // index groups same-class samples into consecutive chunks.
+  core::DeploymentOptions dopts;
+  core::Deployment dep(dopts);
+  std::string dataset = "fig13";
+  auto writer = dep.MakeClient(0, 0, dataset, /*chunk=*/8 * 1024);
+  for (size_t c = 0; c < exp.classes; ++c) {
+    for (size_t i = c; i < exp.train_samples; i += exp.classes) {
+      Bytes sample = dlt::MakeSample(sample_spec, i);
+      char name[64];
+      std::snprintf(name, sizeof(name), "/fig13/cls%03zu/s%06zu.bin", c, i);
+      if (!writer->Put(name, sample).ok()) std::abort();
+    }
+  }
+  if (!writer->Flush().ok()) std::abort();
+  auto snap = dep.server(0).BuildSnapshot(writer->clock(), 0, dataset);
+  if (!snap.ok()) std::abort();
+
+  std::vector<dlt::LabelledSample> eval;
+  for (size_t i = 0; i < exp.eval_samples; ++i) {
+    auto s = dlt::SoftmaxTrainer::Decode(
+        dlt::MakeSample(sample_spec, exp.train_samples + i));
+    if (!s.ok()) std::abort();
+    eval.push_back(std::move(s).value());
+  }
+
+  std::vector<Arm> arms;
+  arms.push_back(
+      TrainArm(exp, "shuffle dataset", dep, *snap, eval, 0, true, 1001));
+  for (size_t g : exp.group_sizes) {
+    arms.push_back(TrainArm(exp, "chunk-wise G=" + std::to_string(g), dep,
+                            *snap, eval, g, false, 2000 + g));
+  }
+
+  std::vector<std::string> headers{"epoch"};
+  for (const Arm& arm : arms) {
+    headers.push_back(arm.label + " top1");
+    headers.push_back(arm.label + " top5");
+  }
+  bench::Table table(headers);
+  for (size_t e = 0; e < exp.epochs; ++e) {
+    std::vector<std::string> row{std::to_string(e + 1)};
+    for (const Arm& arm : arms) {
+      row.push_back(bench::Fmt("%.3f", arm.top1[e]));
+      row.push_back(bench::Fmt("%.3f", arm.top5[e]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  // Convergence-equivalence check: final accuracy of every chunk-wise arm
+  // within a small margin of the dataset-shuffle baseline.
+  double base = arms[0].top1.back();
+  for (size_t a = 1; a < arms.size(); ++a) {
+    double delta = arms[a].top1.back() - base;
+    std::printf("%s final top-1 delta vs dataset shuffle: %+.4f\n",
+                arms[a].label.c_str(), delta);
+  }
+}
+
+void Run() {
+  // "ImageNet-like": larger, more classes (top-5 meaningful), group sizes
+  // scaled to the paper's 100/500-of-~37k-chunks ratio.
+  RunExperiment({.title = "Figure 13 (a,b): ImageNet-1K-like mixture, "
+                          "softmax classifier",
+                 .train_samples = 12000,
+                 .eval_samples = 2000,
+                 .classes = 20,
+                 .dims = 48,
+                 .separation = 0.40,   // calibrated: top-1 climbs ~0.6 -> 0.77
+                 .learning_rate = 0.002,
+                 .epochs = 10,
+                 .group_sizes = {10, 50}});
+  // "CIFAR-10-like": small dataset, small groups (paper: 15/30).
+  RunExperiment({.title = "Figure 13 (c,d): CIFAR-10-like mixture, softmax "
+                          "classifier",
+                 .train_samples = 4000,
+                 .eval_samples = 1000,
+                 .classes = 10,
+                 .dims = 32,
+                 .separation = 0.45,
+                 .learning_rate = 0.003,
+                 .epochs = 10,
+                 .group_sizes = {15, 30}});
+  std::printf("\nPaper shape: accuracy and convergence curves of chunk-wise "
+              "shuffle coincide with shuffle-over-dataset for all group "
+              "sizes tested.\n");
+}
+
+}  // namespace
+}  // namespace diesel
+
+int main() {
+  diesel::Run();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Real wall-clock microbenchmarks (google-benchmark) of the client hot
+// paths: chunk build/parse, snapshot lookup (FlatHashMap vs unordered_map —
+// the parallel-hashmap substitution in §5), CRC32C, and base64lex.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/base64lex.h"
+#include "common/crc32.h"
+#include "common/flat_hash_map.h"
+#include "common/rng.h"
+#include "core/chunk_format.h"
+#include "core/snapshot.h"
+
+namespace diesel {
+namespace {
+
+void BM_ChunkBuild(benchmark::State& state) {
+  const size_t file_size = static_cast<size_t>(state.range(0));
+  const size_t num_files = (4 << 20) / file_size;
+  Rng rng(1);
+  Bytes content(file_size);
+  for (auto& b : content) b = static_cast<uint8_t>(rng.Next());
+  core::ChunkId id = core::ChunkId::Make(1, 2, 3, 4);
+  for (auto _ : state) {
+    core::ChunkBuilder builder(4 << 20);
+    for (size_t i = 0; i < num_files; ++i) {
+      builder.Add("/bench/f" + std::to_string(i), content);
+    }
+    Bytes chunk = builder.Finish(id, 1);
+    benchmark::DoNotOptimize(chunk.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_files * file_size));
+}
+BENCHMARK(BM_ChunkBuild)->Arg(4 << 10)->Arg(128 << 10);
+
+void BM_ChunkParse(benchmark::State& state) {
+  core::ChunkBuilder builder(0);
+  Rng rng(2);
+  Bytes content(8 << 10);
+  for (auto& b : content) b = static_cast<uint8_t>(rng.Next());
+  for (size_t i = 0; i < 512; ++i) {
+    builder.Add("/bench/f" + std::to_string(i), content);
+  }
+  Bytes chunk = builder.Finish(core::ChunkId::Make(1, 2, 3, 4), 1);
+  for (auto _ : state) {
+    auto view = core::ChunkView::Parse(chunk);
+    benchmark::DoNotOptimize(view.ok());
+  }
+}
+BENCHMARK(BM_ChunkParse);
+
+core::MetadataSnapshot MakeSnapshot(size_t files) {
+  std::vector<core::ChunkId> chunks;
+  std::vector<core::FileMeta> metas;
+  size_t per_chunk = 512;
+  for (size_t i = 0; i < files; ++i) {
+    if (i % per_chunk == 0) {
+      chunks.push_back(core::ChunkId::Make(
+          static_cast<uint32_t>(i / per_chunk), 1, 1,
+          static_cast<uint32_t>(i / per_chunk)));
+    }
+    core::FileMeta m;
+    m.chunk = chunks.back();
+    m.offset = (i % per_chunk) * 100;
+    m.length = 100;
+    m.index_in_chunk = static_cast<uint32_t>(i % per_chunk);
+    m.full_name = "/ds/train/cls" + std::to_string(i % 100) + "/img" +
+                  std::to_string(i) + ".jpg";
+    metas.push_back(std::move(m));
+  }
+  return core::MetadataSnapshot::Create("ds", 1, std::move(chunks),
+                                        std::move(metas));
+}
+
+void BM_SnapshotLookup(benchmark::State& state) {
+  auto snap = MakeSnapshot(static_cast<size_t>(state.range(0)));
+  Rng rng(3);
+  std::vector<std::string> probes;
+  for (int i = 0; i < 1024; ++i) {
+    size_t f = rng.Uniform(static_cast<uint64_t>(state.range(0)));
+    probes.push_back("/ds/train/cls" + std::to_string(f % 100) + "/img" +
+                     std::to_string(f) + ".jpg");
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.Lookup(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_SnapshotLookup)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  auto snap = MakeSnapshot(static_cast<size_t>(state.range(0)));
+  Bytes blob = snap.Serialize();
+  for (auto _ : state) {
+    auto loaded = core::MetadataSnapshot::Deserialize(blob);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(10000)->Arg(100000);
+
+void BM_FlatHashMapLookup(benchmark::State& state) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  Rng rng(4);
+  for (int i = 0; i < state.range(0); ++i) map.InsertOrAssign(rng.Next(), i);
+  Rng probe_rng(4);
+  std::vector<uint64_t> probes;
+  for (int i = 0; i < state.range(0); ++i) probes.push_back(probe_rng.Next());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(probes[i++ % probes.size()]));
+  }
+}
+BENCHMARK(BM_FlatHashMapLookup)->Arg(100000);
+
+void BM_StdUnorderedMapLookup(benchmark::State& state) {
+  std::unordered_map<uint64_t, uint64_t> map;
+  Rng rng(4);
+  for (int i = 0; i < state.range(0); ++i) map[rng.Next()] = i;
+  Rng probe_rng(4);
+  std::vector<uint64_t> probes;
+  for (int i = 0; i < state.range(0); ++i) probes.push_back(probe_rng.Next());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(probes[i++ % probes.size()]));
+  }
+}
+BENCHMARK(BM_StdUnorderedMapLookup)->Arg(100000);
+
+void BM_Crc32c(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)));
+  Rng rng(5);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4 << 10)->Arg(4 << 20);
+
+void BM_Base64LexEncode(benchmark::State& state) {
+  Bytes data(16);  // chunk-id sized
+  Rng rng(6);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Base64LexEncode(data));
+  }
+}
+BENCHMARK(BM_Base64LexEncode);
+
+}  // namespace
+}  // namespace diesel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Shared helpers for the experiment harness.
+//
+// Each bench binary reproduces one table/figure of the paper and prints the
+// same rows/series the paper reports. Measurements are virtual-time: logical
+// workers advance deterministic clocks through shared queueing devices, so
+// every run prints identical numbers.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/clock.h"
+
+namespace diesel::bench {
+
+/// Deterministic closed-loop driver: repeatedly advances the worker with the
+/// smallest virtual clock by one operation until every worker has executed
+/// `ops_per_worker` operations. This matches virtual-time causality (the
+/// earliest-clock worker is the next to arrive anywhere), so shared-device
+/// queueing behaves as in a real concurrent run while staying reproducible.
+///
+/// `op(worker, clock)` performs one operation and charges the clock.
+/// Returns the makespan (max clock over workers).
+inline Nanos DriveClosedLoop(
+    size_t num_workers, size_t ops_per_worker,
+    const std::function<void(size_t, sim::VirtualClock&)>& op) {
+  std::vector<sim::VirtualClock> clocks(num_workers);
+  std::vector<size_t> done(num_workers, 0);
+  size_t remaining = num_workers * ops_per_worker;
+  while (remaining > 0) {
+    size_t next = 0;
+    for (size_t w = 1; w < num_workers; ++w) {
+      bool w_ok = done[w] < ops_per_worker;
+      bool n_ok = done[next] < ops_per_worker;
+      if (w_ok && (!n_ok || clocks[w].now() < clocks[next].now())) next = w;
+    }
+    op(next, clocks[next]);
+    ++done[next];
+    --remaining;
+  }
+  Nanos end = 0;
+  for (const auto& c : clocks) end = std::max(end, c.now());
+  return end;
+}
+
+/// Same, but workers start at `start` and the driver also reports each
+/// worker's final clock through `final` (optional).
+inline Nanos DriveClosedLoopFrom(
+    Nanos start, size_t num_workers, size_t ops_per_worker,
+    const std::function<void(size_t, sim::VirtualClock&)>& op) {
+  std::vector<sim::VirtualClock> clocks(num_workers, sim::VirtualClock(start));
+  std::vector<size_t> done(num_workers, 0);
+  size_t remaining = num_workers * ops_per_worker;
+  while (remaining > 0) {
+    size_t next = num_workers;
+    for (size_t w = 0; w < num_workers; ++w) {
+      if (done[w] >= ops_per_worker) continue;
+      if (next == num_workers || clocks[w].now() < clocks[next].now()) next = w;
+    }
+    op(next, clocks[next]);
+    ++done[next];
+    --remaining;
+  }
+  Nanos end = start;
+  for (const auto& c : clocks) end = std::max(end, c.now());
+  return end;
+}
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row, width);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    std::string line;
+    for (size_t c = 0; c < width.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < width.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtCount(double v) {
+  if (v >= 1e6) return Fmt("%.2fM", v / 1e6);
+  if (v >= 1e3) return Fmt("%.1fk", v / 1e3);
+  return Fmt("%.0f", v);
+}
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace diesel::bench

@@ -1,0 +1,166 @@
+// Shared harness for the real-DLT-task experiments (Figs. 14 and 15):
+// trains the four paper models' I/O+compute pipelines over an
+// ImageNet-1K-like dataset, once reading from Lustre (conventional dataset
+// shuffle, per-file random reads) and once through DIESEL-FUSE (chunk-wise
+// shuffle, group-window chunk reads + FUSE crossing costs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "dlt/pipeline.h"
+#include "lustre/lustre.h"
+#include "shuffle/group_reader.h"
+#include "shuffle/shuffle.h"
+#include "sim/calibration.h"
+
+namespace diesel::bench {
+
+struct DltConfig {
+  size_t num_files = 4096;
+  uint64_t file_bytes = 110 * 1024;  // ImageNet-1K mean
+  size_t minibatch = 64;             // per-node share of the global batch
+  size_t io_workers = 4;
+  size_t epochs = 10;
+  size_t shuffle_group = 8;   // chunks per group
+};
+
+struct ModelTrace {
+  const char* model;
+  // data_time_s[epoch][iteration]
+  std::vector<std::vector<double>> lustre_data_time;
+  std::vector<std::vector<double>> diesel_data_time;
+  double lustre_total_s = 0;
+  double diesel_total_s = 0;
+  double lustre_io_wait_s = 0;
+  double diesel_io_wait_s = 0;
+};
+
+inline dlt::DatasetSpec DltSpec(const DltConfig& cfg) {
+  dlt::DatasetSpec spec;
+  spec.name = "dlt";
+  spec.num_classes = 64;
+  spec.files_per_class = cfg.num_files / 64;
+  spec.mean_file_bytes = cfg.file_bytes;
+  spec.fixed_size = true;
+  return spec;
+}
+
+/// Run one model's training on both backends; deterministic.
+inline ModelTrace RunModel(const sim::ModelCompute& model,
+                           const DltConfig& cfg) {
+  ModelTrace trace;
+  trace.model = model.name;
+  dlt::DatasetSpec spec = DltSpec(cfg);
+  const size_t iterations = spec.total_files() / cfg.minibatch;
+
+  // ---- Lustre arm -----------------------------------------------------------
+  {
+    sim::Cluster cluster(3);
+    net::Fabric fabric(cluster);
+    lustre::LustreFs fs(fabric, {.mds_node = 1, .oss_node = 2});
+    {
+      sim::VirtualClock setup;
+      for (size_t i = 0; i < spec.total_files(); ++i) {
+        if (!fs.CreateSized(setup, 0, dlt::FilePath(spec, i), cfg.file_bytes)
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    dlt::TrainingPipeline pipeline({.io_workers = cfg.io_workers,
+                                    .model = model, .overlap = false});
+    Rng rng(555);
+    Nanos start = 0;
+    for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+      std::vector<uint32_t> order(spec.total_files());
+      for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+      rng.Shuffle(order);
+      // Shuffle-stage cost: generating + distributing the file list.
+      Nanos shuffle_cost = Millis(120);
+      auto result = pipeline.RunEpoch(
+          start, iterations, shuffle_cost,
+          [&](size_t iter, sim::VirtualClock& w) {
+            for (size_t b = 0; b < cfg.minibatch; ++b) {
+              size_t idx = order[(iter * cfg.minibatch + b) % order.size()];
+              auto r = fs.Read(w, 0, dlt::FilePath(spec, idx));
+              if (!r.ok()) return r.status();
+              // Shared production cluster + per-image CPU preprocessing.
+              w.Advance(sim::kBusyLustrePerFileExtra +
+                        sim::kImagePreprocessCost);
+            }
+            return Status::Ok();
+          });
+      if (!result.ok()) std::abort();
+      trace.lustre_data_time.push_back(result->data_time_s);
+      trace.lustre_io_wait_s += result->total_data_wait_s;
+      start = result->epoch_end;
+    }
+    trace.lustre_total_s = ToSeconds(start);
+  }
+
+  // ---- DIESEL-FUSE arm --------------------------------------------------------
+  {
+    core::DeploymentOptions opts;
+    core::Deployment dep(opts);
+    auto writer = dep.MakeClient(0, 0, spec.name);
+    if (!dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+          return writer->Put(f.path, f.content);
+        }).ok() ||
+        !writer->Flush().ok()) {
+      std::abort();
+    }
+    auto snap = dep.server(0).BuildSnapshot(writer->clock(), 0, spec.name);
+    if (!snap.ok()) std::abort();
+
+    dlt::TrainingPipeline pipeline({.io_workers = cfg.io_workers,
+                                    .model = model, .overlap = false});
+    Rng rng(777);
+    // One group reader per I/O worker (workers consume disjoint group sets).
+    std::vector<std::unique_ptr<shuffle::GroupWindowReader>> readers;
+    for (size_t w = 0; w < cfg.io_workers; ++w) {
+      readers.push_back(std::make_unique<shuffle::GroupWindowReader>(
+          dep.server(0), snap.value(), 0));
+    }
+    Nanos start = 0;
+    for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+      shuffle::ShufflePlan plan = shuffle::ChunkWiseShuffle(
+          *snap, {.group_size = cfg.shuffle_group}, rng);
+      for (size_t w = 0; w < cfg.io_workers; ++w) {
+        readers[w]->StartEpoch(
+            shuffle::PartitionPlan(plan, w, cfg.io_workers));
+      }
+      // Chunk-wise list generation is cheap (shuffles chunk ids + per-group
+      // files); still nonzero.
+      Nanos shuffle_cost = Millis(40);
+      auto result = pipeline.RunEpoch(
+          start, iterations, shuffle_cost,
+          [&](size_t iter, sim::VirtualClock& w) {
+            shuffle::GroupWindowReader& reader =
+                *readers[iter % cfg.io_workers];
+            for (size_t b = 0; b < cfg.minibatch && !reader.Done(); ++b) {
+              auto r = reader.Next(w);
+              if (!r.ok()) return r.status();
+              // FUSE crossings (open + close; reads ride the window) and the
+              // same per-image CPU preprocessing as the Lustre arm.
+              w.Advance(2 * sim::kFuseCrossingCost +
+                        sim::kImagePreprocessCost);
+            }
+            return Status::Ok();
+          });
+      if (!result.ok()) std::abort();
+      trace.diesel_data_time.push_back(result->data_time_s);
+      trace.diesel_io_wait_s += result->total_data_wait_s;
+      start = result->epoch_end;
+    }
+    trace.diesel_total_s = ToSeconds(start);
+  }
+  return trace;
+}
+
+inline const sim::ModelCompute kPaperModels[] = {
+    sim::kAlexNet, sim::kVgg11, sim::kResNet18, sim::kResNet50};
+
+}  // namespace diesel::bench

@@ -1,0 +1,108 @@
+// Dataset management example: the DLCMD-style admin workflow against a
+// directory-backed chunk store that persists across process runs —
+// put a tree of files, list/stat them, delete + purge (hole compaction),
+// save the metadata snapshot to disk, then simulate a cold start where the
+// in-memory metadata tier is rebuilt from the self-contained chunks.
+//
+// Run: ./dataset_management [workdir]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/client.h"
+#include "core/housekeeping.h"
+#include "core/server.h"
+#include "kv/cluster.h"
+#include "net/fabric.h"
+#include "ostore/dir_store.h"
+
+using namespace diesel;
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  fs::path root = argc > 1 ? fs::path(argv[1])
+                           : fs::temp_directory_path() / "diesel_example";
+  fs::remove_all(root);
+  std::printf("chunk store: %s\n", root.string().c_str());
+
+  sim::Cluster cluster(2);
+  net::Fabric fabric(cluster);
+  kv::KvCluster kv(fabric, {.nodes = {1}, .shards_per_node = 4});
+  ostore::DirStore store(root);  // real files on disk
+  core::DieselServer server(fabric, kv, store, {.node = 1});
+  sim::VirtualClock admin;
+
+  // --- put a tree of files ----------------------------------------------------
+  {
+    core::ClientOptions copts;
+    copts.dataset = "demo";
+    core::DieselClient client(fabric, {&server}, copts);
+    for (int cls = 0; cls < 3; ++cls) {
+      for (int i = 0; i < 40; ++i) {
+        std::string path = "/demo/cls" + std::to_string(cls) + "/f" +
+                           std::to_string(i) + ".bin";
+        std::string payload(512 + i, static_cast<char>('a' + cls));
+        if (!client.Put(path, AsBytesView(payload)).ok()) return 1;
+      }
+    }
+    if (!client.Flush().ok()) return 1;
+    std::printf("ingested 120 files into %llu chunk objects on disk\n",
+                static_cast<unsigned long long>(
+                    client.stats().chunks_flushed));
+  }
+
+  // --- ls / stat ---------------------------------------------------------------
+  {
+    core::ClientOptions copts;
+    copts.dataset = "demo";
+    core::DieselClient client(fabric, {&server}, copts);
+    auto ls = client.List("/demo");
+    if (!ls.ok()) return 1;
+    std::printf("ls /demo:");
+    for (const auto& e : ls.value()) std::printf(" %s/", e.name.c_str());
+    std::printf("\n");
+    auto meta = client.Stat("/demo/cls1/f5.bin");
+    if (!meta.ok()) return 1;
+    std::printf("stat /demo/cls1/f5.bin: %llu bytes in chunk %s\n",
+                static_cast<unsigned long long>(meta->length),
+                meta->chunk.Encoded().c_str());
+
+    // --- delete + purge --------------------------------------------------------
+    for (int i = 0; i < 10; ++i) {
+      if (!client.Delete("/demo/cls2/f" + std::to_string(i) + ".bin").ok())
+        return 1;
+    }
+    auto purged = core::PurgeDataset(admin, server, "demo");
+    if (!purged.ok()) return 1;
+    std::printf("purge after deleting 10 files: %zu chunks compacted, %llu "
+                "bytes reclaimed on disk\n", purged->chunks_compacted,
+                static_cast<unsigned long long>(purged->bytes_reclaimed));
+
+    // --- snapshot to disk ------------------------------------------------------
+    if (!client.FetchSnapshot().ok()) return 1;
+    ostore::DirStore meta_dir(root / "_meta");
+    if (!client.SaveMeta(meta_dir, "demo.snapshot").ok()) return 1;
+    std::printf("metadata snapshot saved (%zu files)\n",
+                client.snapshot()->num_files());
+  }
+
+  // --- cold start: fresh KV tier, rebuild from chunks -------------------------
+  {
+    kv::KvCluster fresh_kv(fabric, {.nodes = {1}, .shards_per_node = 4});
+    core::DieselServer fresh_server(fabric, fresh_kv, store, {.node = 1});
+    sim::VirtualClock clock;
+    auto stats = fresh_server.RecoverMetadata(clock, "demo", 0);
+    if (!stats.ok()) return 1;
+    std::printf("cold start: rebuilt metadata for %zu files from %zu chunk "
+                "headers (self-contained chunks, §4.1.2)\n",
+                stats->files_recovered, stats->chunks_scanned);
+
+    core::ClientOptions copts;
+    copts.dataset = "demo";
+    core::DieselClient client(fabric, {&fresh_server}, copts);
+    auto content = client.Get("/demo/cls0/f3.bin");
+    if (!content.ok()) return 1;
+    std::printf("read-after-recovery OK (%zu bytes)\n", content->size());
+  }
+  std::printf("dataset_management OK\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "cache/registry.h"
+
+#include <algorithm>
+
+namespace diesel::cache {
+
+uint32_t TaskRegistry::Register(net::EndpointId ep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t rank = static_cast<uint32_t>(members_.size());
+  members_.push_back(ep);
+  // Smallest rank on the node wins; first registrant keeps mastership.
+  master_rank_.try_emplace(ep.node, rank);
+  return rank;
+}
+
+size_t TaskRegistry::NumClients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_.size();
+}
+
+std::vector<net::EndpointId> TaskRegistry::Members() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_;
+}
+
+std::vector<sim::NodeId> TaskRegistry::Nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<sim::NodeId> nodes;
+  for (const net::EndpointId& ep : members_) {
+    if (std::find(nodes.begin(), nodes.end(), ep.node) == nodes.end()) {
+      nodes.push_back(ep.node);
+    }
+  }
+  return nodes;
+}
+
+Result<net::EndpointId> TaskRegistry::MasterOf(sim::NodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = master_rank_.find(node);
+  if (it == master_rank_.end())
+    return Status::NotFound("no clients registered on node " +
+                            std::to_string(node));
+  return members_[it->second];
+}
+
+bool TaskRegistry::IsMaster(net::EndpointId ep) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = master_rank_.find(ep.node);
+  return it != master_rank_.end() && members_[it->second] == ep;
+}
+
+std::vector<net::EndpointId> TaskRegistry::Masters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<net::EndpointId> out;
+  out.reserve(master_rank_.size());
+  for (const auto& [node, rank] : master_rank_) {
+    out.push_back(members_[rank]);
+  }
+  return out;
+}
+
+}  // namespace diesel::cache

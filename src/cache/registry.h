@@ -1,0 +1,43 @@
+// Task registration and master-client election (§4.2, Fig. 7).
+//
+// Every I/O process of a DLT task spawns a DIESEL client which registers
+// here and receives a rank. On each physical node the client with the
+// smallest rank becomes the *master client*; only masters participate in
+// dataset partitioning, and all other clients fetch through masters. That
+// caps the connection count at p x (n-1) instead of the full mesh n x (n-1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "net/fabric.h"
+
+namespace diesel::cache {
+
+class TaskRegistry {
+ public:
+  /// Register a client; returns its rank (registration order).
+  uint32_t Register(net::EndpointId ep);
+
+  size_t NumClients() const;
+  std::vector<net::EndpointId> Members() const;
+
+  /// Distinct physical nodes, in first-registration order.
+  std::vector<sim::NodeId> Nodes() const;
+
+  /// The master client on `node` (smallest rank there).
+  Result<net::EndpointId> MasterOf(sim::NodeId node) const;
+  bool IsMaster(net::EndpointId ep) const;
+
+  /// All master endpoints, one per node.
+  std::vector<net::EndpointId> Masters() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<net::EndpointId> members_;                 // rank -> endpoint
+  std::map<sim::NodeId, uint32_t> master_rank_;          // node -> rank
+};
+
+}  // namespace diesel::cache

@@ -1,0 +1,254 @@
+#include "cache/task_cache.h"
+
+#include <algorithm>
+
+#include "core/chunk_format.h"
+#include "sim/calibration.h"
+
+namespace diesel::cache {
+namespace {
+
+constexpr uint64_t kPeerRequestBytes = 96;
+
+}  // namespace
+
+TaskCache::TaskCache(net::Fabric& fabric, core::DieselServer& server,
+                     const core::MetadataSnapshot& snapshot,
+                     TaskRegistry& registry, TaskCacheOptions options)
+    : fabric_(fabric), server_(server), snapshot_(snapshot),
+      registry_(registry), options_(options) {
+  owner_nodes_ = registry_.Nodes();
+  for (sim::NodeId node : owner_nodes_) {
+    partitions_.emplace(node, std::make_unique<NodePartition>());
+  }
+}
+
+void TaskCache::EstablishConnections() {
+  std::vector<net::EndpointId> masters = registry_.Masters();
+  for (const net::EndpointId& client : registry_.Members()) {
+    for (const net::EndpointId& master : masters) {
+      if (client == master) continue;
+      fabric_.connections().Connect(client, master);
+      ++connections_opened_;
+    }
+  }
+}
+
+Result<sim::NodeId> TaskCache::OwnerNodeOfChunk(size_t chunk_index) const {
+  if (owner_nodes_.empty())
+    return Status::FailedPrecondition("no task nodes registered");
+  return owner_nodes_[chunk_index % owner_nodes_.size()];
+}
+
+Result<Bytes> TaskCache::SliceFile(const CachedChunk& chunk,
+                                   const core::FileMeta& meta) {
+  uint64_t begin = chunk.header_len + meta.offset;
+  if (begin + meta.length > chunk.blob.size())
+    return Status::Corruption("file range past cached chunk end: " +
+                              meta.full_name);
+  return Bytes(chunk.blob.begin() + static_cast<ptrdiff_t>(begin),
+               chunk.blob.begin() + static_cast<ptrdiff_t>(begin + meta.length));
+}
+
+void TaskCache::InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
+                            uint32_t header_len) {
+  NodePartition& part = *partitions_.at(owner);
+  std::lock_guard<std::mutex> lock(part.mutex);
+  if (part.chunks.count(chunk_index) > 0) return;
+  uint64_t size = blob.size();
+  if (options_.per_node_capacity_bytes != 0) {
+    while (part.bytes + size > options_.per_node_capacity_bytes &&
+           !part.fifo.empty()) {
+      size_t victim = part.fifo.front();
+      part.fifo.erase(part.fifo.begin());
+      auto it = part.chunks.find(victim);
+      if (it != part.chunks.end()) {
+        part.bytes -= it->second.blob.size();
+        part.chunks.erase(it);
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.evictions;
+      }
+    }
+    if (part.bytes + size > options_.per_node_capacity_bytes) return;
+  }
+  part.chunks.emplace(chunk_index, CachedChunk{std::move(blob), header_len});
+  part.fifo.push_back(chunk_index);
+  part.bytes += size;
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  stats_.bytes_cached += size;
+}
+
+Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
+                               size_t chunk_index) {
+  NodePartition& part = *partitions_.at(owner);
+  {
+    std::lock_guard<std::mutex> lock(part.mutex);
+    if (part.chunks.count(chunk_index) > 0) return Status::Ok();
+  }
+  // Miss: pull the whole chunk from the server (on-demand policy / recovery).
+  const core::ChunkId& id = snapshot_.chunks().at(chunk_index);
+  DIESEL_ASSIGN_OR_RETURN(
+      Bytes blob, server_.ReadChunk(clock, owner, snapshot_.dataset(), id));
+  DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
+  uint32_t header_len = view.header_len();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.chunk_loads;
+  }
+  InsertChunk(owner, chunk_index, std::move(blob), header_len);
+  return Status::Ok();
+}
+
+Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
+                                           sim::NodeId owner,
+                                           size_t chunk_index,
+                                           const core::FileMeta& meta) {
+  NodePartition& part = *partitions_.at(owner);
+  {
+    std::lock_guard<std::mutex> lock(part.mutex);
+    auto it = part.chunks.find(chunk_index);
+    if (it != part.chunks.end()) return SliceFile(it->second, meta);
+  }
+  // Miss: fetch the chunk, slice from the local copy (immune to concurrent
+  // eviction), then install it for subsequent readers.
+  const core::ChunkId& id = snapshot_.chunks().at(chunk_index);
+  DIESEL_ASSIGN_OR_RETURN(
+      Bytes blob, server_.ReadChunk(clock, owner, snapshot_.dataset(), id));
+  DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
+  CachedChunk local{std::move(blob), view.header_len()};
+  DIESEL_ASSIGN_OR_RETURN(Bytes content, SliceFile(local, meta));
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.chunk_loads;
+  }
+  InsertChunk(owner, chunk_index, std::move(local.blob), local.header_len);
+  return content;
+}
+
+Result<Nanos> TaskCache::Preload(Nanos start) {
+  // Each master pulls its partition with `preload_streams` concurrent
+  // fetch streams; nodes work in parallel so the makespan is the slowest
+  // node's finish time.
+  Nanos makespan = start;
+  const size_t streams = std::max<uint32_t>(1, options_.preload_streams);
+  for (sim::NodeId node : owner_nodes_) {
+    std::vector<size_t> mine;
+    for (size_t ci = 0; ci < snapshot_.chunks().size(); ++ci) {
+      DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(ci));
+      if (owner == node) mine.push_back(ci);
+    }
+    std::vector<sim::VirtualClock> clocks(streams, sim::VirtualClock(start));
+    for (size_t next = 0; next < mine.size(); ++next) {
+      // Earliest-clock stream fetches the next chunk (closed loop).
+      size_t s = 0;
+      for (size_t k = 1; k < streams; ++k) {
+        if (clocks[k].now() < clocks[s].now()) s = k;
+      }
+      DIESEL_RETURN_IF_ERROR(EnsureLoaded(clocks[s], node, mine[next]));
+    }
+    for (const auto& c : clocks) makespan = std::max(makespan, c.now());
+  }
+  return makespan;
+}
+
+Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
+                                 net::EndpointId requester,
+                                 const core::FileMeta& meta) {
+  size_t chunk_index = snapshot_.ChunkIndex(meta.chunk);
+  if (chunk_index == static_cast<size_t>(-1))
+    return Status::NotFound("chunk not in snapshot: " + meta.chunk.Encoded());
+  DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(chunk_index));
+
+  if (owner == requester.node) {
+    // Local partition: memory-bus copy.
+    DIESEL_ASSIGN_OR_RETURN(Bytes content,
+                            ReadFromPartition(clock, owner, chunk_index, meta));
+    Nanos t = fabric_.cluster().node(owner).membus().Serve(clock.now(),
+                                                           meta.length);
+    clock.AdvanceTo(t);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.local_hits;
+    }
+    return content;
+  }
+
+  // One-hop fetch from the owner's master client.
+  Result<Bytes> content = Status::Internal("unset");
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, requester.node, owner, kPeerRequestBytes, meta.length,
+      [&](Nanos arrival) {
+        sim::VirtualClock peer(arrival);
+        content = ReadFromPartition(peer, owner, chunk_index, meta);
+        Nanos t = fabric_.cluster().node(owner).membus().Serve(peer.now(),
+                                                               meta.length);
+        peer.AdvanceTo(t);
+        return peer.now();
+      }));
+  if (content.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.peer_hits;
+  }
+  return content;
+}
+
+double TaskCache::HitRatio() const {
+  size_t resident = 0;
+  for (const auto& [node, part] : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mutex);
+    resident += part->chunks.size();
+  }
+  size_t total = snapshot_.chunks().size();
+  return total == 0 ? 1.0 : static_cast<double>(resident) /
+                            static_cast<double>(total);
+}
+
+void TaskCache::DropNode(sim::NodeId node) {
+  auto it = partitions_.find(node);
+  if (it == partitions_.end()) return;
+  NodePartition& part = *it->second;
+  std::lock_guard<std::mutex> lock(part.mutex);
+  part.chunks.clear();
+  part.fifo.clear();
+  part.bytes = 0;
+}
+
+void TaskCache::DropAll() {
+  for (auto& [node, part] : partitions_) {
+    std::lock_guard<std::mutex> lock(part->mutex);
+    part->chunks.clear();
+    part->fifo.clear();
+    part->bytes = 0;
+  }
+}
+
+Result<Nanos> TaskCache::Reload(Nanos start) { return Preload(start); }
+
+TaskCacheStats TaskCache::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+namespace {
+
+class Handle : public core::DatasetCacheInterface {
+ public:
+  Handle(TaskCache* cache, net::EndpointId ep) : cache_(cache), ep_(ep) {}
+  Result<Bytes> GetFile(sim::VirtualClock& clock,
+                        const core::FileMeta& meta) override {
+    return cache_->GetFile(clock, ep_, meta);
+  }
+
+ private:
+  TaskCache* cache_;
+  net::EndpointId ep_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::DatasetCacheInterface> TaskCache::HandleFor(
+    net::EndpointId client) {
+  return std::make_unique<Handle>(this, client);
+}
+
+}  // namespace diesel::cache

@@ -1,0 +1,73 @@
+#include "common/base64lex.h"
+
+#include <array>
+
+namespace diesel {
+namespace {
+
+// ASCII-sorted 64-character alphabet: '-' < '0'-'9' < 'A'-'Z' < '_' < 'a'-'z'.
+constexpr std::string_view kAlphabet =
+    "-0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ_abcdefghijklmnopqrstuvwxyz";
+static_assert(kAlphabet.size() == 64);
+
+constexpr std::array<int8_t, 256> MakeInverse() {
+  std::array<int8_t, 256> inv{};
+  for (auto& v : inv) v = -1;
+  for (size_t i = 0; i < kAlphabet.size(); ++i) {
+    inv[static_cast<uint8_t>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return inv;
+}
+
+constexpr auto kInverse = MakeInverse();
+
+}  // namespace
+
+std::string Base64LexEncode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() * 4 + 2) / 3);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (uint32_t{data[i]} << 16) | (uint32_t{data[i + 1]} << 8) |
+                 uint32_t{data[i + 2]};
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += kAlphabet[v & 63];
+    i += 3;
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t v = uint32_t{data[i]} << 16;
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+  } else if (rem == 2) {
+    uint32_t v = (uint32_t{data[i]} << 16) | (uint32_t{data[i + 1]} << 8);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+  }
+  return out;
+}
+
+Result<Bytes> Base64LexDecode(std::string_view text) {
+  size_t rem = text.size() % 4;
+  if (rem == 1) return Status::InvalidArgument("base64lex: impossible length");
+  Bytes out;
+  out.reserve(text.size() * 3 / 4);
+  uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    int8_t v = kInverse[static_cast<uint8_t>(c)];
+    if (v < 0) return Status::InvalidArgument("base64lex: invalid character");
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace diesel

@@ -1,0 +1,24 @@
+// Order-preserving base64 for chunk IDs.
+//
+// The paper stores chunk IDs as printable characters and relies on the
+// lexicographic order of the encoded form matching write order (§4.1.2).
+// Standard base64's alphabet is not ASCII-ordered, so we use the
+// ASCII-sorted alphabet "-0..9A..Z_a..z": for equal-length inputs,
+// memcmp(encode(a), encode(b)) == memcmp(a, b).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace diesel {
+
+/// Encode bytes with the lexicographic base64 alphabet (no padding).
+std::string Base64LexEncode(BytesView data);
+
+/// Decode; rejects characters outside the alphabet and impossible lengths.
+Result<Bytes> Base64LexDecode(std::string_view text);
+
+}  // namespace diesel

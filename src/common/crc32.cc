@@ -1,0 +1,33 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace diesel {
+namespace {
+
+// Table-driven CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t crc) {
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace diesel

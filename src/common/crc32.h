@@ -1,0 +1,12 @@
+// CRC32C (Castagnoli) for chunk payload and header integrity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace diesel {
+
+/// CRC32C of `data`, continuing from `crc` (pass 0 to start).
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t crc = 0);
+
+}  // namespace diesel

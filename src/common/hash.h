@@ -1,0 +1,39 @@
+// Hash functions used across DIESEL.
+//
+// - Fnv1a64: streaming-friendly path/namespace hashing (metadata keys).
+// - Mix64: finalizer-quality integer mixing (shard placement, RNG seeding).
+// - HashCombine: aggregate hashing for composite keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace diesel {
+
+/// FNV-1a 64-bit over an arbitrary byte string.
+constexpr uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Hash of a filesystem path's parent directory, used as the metadata-key
+/// prefix so one directory's entries share a contiguous pscan range.
+inline uint64_t PathHash(std::string_view path) { return Fnv1a64(path); }
+
+}  // namespace diesel

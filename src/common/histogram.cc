@@ -1,0 +1,100 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace diesel {
+namespace {
+
+constexpr int kSubBuckets = 16;       // per power of two
+constexpr int kOctaves = 64;          // covers [1, 2^64)
+constexpr size_t kNumBuckets = kSubBuckets * kOctaves + 1;  // +1 for v < 1
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(double v) {
+  if (v < 1.0) return 0;
+  int exp;
+  double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  int octave = exp - 1;               // v in [2^octave, 2^(octave+1))
+  if (octave >= kOctaves) return kNumBuckets - 1;
+  int sub = static_cast<int>((frac * 2.0 - 1.0) * kSubBuckets);  // [0,16)
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<size_t>(octave) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+double Histogram::BucketLow(size_t index) {
+  if (index == 0) return 0.0;
+  size_t i = index - 1;
+  size_t octave = i / kSubBuckets;
+  size_t sub = i % kSubBuckets;
+  double base = std::ldexp(1.0, static_cast<int>(octave));
+  return base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] > target) {
+      double lo = std::max(BucketLow(i), min_);
+      double hi = std::min(i + 1 < buckets_.size() ? BucketLow(i + 1) : max_, max_);
+      if (hi < lo) hi = lo;
+      double within = buckets_[i] > 1
+          ? static_cast<double>(target - seen) / static_cast<double>(buckets_[i] - 1)
+          : 0.0;
+      return lo + (hi - lo) * within;
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), Mean(), Median(),
+                P99(), min(), max());
+  return buf;
+}
+
+}  // namespace diesel

@@ -1,0 +1,46 @@
+// Streaming histogram for latency/throughput reporting in the bench harness.
+//
+// Log-bucketed (base-2 with 16 sub-buckets per octave) so it covers ns..hours
+// with bounded memory and ~3% relative quantile error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diesel {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double Mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Quantile in [0,1]; linear interpolation inside the winning bucket.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P99() const { return Quantile(0.99); }
+
+  /// One-line summary "count=.. mean=.. p50=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(double v);
+  static double BucketLow(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace diesel

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Logging is off by default at DEBUG level so benchmarks stay quiet; tests
+// may raise verbosity. Use DIESEL_LOG(INFO) << ... streaming syntax.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace diesel {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace diesel
+
+#define DIESEL_LOG(severity)                                        \
+  ::diesel::internal::LogMessage(::diesel::LogLevel::k##severity,   \
+                                 __FILE__, __LINE__)

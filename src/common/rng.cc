@@ -1,0 +1,17 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace diesel {
+
+double Rng::NextGaussian() {
+  // Box–Muller; consumes exactly two uniforms per pair, caching nothing so
+  // forked streams stay independent of call parity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Guard against log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace diesel

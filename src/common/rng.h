@@ -1,0 +1,82 @@
+// Deterministic RNG used everywhere (workloads, shuffles, shard placement).
+//
+// xoshiro256** seeded via SplitMix64. Every stochastic component takes an
+// explicit seed so experiments are reproducible run-to-run; no component
+// reads entropy from the environment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace diesel {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 stream fills the xoshiro state; avoids all-zero state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      s = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Debiased via rejection.
+  uint64_t Uniform(uint64_t bound) {
+    // Lemire-style bounded generation with rejection on the biased zone.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (polar form avoided for determinism).
+  double NextGaussian();
+
+  /// Fisher–Yates in-place shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-worker RNGs).
+  Rng Fork() { return Rng(Mix64(Next())); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace diesel

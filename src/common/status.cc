@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace diesel {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kStale: return "Stale";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace diesel

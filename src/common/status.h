@@ -1,0 +1,158 @@
+// Status / Result error-handling primitives for the DIESEL library.
+//
+// All fallible public APIs return Status (no payload) or Result<T>
+// (payload-or-error). Exceptions are reserved for programmer errors
+// (precondition violations) and never cross module boundaries.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace diesel {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kCorruption,
+  kUnavailable,      // transient: node down, shard lost
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kStale,            // snapshot/metadata out of date
+  kInternal,
+};
+
+/// Human-readable name of a status code ("NotFound", "Corruption", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Error-or-success descriptor. Cheap to copy when OK (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status Corruption(std::string m) {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status IoError(std::string m) {
+    return {StatusCode::kIoError, std::move(m)};
+  }
+  static Status OutOfRange(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status Stale(std::string m) {
+    return {StatusCode::kStale, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsStale() const { return code_ == StatusCode::kStale; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. Non-OK Result never holds a value.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Status status) : data_(std::move(status)) {     // NOLINT(implicit)
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate a non-OK Status out of the enclosing function.
+#define DIESEL_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::diesel::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define DIESEL_CONCAT_INNER(a, b) a##b
+#define DIESEL_CONCAT(a, b) DIESEL_CONCAT_INNER(a, b)
+
+// Evaluate a Result expression; on error return its Status, else bind `lhs`.
+#define DIESEL_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto DIESEL_CONCAT(_res_, __LINE__) = (expr);                  \
+  if (!DIESEL_CONCAT(_res_, __LINE__).ok())                      \
+    return DIESEL_CONCAT(_res_, __LINE__).status();              \
+  lhs = std::move(DIESEL_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace diesel

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by real-time components (chunk building,
+// parallel ingest, test drivers). Simulation workers do not use this pool;
+// they run as plain logical workers with virtual clocks.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diesel {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; tasks run FIFO across workers.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace diesel

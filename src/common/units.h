@@ -1,0 +1,24 @@
+// Size and time unit helpers shared by the library and the device models.
+#pragma once
+
+#include <cstdint>
+
+namespace diesel {
+
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+// Virtual time is expressed in nanoseconds throughout the sim layer.
+using Nanos = uint64_t;
+
+constexpr Nanos Micros(uint64_t n) { return n * 1000ULL; }
+constexpr Nanos Millis(uint64_t n) { return n * 1000000ULL; }
+constexpr Nanos Seconds(double s) {
+  return static_cast<Nanos>(s * 1e9);
+}
+
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / 1e9; }
+constexpr double ToMillis(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace diesel

@@ -1,0 +1,72 @@
+#include "core/auth.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace diesel::core {
+
+std::string AuthRegistry::KeyDigest(const std::string& user,
+                                    const std::string& access_key) {
+  // Salted digest: the user name is the salt, mixed twice.
+  uint64_t h = Fnv1a64(access_key, Fnv1a64(user));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Mix64(h)));
+  return buf;
+}
+
+std::string AuthRegistry::UserKey(const std::string& user) {
+  return "/diesel/users/" + user;
+}
+
+std::string AuthRegistry::GrantKey(const std::string& user,
+                                   const std::string& dataset) {
+  return "/diesel/acl/" + dataset + "/" + user;
+}
+
+Status AuthRegistry::CreateUser(sim::VirtualClock& clock,
+                                const std::string& user,
+                                const std::string& access_key) {
+  if (user.empty() || access_key.empty())
+    return Status::InvalidArgument("user and access key must be non-empty");
+  // CAS-create so two admins can't race the same name.
+  auto rev = config_.CompareAndSwap(clock, admin_node_, UserKey(user),
+                                    KeyDigest(user, access_key),
+                                    /*expected_revision=*/0);
+  if (!rev.ok() && rev.status().code() == StatusCode::kFailedPrecondition)
+    return Status::AlreadyExists("user exists: " + user);
+  return rev.status();
+}
+
+Status AuthRegistry::GrantDataset(sim::VirtualClock& clock,
+                                  const std::string& user,
+                                  const std::string& dataset) {
+  auto existing = config_.Get(clock, admin_node_, UserKey(user));
+  if (!existing.ok()) return Status::NotFound("no such user: " + user);
+  return config_.Put(clock, admin_node_, GrantKey(user, dataset), "rw")
+      .status();
+}
+
+Status AuthRegistry::RevokeDataset(sim::VirtualClock& clock,
+                                   const std::string& user,
+                                   const std::string& dataset) {
+  return config_.Delete(clock, admin_node_, GrantKey(user, dataset)).status();
+}
+
+Status AuthRegistry::Authenticate(sim::VirtualClock& clock, sim::NodeId client,
+                                  const std::string& user,
+                                  const std::string& access_key,
+                                  const std::string& dataset) {
+  auto stored = config_.Get(clock, client, UserKey(user));
+  if (!stored.ok()) return Status::NotFound("no such user: " + user);
+  if (stored->value != KeyDigest(user, access_key))
+    return Status::FailedPrecondition("bad access key for user " + user);
+  auto grant = config_.Get(clock, client, GrantKey(user, dataset));
+  if (!grant.ok())
+    return Status::FailedPrecondition("user " + user +
+                                      " has no grant on dataset " + dataset);
+  return Status::Ok();
+}
+
+}  // namespace diesel::core

@@ -1,0 +1,54 @@
+// Connect-time authentication and dataset access control.
+//
+// Table 3's DL_connect takes (user, key, dataset, server address). This
+// module implements the control-plane side: credentials and per-dataset
+// grants live in the ETCD-like config service, and servers validate a
+// connect request before a client session is established. Secrets are never
+// stored raw — only salted FNV-based digests (good enough for a simulation;
+// a production build would use a real KDF).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "etcd/config_store.h"
+
+namespace diesel::core {
+
+class AuthRegistry {
+ public:
+  /// `config` must outlive the registry; `admin_node` issues the RPCs.
+  AuthRegistry(etcd::ConfigStore& config, sim::NodeId admin_node)
+      : config_(config), admin_node_(admin_node) {}
+
+  /// Register a user with a secret access key. AlreadyExists on duplicates.
+  Status CreateUser(sim::VirtualClock& clock, const std::string& user,
+                    const std::string& access_key);
+
+  /// Grant `user` access to `dataset`.
+  Status GrantDataset(sim::VirtualClock& clock, const std::string& user,
+                      const std::string& dataset);
+
+  Status RevokeDataset(sim::VirtualClock& clock, const std::string& user,
+                       const std::string& dataset);
+
+  /// DL_connect check: credentials valid AND the dataset is granted.
+  /// NotFound for unknown users, FailedPrecondition for bad keys or
+  /// missing grants (indistinguishable errors would be kinder to attackers;
+  /// a simulation prefers debuggability).
+  Status Authenticate(sim::VirtualClock& clock, sim::NodeId client,
+                      const std::string& user, const std::string& access_key,
+                      const std::string& dataset);
+
+ private:
+  static std::string KeyDigest(const std::string& user,
+                               const std::string& access_key);
+  static std::string UserKey(const std::string& user);
+  static std::string GrantKey(const std::string& user,
+                              const std::string& dataset);
+
+  etcd::ConfigStore& config_;
+  sim::NodeId admin_node_;
+};
+
+}  // namespace diesel::core

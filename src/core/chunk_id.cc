@@ -1,0 +1,66 @@
+#include "core/chunk_id.h"
+
+#include "common/base64lex.h"
+
+namespace diesel::core {
+namespace {
+
+// Big-endian field packing/unpacking helpers.
+void PackBE(uint8_t* dst, uint64_t value, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<uint8_t>(value >> (8 * (n - 1 - i)));
+  }
+}
+
+uint64_t UnpackBE(const uint8_t* src, size_t n) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) v = (v << 8) | src[i];
+  return v;
+}
+
+}  // namespace
+
+ChunkId ChunkId::Make(uint32_t timestamp_sec, uint64_t machine, uint32_t pid,
+                      uint32_t counter) {
+  ChunkId id;
+  PackBE(id.bytes_.data() + 0, timestamp_sec, 4);
+  PackBE(id.bytes_.data() + 4, machine & 0xFFFFFFFFFFFFULL, 6);
+  PackBE(id.bytes_.data() + 10, pid & 0xFFFFFFu, 3);
+  PackBE(id.bytes_.data() + 13, counter & 0xFFFFFFu, 3);
+  return id;
+}
+
+uint32_t ChunkId::timestamp_sec() const {
+  return static_cast<uint32_t>(UnpackBE(bytes_.data(), 4));
+}
+uint64_t ChunkId::machine() const { return UnpackBE(bytes_.data() + 4, 6); }
+uint32_t ChunkId::process_id() const {
+  return static_cast<uint32_t>(UnpackBE(bytes_.data() + 10, 3));
+}
+uint32_t ChunkId::counter() const {
+  return static_cast<uint32_t>(UnpackBE(bytes_.data() + 13, 3));
+}
+
+std::string ChunkId::Encoded() const {
+  return Base64LexEncode({bytes_.data(), bytes_.size()});
+}
+
+Result<ChunkId> ChunkId::FromEncoded(std::string_view text) {
+  if (text.size() != kEncodedSize)
+    return Status::InvalidArgument("chunk id: wrong encoded length");
+  DIESEL_ASSIGN_OR_RETURN(Bytes raw, Base64LexDecode(text));
+  if (raw.size() != kSize)
+    return Status::InvalidArgument("chunk id: wrong decoded length");
+  ChunkId id;
+  std::copy(raw.begin(), raw.end(), id.bytes_.begin());
+  return id;
+}
+
+bool ChunkId::IsZero() const {
+  for (uint8_t b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace diesel::core

@@ -1,0 +1,182 @@
+#include "core/client.h"
+
+#include <cassert>
+
+#include "sim/calibration.h"
+
+namespace diesel::core {
+
+DieselClient::DieselClient(net::Fabric& fabric,
+                           std::vector<DieselServer*> servers,
+                           ClientOptions options)
+    : fabric_(fabric), servers_(std::move(servers)),
+      options_(std::move(options)),
+      builder_(options_.chunk_target_bytes),
+      // Machine identity = simulated node, process id = client index; both
+      // offset by one so the very first chunk ID is never all-zero.
+      id_gen_(options_.node + 1, options_.client_index + 1) {
+  assert(!servers_.empty());
+  // Register a connection to each server endpoint (DL_connect).
+  for (DieselServer* s : servers_) {
+    fabric_.connections().Connect(endpoint(), {s->node(), 0});
+  }
+}
+
+DieselServer* DieselClient::PickServer() {
+  DieselServer* s = servers_[next_server_ % servers_.size()];
+  ++next_server_;
+  return s;
+}
+
+Status DieselClient::Put(const std::string& path, BytesView content) {
+  builder_.Add(path, content);
+  ++stats_.files_written;
+  if (builder_.Full()) return Flush();
+  return Status::Ok();
+}
+
+Status DieselClient::Replace(const std::string& path, BytesView content) {
+  Status st = PickServer()->DeleteFile(clock_, options_.node, options_.dataset,
+                                       path);
+  if (!st.ok() && !st.IsNotFound()) return st;
+  if (st.ok() && snapshot_) snapshot_.reset();  // dataset moved on
+  DIESEL_RETURN_IF_ERROR(Put(path, content));
+  // The old version is gone from metadata immediately; make the new one
+  // visible too rather than leaving it buffered indefinitely.
+  return Flush();
+}
+
+Status DieselClient::Flush() {
+  if (builder_.Empty()) return Status::Ok();
+  uint32_t ts_sec = static_cast<uint32_t>(clock_.now() / 1000000000ULL);
+  ChunkId id = id_gen_.Next(ts_sec);
+  Bytes chunk = builder_.Finish(id, clock_.now());
+  ++stats_.chunks_flushed;
+  // Write-behind: DL_flush returns once the local buffer is on the wire;
+  // durability time is tracked for callers that need the write makespan.
+  DIESEL_ASSIGN_OR_RETURN(
+      Nanos durable,
+      PickServer()->IngestChunkAsync(clock_, options_.node, options_.dataset,
+                                     chunk));
+  stats_.last_ingest_durable_ns =
+      std::max(stats_.last_ingest_durable_ns, durable);
+  return Status::Ok();
+}
+
+Result<FileMeta> DieselClient::ResolveMeta(const std::string& path) {
+  if (snapshot_) {
+    clock_.Advance(sim::kSnapshotLookupCost);
+    ++stats_.local_metadata_hits;
+    const FileMeta* fm = snapshot_->Lookup(path);
+    if (fm == nullptr) return Status::NotFound("no such file: " + path);
+    return *fm;
+  }
+  ++stats_.server_metadata_ops;
+  return PickServer()->StatFile(clock_, options_.node, options_.dataset, path);
+}
+
+Result<Bytes> DieselClient::Get(const std::string& path) {
+  if (cache_ != nullptr) {
+    DIESEL_ASSIGN_OR_RETURN(FileMeta meta, ResolveMeta(path));
+    DIESEL_ASSIGN_OR_RETURN(Bytes content, cache_->GetFile(clock_, meta));
+    ++stats_.files_read;
+    stats_.bytes_read += content.size();
+    return content;
+  }
+  DIESEL_ASSIGN_OR_RETURN(
+      Bytes content,
+      PickServer()->ReadFile(clock_, options_.node, options_.dataset, path));
+  ++stats_.files_read;
+  stats_.bytes_read += content.size();
+  return content;
+}
+
+Result<std::vector<Bytes>> DieselClient::GetBatch(
+    std::span<const std::string> paths) {
+  if (cache_ != nullptr) {
+    std::vector<Bytes> out;
+    out.reserve(paths.size());
+    for (const std::string& p : paths) {
+      DIESEL_ASSIGN_OR_RETURN(Bytes b, Get(p));
+      out.push_back(std::move(b));
+    }
+    return out;
+  }
+  DIESEL_ASSIGN_OR_RETURN(std::vector<Bytes> out,
+                          PickServer()->ReadFiles(clock_, options_.node,
+                                                  options_.dataset, paths));
+  for (const Bytes& b : out) {
+    ++stats_.files_read;
+    stats_.bytes_read += b.size();
+  }
+  return out;
+}
+
+Result<FileMeta> DieselClient::Stat(const std::string& path) {
+  return ResolveMeta(path);
+}
+
+Result<std::vector<DirEntry>> DieselClient::List(const std::string& dir_path) {
+  if (snapshot_) {
+    clock_.Advance(sim::kSnapshotLookupCost);
+    ++stats_.local_metadata_hits;
+    return snapshot_->ListDir(dir_path);
+  }
+  ++stats_.server_metadata_ops;
+  return PickServer()->ListDir(clock_, options_.node, options_.dataset,
+                               dir_path);
+}
+
+Status DieselClient::Delete(const std::string& path) {
+  // Deletion invalidates any loaded snapshot (dataset timestamp moves).
+  Status st = PickServer()->DeleteFile(clock_, options_.node, options_.dataset,
+                                       path);
+  if (st.ok() && snapshot_) snapshot_.reset();
+  return st;
+}
+
+Status DieselClient::FetchSnapshot() {
+  DIESEL_ASSIGN_OR_RETURN(
+      MetadataSnapshot snap,
+      PickServer()->BuildSnapshot(clock_, options_.node, options_.dataset));
+  snapshot_ = std::move(snap);
+  return Status::Ok();
+}
+
+Status DieselClient::SaveMeta(ostore::ObjectStore& local_disk,
+                              const std::string& key) {
+  if (!snapshot_)
+    return Status::FailedPrecondition("no snapshot installed; FetchSnapshot first");
+  Bytes data = snapshot_->Serialize();
+  return local_disk.Put(clock_, options_.node, key, data);
+}
+
+Status DieselClient::LoadMeta(ostore::ObjectStore& local_disk,
+                              const std::string& key) {
+  DIESEL_ASSIGN_OR_RETURN(Bytes data,
+                          local_disk.Get(clock_, options_.node, key));
+  DIESEL_ASSIGN_OR_RETURN(MetadataSnapshot snap,
+                          MetadataSnapshot::Deserialize(data));
+  if (snap.dataset() != options_.dataset)
+    return Status::InvalidArgument("snapshot is for dataset '" +
+                                   snap.dataset() + "'");
+  // Freshness check against the KV record (§4.1.3).
+  DIESEL_ASSIGN_OR_RETURN(
+      DatasetMeta current,
+      PickServer()->GetDatasetMeta(clock_, options_.node, options_.dataset));
+  if (!snap.IsUpToDate(current))
+    return Status::Stale("snapshot timestamp does not match dataset; "
+                         "download a new snapshot");
+  snapshot_ = std::move(snap);
+  return Status::Ok();
+}
+
+void DieselClient::Close() {
+  snapshot_.reset();
+  cache_ = nullptr;
+  for (DieselServer* s : servers_) {
+    fabric_.connections().Disconnect(endpoint(), {s->node(), 0});
+  }
+}
+
+}  // namespace diesel::core

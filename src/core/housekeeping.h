@@ -1,0 +1,54 @@
+// Housekeeping functions (§4.1.1, §5): merge/compact chunks with holes left
+// by file modification and deletion (DL_purge).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/server.h"
+
+namespace diesel::core {
+
+struct PurgeStats {
+  size_t chunks_compacted = 0;
+  size_t files_dropped = 0;
+  uint64_t bytes_reclaimed = 0;
+};
+
+/// Rewrite every chunk of `dataset` that has deleted files: surviving files
+/// are packed into a fresh chunk (new ID), file records are repointed, the
+/// old chunk record and blob are removed, and the dataset record updated.
+/// Runs on the server (admin operation).
+Result<PurgeStats> PurgeDataset(sim::VirtualClock& clock, DieselServer& server,
+                                const std::string& dataset);
+
+struct MergeStats {
+  size_t chunks_merged = 0;     // input chunks consumed
+  size_t chunks_created = 0;    // output chunks written
+  uint64_t bytes_rewritten = 0;
+};
+
+/// Coalesce undersized chunks (payload below `min_chunk_bytes`, e.g. after
+/// purge or trickle writes) into fresh >= min-sized chunks so reads keep
+/// their large-block efficiency (§4.1.1 "house-keeping functions to merge
+/// chunks"). Chunks at or above the threshold are untouched.
+Result<MergeStats> MergeSmallChunks(sim::VirtualClock& clock,
+                                    DieselServer& server,
+                                    const std::string& dataset,
+                                    uint64_t min_chunk_bytes);
+
+struct ScrubStats {
+  size_t chunks_checked = 0;
+  size_t files_checked = 0;
+  size_t corrupt_chunks = 0;   // header damage (magic/CRC/bounds)
+  size_t corrupt_files = 0;    // payload CRC mismatches
+  std::vector<std::string> corrupt_keys;  // object keys needing repair
+};
+
+/// Integrity scrub: re-read every chunk of `dataset`, verify the header
+/// checksum and every file's payload CRC32C, and report what is damaged.
+/// Read-only — repair is the operator's decision (re-ingest or restore).
+Result<ScrubStats> ScrubDataset(sim::VirtualClock& clock, DieselServer& server,
+                                const std::string& dataset);
+
+}  // namespace diesel::core

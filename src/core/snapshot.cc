@@ -1,0 +1,162 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <set>
+
+namespace diesel::core {
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x50414E53;  // "SNAP"
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+MetadataSnapshot MetadataSnapshot::Create(std::string dataset,
+                                          uint64_t update_ts_ns,
+                                          std::vector<ChunkId> chunks,
+                                          std::vector<FileMeta> files) {
+  MetadataSnapshot snap;
+  snap.dataset_ = std::move(dataset);
+  snap.update_ts_ns_ = update_ts_ns;
+  snap.chunks_ = std::move(chunks);
+  snap.files_ = std::move(files);
+  snap.BuildIndexes();
+  return snap;
+}
+
+Bytes MetadataSnapshot::Serialize() const {
+  BinaryWriter w(64 + chunks_.size() * ChunkId::kSize + files_.size() * 64);
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+  w.PutString(dataset_);
+  w.PutU64(update_ts_ns_);
+  w.PutU32(static_cast<uint32_t>(chunks_.size()));
+  for (const ChunkId& id : chunks_) {
+    w.PutRaw(id.bytes().data(), ChunkId::kSize);
+  }
+  w.PutU32(static_cast<uint32_t>(files_.size()));
+  for (const FileMeta& f : files_) {
+    // Reference chunks by index (4 bytes instead of 16) to keep snapshots
+    // small — the paper stresses small snapshot size for fast download.
+    size_t ci = ChunkIndex(f.chunk);
+    w.PutU32(static_cast<uint32_t>(ci));
+    w.PutU64(f.offset);
+    w.PutU64(f.length);
+    w.PutU32(f.crc);
+    w.PutU32(f.index_in_chunk);
+    w.PutString(f.full_name);
+  }
+  return std::move(w).Take();
+}
+
+Result<MetadataSnapshot> MetadataSnapshot::Deserialize(BytesView data) {
+  BinaryReader r(data);
+  DIESEL_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kSnapshotMagic) return Status::Corruption("snapshot: bad magic");
+  DIESEL_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kSnapshotVersion)
+    return Status::Corruption("snapshot: unsupported version");
+
+  MetadataSnapshot snap;
+  DIESEL_ASSIGN_OR_RETURN(snap.dataset_, r.ReadString());
+  DIESEL_ASSIGN_OR_RETURN(snap.update_ts_ns_, r.ReadU64());
+  DIESEL_ASSIGN_OR_RETURN(uint32_t num_chunks, r.ReadU32());
+  snap.chunks_.resize(num_chunks);
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    DIESEL_ASSIGN_OR_RETURN(BytesView idb, r.ReadRaw(ChunkId::kSize));
+    std::copy(idb.begin(), idb.end(), snap.chunks_[i].mutable_bytes().begin());
+  }
+  DIESEL_ASSIGN_OR_RETURN(uint32_t num_files, r.ReadU32());
+  snap.files_.reserve(num_files);
+  for (uint32_t i = 0; i < num_files; ++i) {
+    FileMeta f;
+    DIESEL_ASSIGN_OR_RETURN(uint32_t ci, r.ReadU32());
+    if (ci >= snap.chunks_.size())
+      return Status::Corruption("snapshot: chunk index out of range");
+    f.chunk = snap.chunks_[ci];
+    DIESEL_ASSIGN_OR_RETURN(f.offset, r.ReadU64());
+    DIESEL_ASSIGN_OR_RETURN(f.length, r.ReadU64());
+    DIESEL_ASSIGN_OR_RETURN(f.crc, r.ReadU32());
+    DIESEL_ASSIGN_OR_RETURN(f.index_in_chunk, r.ReadU32());
+    DIESEL_ASSIGN_OR_RETURN(f.full_name, r.ReadString());
+    snap.files_.push_back(std::move(f));
+  }
+  if (!r.AtEnd()) return Status::Corruption("snapshot: trailing bytes");
+  snap.BuildIndexes();
+  return snap;
+}
+
+void MetadataSnapshot::BuildIndexes() {
+  path_index_.clear();
+  chunk_index_.clear();
+  files_by_chunk_.assign(chunks_.size(), {});
+  tree_.clear();
+
+  path_index_.reserve(files_.size());
+  chunk_index_.reserve(chunks_.size());
+  for (uint32_t i = 0; i < chunks_.size(); ++i) {
+    chunk_index_.InsertOrAssign(chunks_[i].Encoded(), i);
+  }
+
+  std::set<std::string> dirs_seen;
+  for (uint32_t i = 0; i < files_.size(); ++i) {
+    const FileMeta& f = files_[i];
+    path_index_.InsertOrAssign(f.full_name, i);
+    size_t ci = ChunkIndex(f.chunk);
+    if (ci != static_cast<size_t>(-1)) files_by_chunk_[ci].push_back(i);
+    // Hierarchy: register the file and each new ancestor directory.
+    tree_[ParentPath(f.full_name)].push_back({BaseName(f.full_name), false});
+    for (std::string dir = ParentPath(f.full_name); dir != "/";
+         dir = ParentPath(dir)) {
+      if (!dirs_seen.insert(dir).second) break;
+      tree_[ParentPath(dir)].push_back({BaseName(dir), true});
+    }
+  }
+  // Deterministic listing order: directories first, then files, each sorted.
+  for (auto& [dir, children] : tree_) {
+    std::sort(children.begin(), children.end(),
+              [](const DirEntry& a, const DirEntry& b) {
+                if (a.is_dir != b.is_dir) return a.is_dir;
+                return a.name < b.name;
+              });
+  }
+  // Files within a chunk in offset order (chunk-group shuffle depends on it).
+  for (auto& list : files_by_chunk_) {
+    std::sort(list.begin(), list.end(), [this](uint32_t a, uint32_t b) {
+      return files_[a].offset < files_[b].offset;
+    });
+  }
+}
+
+const FileMeta* MetadataSnapshot::Lookup(std::string_view path) const {
+  const uint32_t* idx = path_index_.Find(std::string(path));
+  return idx ? &files_[*idx] : nullptr;
+}
+
+Result<std::vector<DirEntry>> MetadataSnapshot::ListDir(
+    std::string_view dir_path) const {
+  auto it = tree_.find(std::string(dir_path));
+  if (it == tree_.end()) {
+    if (dir_path == "/") return std::vector<DirEntry>{};
+    return Status::NotFound("no such directory: " + std::string(dir_path));
+  }
+  return it->second;
+}
+
+bool MetadataSnapshot::HasDir(std::string_view dir_path) const {
+  return dir_path == "/" || tree_.count(std::string(dir_path)) > 0;
+}
+
+size_t MetadataSnapshot::ChunkIndex(const ChunkId& id) const {
+  const uint32_t* idx = chunk_index_.Find(id.Encoded());
+  return idx ? *idx : static_cast<size_t>(-1);
+}
+
+const std::vector<uint32_t>& MetadataSnapshot::FilesOfChunk(
+    size_t chunk_index) const {
+  static const std::vector<uint32_t> kEmpty;
+  if (chunk_index >= files_by_chunk_.size()) return kEmpty;
+  return files_by_chunk_[chunk_index];
+}
+
+}  // namespace diesel::core

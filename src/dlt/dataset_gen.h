@@ -1,0 +1,84 @@
+// Synthetic training-dataset generation.
+//
+// The paper's file-level experiments use "hundreds of millions of files with
+// random contents" and the DLT experiments use ImageNet-1K / CIFAR-10. We
+// generate deterministic pseudo-random datasets with the same *structure*
+// (class directories, small-file size distributions) at bench-friendly
+// scale, plus labelled feature-vector datasets for the real SGD runs
+// (Fig. 13). Substitution documented in DESIGN.md.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace diesel::dlt {
+
+struct DatasetSpec {
+  std::string name = "synth";
+  size_t num_classes = 10;
+  size_t files_per_class = 100;
+  /// Mean file size; actual sizes jitter +-25% unless fixed_size.
+  uint64_t mean_file_bytes = 8 * 1024;
+  bool fixed_size = false;
+  uint64_t seed = 42;
+
+  size_t total_files() const { return num_classes * files_per_class; }
+};
+
+/// ImageNet-1K-like structure scaled down (paper: 1.28M files, avg ~110KB).
+DatasetSpec ImageNetLike(size_t scale_files, uint64_t mean_bytes = 110 * 1024);
+/// CIFAR-10-like: tiny fixed-size records in 10 classes.
+DatasetSpec CifarLike(size_t scale_files);
+/// Open-Images-like (paper intro: ~9M images averaging ~60KB): many more
+/// classes, smaller files — stresses the metadata plane hardest.
+DatasetSpec OpenImagesLike(size_t scale_files);
+
+/// One generated file (path + content).
+struct GeneratedFile {
+  std::string path;    // "/<dataset>/train/cls<c>/img<i>.bin"
+  Bytes content;
+};
+
+/// Deterministic content for file `index` (seed-derived, verifiable via
+/// VerifyContent). Size depends on the spec's distribution.
+GeneratedFile MakeFile(const DatasetSpec& spec, size_t index);
+
+/// Check that `content` matches what MakeFile(spec, index) produced.
+bool VerifyContent(const DatasetSpec& spec, size_t index, BytesView content);
+
+/// Path of file `index` without generating the content (cheap).
+std::string FilePath(const DatasetSpec& spec, size_t index);
+
+/// Stream every file through `sink` (used to ingest into DIESEL / Lustre /
+/// Memcached without holding the dataset in memory twice).
+Status ForEachFile(const DatasetSpec& spec,
+                   const std::function<Status(const GeneratedFile&)>& sink);
+
+// ---- labelled feature vectors for real SGD training (Fig. 13) -------------
+
+struct SampleSpec {
+  size_t num_classes = 10;
+  size_t dims = 32;
+  /// Class-mean separation vs unit noise: larger = easier problem.
+  double separation = 3.0;
+  uint64_t seed = 7;
+};
+
+/// Serialized sample: label u32 | dims u32 | dims x float32.
+Bytes EncodeSample(uint32_t label, const std::vector<float>& features);
+Status DecodeSample(BytesView data, uint32_t& label,
+                    std::vector<float>& features);
+
+/// Draw sample `index` of class `index % num_classes` from the synthetic
+/// Gaussian mixture (deterministic in (spec.seed, index)).
+Bytes MakeSample(const SampleSpec& spec, size_t index);
+
+/// Ground-truth label of sample `index`.
+uint32_t SampleLabel(const SampleSpec& spec, size_t index);
+
+}  // namespace diesel::dlt

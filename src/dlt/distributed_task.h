@@ -1,0 +1,81 @@
+// DistributedTrainingTask: the one-stop orchestration a DLT job uses.
+//
+// Wires together everything the paper's client side deploys per task:
+// one DIESEL client per I/O worker on every node, task registration and
+// master election (Fig. 7), the task-grained distributed cache, the
+// per-epoch chunk-wise shuffle, and per-node epoch timing. User code only
+// supplies a mini-batch callback (e.g. an SGD step).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cache/registry.h"
+#include "cache/task_cache.h"
+#include "core/deployment.h"
+#include "shuffle/group_reader.h"
+#include "shuffle/shuffle.h"
+
+namespace diesel::dlt {
+
+struct DistributedTaskOptions {
+  size_t num_nodes = 4;
+  size_t io_workers_per_node = 4;
+  size_t minibatch = 32;
+  shuffle::ChunkShuffleOptions shuffle{};
+  cache::TaskCacheOptions cache{};
+  /// Use the task-grained cache (true) or chunk-wise group windows straight
+  /// from the servers (false, the memory-constrained mode of §4.3).
+  bool use_task_cache = true;
+  uint64_t seed = 42;
+};
+
+struct EpochReport {
+  size_t epoch = 0;
+  size_t files_read = 0;
+  uint64_t bytes_read = 0;
+  double epoch_seconds = 0;      // virtual makespan across nodes
+  double slowest_node_seconds = 0;
+  double fastest_node_seconds = 0;
+};
+
+class DistributedTrainingTask {
+ public:
+  /// `deployment` must outlive the task; `dataset` must already be ingested.
+  DistributedTrainingTask(core::Deployment& deployment, std::string dataset,
+                          DistributedTaskOptions options);
+
+  /// Create clients, register them, fetch the snapshot, build the cache
+  /// (preloading it under the oneshot policy) and open connections.
+  Status Setup();
+
+  /// Run one epoch: every file is delivered exactly once across all nodes
+  /// in chunk-wise-shuffled order; `on_batch` is invoked per mini-batch with
+  /// the file contents (node-local batches). Timing is virtual.
+  Result<EpochReport> RunEpoch(
+      const std::function<Status(std::span<const Bytes>)>& on_batch);
+
+  const core::MetadataSnapshot& snapshot() const { return *snapshot_; }
+  cache::TaskCache* cache() { return cache_.get(); }
+  size_t epochs_run() const { return epoch_; }
+
+ private:
+  core::Deployment& deployment_;
+  std::string dataset_;
+  DistributedTaskOptions options_;
+
+  std::vector<std::unique_ptr<core::DieselClient>> clients_;
+  std::vector<std::unique_ptr<core::DatasetCacheInterface>> handles_;
+  cache::TaskRegistry registry_;
+  std::unique_ptr<core::MetadataSnapshot> snapshot_;
+  std::unique_ptr<cache::TaskCache> cache_;
+  std::vector<std::unique_ptr<shuffle::GroupWindowReader>> readers_;
+  Rng rng_{42};
+  size_t epoch_ = 0;
+  Nanos task_time_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace diesel::dlt

@@ -1,0 +1,129 @@
+#include "dlt/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace diesel::dlt {
+
+MlpTrainer::MlpTrainer(MlpOptions options)
+    : options_(options),
+      w1_(options_.hidden * (options_.dims + 1)),
+      w2_(options_.num_classes * (options_.hidden + 1)) {
+  // He-style init scaled to fan-in for the ReLU layer.
+  Rng rng(options_.init_seed);
+  double scale1 = std::sqrt(2.0 / static_cast<double>(options_.dims));
+  for (double& v : w1_) v = rng.NextGaussian() * scale1;
+  double scale2 = std::sqrt(2.0 / static_cast<double>(options_.hidden));
+  for (double& v : w2_) v = rng.NextGaussian() * scale2;
+}
+
+void MlpTrainer::Forward(const LabelledSample& s,
+                         std::vector<double>& hidden_out,
+                         std::vector<double>& logits) const {
+  const size_t D = options_.dims;
+  const size_t H = options_.hidden;
+  const size_t C = options_.num_classes;
+  hidden_out.assign(H, 0.0);
+  for (size_t h = 0; h < H; ++h) {
+    const double* row = &w1_[h * (D + 1)];
+    double z = row[D];
+    size_t n = std::min(D, s.features.size());
+    for (size_t d = 0; d < n; ++d) z += row[d] * s.features[d];
+    hidden_out[h] = z > 0.0 ? z : 0.0;  // ReLU
+  }
+  logits.assign(C, 0.0);
+  for (size_t c = 0; c < C; ++c) {
+    const double* row = &w2_[c * (H + 1)];
+    double z = row[H];
+    for (size_t h = 0; h < H; ++h) z += row[h] * hidden_out[h];
+    logits[c] = z;
+  }
+}
+
+double MlpTrainer::TrainBatch(std::span<const LabelledSample> batch) {
+  if (batch.empty()) return 0.0;
+  const size_t D = options_.dims;
+  const size_t H = options_.hidden;
+  const size_t C = options_.num_classes;
+  std::vector<double> g1(w1_.size(), 0.0);
+  std::vector<double> g2(w2_.size(), 0.0);
+  std::vector<double> hidden, logits, probs(C), dhidden(H);
+  double loss = 0.0;
+
+  for (const LabelledSample& s : batch) {
+    Forward(s, hidden, logits);
+    double zmax = *std::max_element(logits.begin(), logits.end());
+    double zsum = 0.0;
+    for (size_t c = 0; c < C; ++c) {
+      probs[c] = std::exp(logits[c] - zmax);
+      zsum += probs[c];
+    }
+    for (size_t c = 0; c < C; ++c) probs[c] /= zsum;
+    size_t y = std::min<size_t>(s.label, C - 1);
+    loss += -std::log(std::max(probs[y], 1e-12));
+
+    // Backprop: output layer.
+    std::fill(dhidden.begin(), dhidden.end(), 0.0);
+    for (size_t c = 0; c < C; ++c) {
+      double g = probs[c] - (c == y ? 1.0 : 0.0);
+      double* grow = &g2[c * (H + 1)];
+      const double* wrow = &w2_[c * (H + 1)];
+      for (size_t h = 0; h < H; ++h) {
+        grow[h] += g * hidden[h];
+        dhidden[h] += g * wrow[h];
+      }
+      grow[H] += g;
+    }
+    // Hidden layer (ReLU gate).
+    for (size_t h = 0; h < H; ++h) {
+      if (hidden[h] <= 0.0) continue;  // gradient blocked by ReLU
+      double* grow = &g1[h * (D + 1)];
+      size_t n = std::min(D, s.features.size());
+      for (size_t d = 0; d < n; ++d) grow[d] += dhidden[h] * s.features[d];
+      grow[D] += dhidden[h];
+    }
+  }
+
+  double scale = options_.learning_rate / static_cast<double>(batch.size());
+  for (size_t i = 0; i < w1_.size(); ++i) {
+    w1_[i] -= scale * g1[i] +
+              options_.learning_rate * options_.weight_decay * w1_[i];
+  }
+  for (size_t i = 0; i < w2_.size(); ++i) {
+    w2_[i] -= scale * g2[i] +
+              options_.learning_rate * options_.weight_decay * w2_[i];
+  }
+  return loss / static_cast<double>(batch.size());
+}
+
+double MlpTrainer::TrainEpoch(std::span<const LabelledSample> samples) {
+  double loss_sum = 0.0;
+  size_t batches = 0;
+  for (size_t i = 0; i < samples.size(); i += options_.minibatch) {
+    size_t n = std::min(options_.minibatch, samples.size() - i);
+    loss_sum += TrainBatch(samples.subspan(i, n));
+    ++batches;
+  }
+  return batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+}
+
+double MlpTrainer::TopKAccuracy(std::span<const LabelledSample> samples,
+                                size_t k) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> hidden, logits;
+  size_t hit = 0;
+  for (const LabelledSample& s : samples) {
+    Forward(s, hidden, logits);
+    double y_score = logits[std::min<size_t>(s.label, logits.size() - 1)];
+    size_t better = 0;
+    for (double z : logits) {
+      if (z > y_score) ++better;
+    }
+    if (better < k) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(samples.size());
+}
+
+}  // namespace diesel::dlt

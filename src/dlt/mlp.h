@@ -1,0 +1,53 @@
+// Two-layer MLP (one hidden ReLU layer + softmax output) trained with
+// mini-batch SGD — the second model family for the Fig. 13 experiments
+// (the paper trains both ResNet-50 and ResNet-18; we pair the softmax
+// classifier with this non-linear model so the shuffle-equivalence claim is
+// checked on two optimization landscapes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dlt/trainer.h"  // LabelledSample
+
+namespace diesel::dlt {
+
+struct MlpOptions {
+  size_t num_classes = 10;
+  size_t dims = 32;
+  size_t hidden = 64;
+  size_t minibatch = 32;
+  double learning_rate = 0.01;
+  double weight_decay = 1e-4;
+  uint64_t init_seed = 4321;
+};
+
+class MlpTrainer {
+ public:
+  explicit MlpTrainer(MlpOptions options);
+
+  /// One SGD step; returns mean cross-entropy loss over the batch.
+  double TrainBatch(std::span<const LabelledSample> batch);
+
+  /// Feed an epoch in the given order, stepping every `minibatch` samples.
+  double TrainEpoch(std::span<const LabelledSample> samples);
+
+  double TopKAccuracy(std::span<const LabelledSample> samples,
+                      size_t k) const;
+
+  const MlpOptions& options() const { return options_; }
+
+ private:
+  /// Forward pass: fills `hidden_out` (post-ReLU) and `logits`.
+  void Forward(const LabelledSample& s, std::vector<double>& hidden_out,
+               std::vector<double>& logits) const;
+
+  MlpOptions options_;
+  // Layer 1: hidden x (dims + 1); layer 2: classes x (hidden + 1).
+  std::vector<double> w1_;
+  std::vector<double> w2_;
+};
+
+}  // namespace diesel::dlt

@@ -1,0 +1,129 @@
+#include "fusefs/fusefs.h"
+
+#include <cassert>
+
+#include "shuffle/shuffle.h"
+#include "sim/calibration.h"
+
+namespace diesel::fusefs {
+
+FuseMount::FuseMount(std::vector<core::DieselClient*> clients)
+    : clients_(std::move(clients)) {
+  assert(!clients_.empty());
+}
+
+core::DieselClient* FuseMount::PickClient() {
+  size_t i = next_client_.fetch_add(1, std::memory_order_relaxed);
+  return clients_[i % clients_.size()];
+}
+
+void FuseMount::Crossing(sim::VirtualClock& clock) {
+  clock.Advance(sim::kFuseCrossingCost);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  crossings_ns_.fetch_add(sim::kFuseCrossingCost, std::memory_order_relaxed);
+}
+
+Result<Bytes> FuseMount::ReadFile(sim::VirtualClock& clock,
+                                  const std::string& path) {
+  core::DieselClient* client = PickClient();
+  // open(2): lookup + open request through the daemon.
+  Crossing(clock);
+  client->clock().AdvanceTo(clock.now());
+  Result<Bytes> content = client->Get(path);
+  clock.AdvanceTo(client->clock().now());
+  if (!content.ok()) return content;
+
+  // The kernel issues read(2) requests in kFuseMaxRead slices; the first
+  // slice rode along with the fetch above, the rest each pay a crossing.
+  uint64_t size = content.value().size();
+  uint64_t slices = size == 0 ? 1 : (size + sim::kFuseMaxRead - 1) / sim::kFuseMaxRead;
+  for (uint64_t i = 1; i < slices; ++i) Crossing(clock);
+  // close(2).
+  Crossing(clock);
+  bytes_read_.fetch_add(size, std::memory_order_relaxed);
+  return content;
+}
+
+Status FuseMount::WriteFile(sim::VirtualClock& clock, const std::string& path,
+                            BytesView content) {
+  core::DieselClient* client = PickClient();
+  // create(2).
+  Crossing(clock);
+  client->clock().AdvanceTo(clock.now());
+  Status st = client->Put(path, content);
+  clock.AdvanceTo(client->clock().now());
+  if (!st.ok()) return st;
+  // write(2) slices beyond the first, then close(2).
+  uint64_t slices = content.empty()
+                        ? 1
+                        : (content.size() + sim::kFuseMaxRead - 1) /
+                              sim::kFuseMaxRead;
+  for (uint64_t i = 1; i < slices; ++i) Crossing(clock);
+  Crossing(clock);
+  return Status::Ok();
+}
+
+Status FuseMount::Flush(sim::VirtualClock& clock) {
+  for (core::DieselClient* client : clients_) {
+    Crossing(clock);
+    client->clock().AdvanceTo(clock.now());
+    DIESEL_RETURN_IF_ERROR(client->Flush());
+    clock.AdvanceTo(client->clock().now());
+  }
+  return Status::Ok();
+}
+
+Result<std::string> FuseMount::ReadShuffleList(sim::VirtualClock& clock,
+                                               size_t group_size,
+                                               uint64_t epoch_seed) {
+  core::DieselClient* client = PickClient();
+  Crossing(clock);
+  if (client->snapshot() == nullptr)
+    return Status::FailedPrecondition(
+        "shuffle list needs a loaded metadata snapshot (DL_load_meta)");
+  const core::MetadataSnapshot& snap = *client->snapshot();
+  Rng rng(epoch_seed);
+  shuffle::ShufflePlan plan =
+      shuffle::ChunkWiseShuffle(snap, {.group_size = group_size}, rng);
+  std::string out;
+  out.reserve(plan.file_order.size() * 48);
+  for (uint32_t idx : plan.file_order) {
+    out += snap.files()[idx].full_name;
+    out += '\n';
+  }
+  // List generation is client-local CPU work plus streaming it back through
+  // the FUSE pipe in kFuseMaxRead slices.
+  clock.Advance(sim::kSnapshotLookupCost * plan.file_order.size() / 4);
+  uint64_t slices = (out.size() + sim::kFuseMaxRead - 1) / sim::kFuseMaxRead;
+  for (uint64_t i = 1; i < slices; ++i) Crossing(clock);
+  return out;
+}
+
+Result<std::vector<core::DirEntry>> FuseMount::ReadDir(
+    sim::VirtualClock& clock, const std::string& path) {
+  core::DieselClient* client = PickClient();
+  Crossing(clock);
+  client->clock().AdvanceTo(clock.now());
+  Result<std::vector<core::DirEntry>> entries = client->List(path);
+  clock.AdvanceTo(client->clock().now());
+  return entries;
+}
+
+Result<PosixStat> FuseMount::Stat(sim::VirtualClock& clock,
+                                  const std::string& path, bool need_size) {
+  (void)need_size;  // snapshot lookups return size at no extra cost
+  core::DieselClient* client = PickClient();
+  Crossing(clock);
+  client->clock().AdvanceTo(clock.now());
+  Result<core::FileMeta> meta = client->Stat(path);
+  clock.AdvanceTo(client->clock().now());
+  if (meta.ok()) return PosixStat{meta.value().length, false};
+  // Not a file: maybe a directory known to the snapshot.
+  if (meta.status().IsNotFound() && client->snapshot() != nullptr &&
+      client->snapshot()->HasDir(path)) {
+    return PosixStat{0, true};
+  }
+  return meta.status();
+}
+
+}  // namespace diesel::fusefs

@@ -1,0 +1,83 @@
+#include "fusefs/localfs.h"
+
+#include "sim/calibration.h"
+
+namespace diesel::fusefs {
+namespace {
+
+std::string ParentOf(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string NameOf(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+XfsFs::XfsFs() : device_(sim::XfsSpec()) {}
+
+void XfsFs::AddFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = size;
+  std::string child = NameOf(path);
+  for (std::string dir = ParentOf(path);; dir = ParentOf(dir)) {
+    bool inserted = dirs_[dir].insert(child).second;
+    dir_names_.insert(dir);
+    if (!inserted || dir == "/") break;
+    child = NameOf(dir);
+  }
+}
+
+Result<std::vector<core::DirEntry>> XfsFs::ReadDir(sim::VirtualClock& clock,
+                                                   const std::string& path) {
+  std::vector<core::DirEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = dirs_.find(path);
+    if (it == dirs_.end()) {
+      if (path != "/") return Status::NotFound("no such dir: " + path);
+    } else {
+      out.reserve(it->second.size());
+      for (const std::string& name : it->second) {
+        std::string full = (path == "/" ? "" : path) + "/" + name;
+        out.push_back({name, files_.count(full) == 0});
+      }
+    }
+  }
+  // getdents64 batches entries; charge one op per page of ~256 entries.
+  size_t pages = out.size() / 256 + 1;
+  Nanos t = clock.now();
+  for (size_t i = 0; i < pages; ++i) t = device_.Serve(t, 4096);
+  clock.AdvanceTo(t);
+  return out;
+}
+
+Result<PosixStat> XfsFs::Stat(sim::VirtualClock& clock, const std::string& path,
+                              bool need_size) {
+  (void)need_size;  // local inodes carry size; no extra cost
+  PosixStat st;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(path);
+    if (it != files_.end()) {
+      st.size = it->second;
+    } else if (dir_names_.count(path) > 0 || path == "/") {
+      st.is_dir = true;
+    } else {
+      return Status::NotFound("no such path: " + path);
+    }
+  }
+  clock.AdvanceTo(device_.Serve(clock.now(), 256));
+  return st;
+}
+
+size_t XfsFs::NumFiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+}  // namespace diesel::fusefs

@@ -1,0 +1,39 @@
+// XfsFs: local high-performance filesystem baseline for the Fig. 10c
+// namespace walk (the paper runs XFS on one NVMe SSD). An in-memory
+// directory tree whose operations are charged to a single XFS-class device —
+// kernel-native, so no FUSE crossings and no network.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "fusefs/posix_like.h"
+#include "sim/device.h"
+
+namespace diesel::fusefs {
+
+class XfsFs : public PosixLike {
+ public:
+  XfsFs();
+
+  /// Register a file (metadata only; the walk never reads contents).
+  void AddFile(const std::string& path, uint64_t size);
+
+  Result<std::vector<core::DirEntry>> ReadDir(sim::VirtualClock& clock,
+                                              const std::string& path) override;
+  Result<PosixStat> Stat(sim::VirtualClock& clock, const std::string& path,
+                         bool need_size) override;
+
+  size_t NumFiles() const;
+
+ private:
+  sim::Device device_;
+  mutable std::mutex mutex_;
+  std::map<std::string, uint64_t> files_;                // path -> size
+  std::map<std::string, std::set<std::string>> dirs_;    // dir -> children
+  std::set<std::string> dir_names_;
+};
+
+}  // namespace diesel::fusefs

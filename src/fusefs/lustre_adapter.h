@@ -1,0 +1,49 @@
+// Adapts the simulated Lustre client to the PosixLike walker interface
+// (Fig. 10c baseline).
+#pragma once
+
+#include "fusefs/posix_like.h"
+#include "lustre/lustre.h"
+
+namespace diesel::fusefs {
+
+class LustreAdapter : public PosixLike {
+ public:
+  LustreAdapter(lustre::LustreFs& fs, sim::NodeId client)
+      : fs_(fs), client_(client) {}
+
+  Result<std::vector<core::DirEntry>> ReadDir(
+      sim::VirtualClock& clock, const std::string& path) override {
+    DIESEL_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            fs_.ReadDir(clock, client_, path));
+    std::vector<core::DirEntry> out;
+    out.reserve(names.size());
+    for (std::string& name : names) {
+      std::string full = (path == "/" ? "" : path) + "/" + name;
+      // The type bit rides in the readdir page, so resolving it charges no
+      // extra RPC (scratch clock inside IsDir).
+      out.push_back({std::move(name), IsDir(clock, full)});
+    }
+    return out;
+  }
+
+  Result<PosixStat> Stat(sim::VirtualClock& clock, const std::string& path,
+                         bool need_size) override {
+    DIESEL_ASSIGN_OR_RETURN(lustre::LustreStat st,
+                            fs_.Stat(clock, client_, path, need_size));
+    return PosixStat{st.size, st.is_dir};
+  }
+
+ private:
+  bool IsDir(sim::VirtualClock& clock, const std::string& full) {
+    // Type bit rides in the readdir page — no extra RPC is charged.
+    sim::VirtualClock scratch(clock.now());
+    Result<lustre::LustreStat> st = fs_.Stat(scratch, client_, full, false);
+    return st.ok() && st.value().is_dir;
+  }
+
+  lustre::LustreFs& fs_;
+  sim::NodeId client_;
+};
+
+}  // namespace diesel::fusefs

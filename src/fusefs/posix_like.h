@@ -1,0 +1,47 @@
+// Minimal POSIX-ish interface the namespace-walk benchmarks (ls -R / ls -lR,
+// Fig. 10c) traverse. Implemented by FuseMount (DIESEL-FUSE), XfsFs (local
+// XFS baseline) and LustreAdapter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/metadata.h"  // DirEntry
+#include "sim/clock.h"
+
+namespace diesel::fusefs {
+
+struct PosixStat {
+  uint64_t size = 0;
+  bool is_dir = false;
+};
+
+class PosixLike {
+ public:
+  virtual ~PosixLike() = default;
+
+  virtual Result<std::vector<core::DirEntry>> ReadDir(
+      sim::VirtualClock& clock, const std::string& path) = 0;
+
+  /// `need_size` distinguishes `ls -R` (names only) from `ls -lR`
+  /// (name + size), which on Lustre requires extra OSS RPCs.
+  virtual Result<PosixStat> Stat(sim::VirtualClock& clock,
+                                 const std::string& path, bool need_size) = 0;
+};
+
+struct WalkStats {
+  size_t dirs_visited = 0;
+  size_t entries_listed = 0;
+  size_t stats_issued = 0;
+};
+
+/// Recursive directory walk: readdir every directory and stat every file
+/// (`ls` aliases to `ls --color=auto` on the paper's CentOS, which lstats
+/// each entry even without -l). `with_size` selects the size-accurate stat
+/// (`ls -lR`), which on Lustre adds OSS glimpse RPCs. Single-threaded like
+/// the command-line tools in §6.3.
+Result<WalkStats> LsRecursive(PosixLike& fs, sim::VirtualClock& clock,
+                              const std::string& root, bool with_size);
+
+}  // namespace diesel::fusefs

@@ -1,0 +1,34 @@
+#include <deque>
+
+#include "fusefs/posix_like.h"
+
+namespace diesel::fusefs {
+
+Result<WalkStats> LsRecursive(PosixLike& fs, sim::VirtualClock& clock,
+                              const std::string& root, bool with_size) {
+  WalkStats stats;
+  std::deque<std::string> pending{root};
+  while (!pending.empty()) {
+    std::string dir = std::move(pending.front());
+    pending.pop_front();
+    DIESEL_ASSIGN_OR_RETURN(std::vector<core::DirEntry> entries,
+                            fs.ReadDir(clock, dir));
+    ++stats.dirs_visited;
+    for (const core::DirEntry& e : entries) {
+      ++stats.entries_listed;
+      std::string full = (dir == "/" ? "" : dir) + "/" + e.name;
+      if (e.is_dir) {
+        pending.push_back(full);
+      } else {
+        // ls --color stats every entry; -l additionally needs the size.
+        DIESEL_ASSIGN_OR_RETURN(PosixStat st,
+                                fs.Stat(clock, full, with_size));
+        (void)st;
+        ++stats.stats_issued;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace diesel::fusefs

@@ -1,0 +1,202 @@
+#include "kv/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/calibration.h"
+
+namespace diesel::kv {
+namespace {
+
+// Wire framing overhead per KV op (command name, lengths).
+constexpr uint64_t kOpOverheadBytes = 16;
+
+}  // namespace
+
+KvCluster::KvCluster(net::Fabric& fabric, KvClusterOptions options)
+    : fabric_(fabric), options_(std::move(options)),
+      ring_(options_.ring_vnodes) {
+  assert(!options_.nodes.empty());
+  uint32_t id = 0;
+  for (sim::NodeId node : options_.nodes) {
+    for (uint32_t j = 0; j < options_.shards_per_node; ++j) {
+      shards_.push_back(std::make_unique<Shard>(
+          id, sim::RedisShardSpec("kv-shard" + std::to_string(id))));
+      shard_node_.push_back(node);
+      ring_.AddMember(id);
+      ++id;
+    }
+  }
+}
+
+Status KvCluster::CheckShardUp(uint32_t s) const {
+  if (!shards_.at(s)->up())
+    return Status::Unavailable("kv shard " + std::to_string(s) + " down");
+  return Status::Ok();
+}
+
+Status KvCluster::Put(sim::VirtualClock& clock, sim::NodeId client,
+                      std::string key, std::string value) {
+  uint32_t s = OwnerShard(key);
+  DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+  Shard& shard = *shards_[s];
+  uint64_t req = key.size() + value.size() + kOpOverheadBytes;
+  Status op_status;
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, shard_node_[s], req, kOpOverheadBytes,
+      [&](Nanos arrival) {
+        op_status = shard.Put(std::move(key), std::move(value));
+        return shard.service().Serve(arrival, req);
+      }));
+  return op_status;
+}
+
+Result<std::string> KvCluster::Get(sim::VirtualClock& clock, sim::NodeId client,
+                                   const std::string& key) {
+  uint32_t s = OwnerShard(key);
+  DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+  Shard& shard = *shards_[s];
+  Result<std::string> result = Status::Internal("unset");
+  uint64_t req = key.size() + kOpOverheadBytes;
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, shard_node_[s], req, /*resp guess=*/256,
+      [&](Nanos arrival) {
+        result = shard.Get(key);
+        uint64_t resp = result.ok() ? result.value().size() : 0;
+        return shard.service().Serve(arrival, req + resp);
+      }));
+  return result;
+}
+
+Status KvCluster::Delete(sim::VirtualClock& clock, sim::NodeId client,
+                         const std::string& key) {
+  uint32_t s = OwnerShard(key);
+  DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+  Shard& shard = *shards_[s];
+  Status op_status;
+  uint64_t req = key.size() + kOpOverheadBytes;
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, shard_node_[s], req, kOpOverheadBytes,
+      [&](Nanos arrival) {
+        op_status = shard.Delete(key);
+        return shard.service().Serve(arrival, req);
+      }));
+  return op_status;
+}
+
+Status KvCluster::BatchPut(
+    sim::VirtualClock& clock, sim::NodeId client,
+    std::vector<std::pair<std::string, std::string>> entries) {
+  // Group per owning shard, one pipelined RPC per shard.
+  std::vector<std::vector<std::pair<std::string, std::string>>> per_shard(
+      shards_.size());
+  for (auto& [k, v] : entries) {
+    per_shard[OwnerShard(k)].emplace_back(std::move(k), std::move(v));
+  }
+  for (uint32_t s = 0; s < per_shard.size(); ++s) {
+    auto& batch = per_shard[s];
+    if (batch.empty()) continue;
+    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+    Shard& shard = *shards_[s];
+    uint64_t req = 0;
+    for (const auto& [k, v] : batch) {
+      req += k.size() + v.size() + kOpOverheadBytes;
+    }
+    Status op_status;
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, shard_node_[s], req, kOpOverheadBytes,
+        [&](Nanos arrival) {
+          // Pipelined batch: the shard pays its per-command latency once and
+          // a marginal per-entry cost for the rest (Redis pipelining).
+          for (auto& [k, v] : batch) {
+            Status st = shard.Put(std::move(k), std::move(v));
+            if (!st.ok()) op_status = st;
+          }
+          return shard.service().Serve(
+              arrival, req, sim::kKvBatchEntryCost * (batch.size() - 1));
+        }));
+    if (!op_status.ok()) return op_status;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::optional<std::string>>> KvCluster::MGet(
+    sim::VirtualClock& clock, sim::NodeId client,
+    const std::vector<std::string>& keys) {
+  std::vector<std::optional<std::string>> out(keys.size());
+  // Group request indices per owning shard.
+  std::vector<std::vector<size_t>> per_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    per_shard[OwnerShard(keys[i])].push_back(i);
+  }
+  for (uint32_t s = 0; s < per_shard.size(); ++s) {
+    const auto& indices = per_shard[s];
+    if (indices.empty()) continue;
+    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+    Shard& shard = *shards_[s];
+    uint64_t req = kOpOverheadBytes;
+    for (size_t i : indices) req += keys[i].size();
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, shard_node_[s], req, kOpOverheadBytes,
+        [&](Nanos arrival) {
+          uint64_t resp = 0;
+          for (size_t i : indices) {
+            Result<std::string> v = shard.Get(keys[i]);
+            if (v.ok()) {
+              resp += v.value().size();
+              out[i] = std::move(v).value();
+            }
+          }
+          return shard.service().Serve(
+              arrival, req + resp,
+              sim::kKvBatchEntryCost * (indices.size() - 1));
+        }));
+  }
+  return out;
+}
+
+Result<std::vector<ScanEntry>> KvCluster::PScan(sim::VirtualClock& clock,
+                                                sim::NodeId client,
+                                                const std::string& prefix,
+                                                size_t limit) {
+  std::vector<ScanEntry> merged;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+    Shard& shard = *shards_[s];
+    Result<std::vector<ScanEntry>> part = Status::Internal("unset");
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, shard_node_[s], prefix.size() + kOpOverheadBytes,
+        /*resp guess=*/1024,
+        [&](Nanos arrival) {
+          part = shard.Scan(prefix, limit);
+          uint64_t resp = 0;
+          if (part.ok()) {
+            for (const auto& e : part.value())
+              resp += e.key.size() + e.value.size();
+          }
+          return shard.service().Serve(arrival, resp + kOpOverheadBytes);
+        }));
+    DIESEL_RETURN_IF_ERROR(part.status());
+    auto& items = part.value();
+    merged.insert(merged.end(), std::make_move_iterator(items.begin()),
+                  std::make_move_iterator(items.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ScanEntry& a, const ScanEntry& b) { return a.key < b.key; });
+  if (limit != 0 && merged.size() > limit) merged.resize(limit);
+  return merged;
+}
+
+void KvCluster::FailShardsOnNode(sim::NodeId node) {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shard_node_[s] == node) shards_[s]->Fail();
+  }
+}
+
+size_t KvCluster::TotalKeys() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->NumKeys();
+  return n;
+}
+
+}  // namespace diesel::kv

@@ -1,0 +1,40 @@
+#include "kv/shard.h"
+
+namespace diesel::kv {
+
+Status Shard::Put(std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!up_) return Status::Unavailable("shard down");
+  data_[std::move(key)] = std::move(value);
+  return Status::Ok();
+}
+
+Result<std::string> Shard::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!up_) return Status::Unavailable("shard down");
+  auto it = data_.find(key);
+  if (it == data_.end()) return Status::NotFound("key: " + key);
+  return it->second;
+}
+
+Status Shard::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!up_) return Status::Unavailable("shard down");
+  return data_.erase(key) > 0 ? Status::Ok()
+                              : Status::NotFound("key: " + key);
+}
+
+Result<std::vector<ScanEntry>> Shard::Scan(const std::string& prefix,
+                                           size_t limit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!up_) return Status::Unavailable("shard down");
+  std::vector<ScanEntry> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back({it->first, it->second});
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+}  // namespace diesel::kv

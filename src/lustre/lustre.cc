@@ -1,0 +1,206 @@
+#include "lustre/lustre.h"
+
+#include <cassert>
+
+#include "sim/calibration.h"
+
+namespace diesel::lustre {
+namespace {
+
+constexpr uint64_t kMetaRpcBytes = 192;  // intent + layout + lock payloads
+
+}  // namespace
+
+LustreFs::LustreFs(net::Fabric& fabric, LustreOptions options)
+    : fabric_(fabric), options_(options),
+      mds_(sim::LustreMdsSpec()), oss_(sim::LustreOssSpec()) {}
+
+std::string LustreFs::ParentOf(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string LustreFs::NameOf(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+void LustreFs::AddDirsLocked(const std::string& path) {
+  std::string parent = ParentOf(path);
+  std::string child = NameOf(path);
+  for (;;) {
+    bool inserted = dirs_[parent].insert(child).second;
+    if (!inserted || parent == "/") break;
+    child = NameOf(parent);
+    parent = ParentOf(parent);
+  }
+}
+
+Status LustreFs::Create(sim::VirtualClock& clock, sim::NodeId client,
+                        const std::string& path, BytesView content) {
+  // MDS transaction (create + layout) then OSS object write.
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.mds_node, kMetaRpcBytes, kMetaRpcBytes,
+      [&](Nanos arrival) {
+        return mds_.Serve(arrival, 0, sim::kLustreCreateCost);
+      }));
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.oss_node, content.size() + kMetaRpcBytes,
+      kMetaRpcBytes, [&](Nanos arrival) {
+        return oss_.Serve(arrival, content.size(), sim::kLustreOssWriteExtra);
+      }));
+  std::lock_guard<std::mutex> lock(mutex_);
+  FileEntry& e = files_[path];
+  e.size = content.size();
+  e.mtime = clock.now();
+  e.content = Bytes(content.begin(), content.end());
+  AddDirsLocked(path);
+  return Status::Ok();
+}
+
+Status LustreFs::CreateSized(sim::VirtualClock& clock, sim::NodeId client,
+                             const std::string& path, uint64_t size) {
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.mds_node, kMetaRpcBytes, kMetaRpcBytes,
+      [&](Nanos arrival) {
+        return mds_.Serve(arrival, 0, sim::kLustreCreateCost);
+      }));
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.oss_node, size + kMetaRpcBytes, kMetaRpcBytes,
+      [&](Nanos arrival) {
+        return oss_.Serve(arrival, size, sim::kLustreOssWriteExtra);
+      }));
+  std::lock_guard<std::mutex> lock(mutex_);
+  FileEntry& e = files_[path];
+  e.size = size;
+  e.mtime = clock.now();
+  e.content.reset();
+  AddDirsLocked(path);
+  return Status::Ok();
+}
+
+Result<Bytes> LustreFs::Read(sim::VirtualClock& clock, sim::NodeId client,
+                             const std::string& path) {
+  uint64_t size = 0;
+  std::optional<Bytes> content;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    size = it->second.size;
+    content = it->second.content;  // copy under lock; files are immutable
+  }
+  // open(2): MDS intent lock + layout, plus client-side lock setup.
+  clock.Advance(sim::kLustreClientOpenCost);
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.mds_node, kMetaRpcBytes, kMetaRpcBytes,
+      [&](Nanos arrival) { return mds_.Serve(arrival, 0); }));
+  // Data path: OSS read of the full file.
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.oss_node, kMetaRpcBytes, size + kMetaRpcBytes,
+      [&](Nanos arrival) { return oss_.Serve(arrival, size); }));
+  if (content) return std::move(*content);
+  return Bytes(size, 0);  // sized-only file: zero content, full-cost timing
+}
+
+Result<LustreStat> LustreFs::Stat(sim::VirtualClock& clock, sim::NodeId client,
+                                  const std::string& path, bool need_size) {
+  LustreStat st;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(path);
+    if (it != files_.end()) {
+      st.size = it->second.size;
+      st.mtime = it->second.mtime;
+      found = true;
+    } else if (dirs_.count(path) > 0 || path == "/") {
+      st.is_dir = true;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no such path: " + path);
+  if (!need_size || st.is_dir) {
+    // Statahead: during scans, attributes arrive prefetched in batches; one
+    // full MDS round trip amortizes over kLustreStataheadBatch local stats.
+    uint32_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seq = statahead_seq_++;
+    }
+    if (seq % sim::kLustreStataheadBatch != 0) {
+      clock.Advance(sim::kLustreStataheadCost);
+      return st;
+    }
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, options_.mds_node, kMetaRpcBytes, kMetaRpcBytes,
+        [&](Nanos arrival) { return mds_.Serve(arrival, 0); }));
+    return st;
+  }
+  // Size-accurate stat: attributes live on the MDS but the size lives on the
+  // OSS objects, so extra glimpse RPCs are paid (the ls -lR pathology) and
+  // statahead cannot help.
+  DIESEL_RETURN_IF_ERROR(fabric_.Call(
+      clock, client, options_.mds_node, kMetaRpcBytes, kMetaRpcBytes,
+      [&](Nanos arrival) {
+        return mds_.Serve(arrival, 0, sim::kLustreOssStatExtra);
+      }));
+  return st;
+}
+
+Result<std::vector<std::string>> LustreFs::ReadDir(sim::VirtualClock& clock,
+                                                   sim::NodeId client,
+                                                   const std::string& path) {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = dirs_.find(path);
+    if (it == dirs_.end()) {
+      if (path != "/") return Status::NotFound("no such dir: " + path);
+    } else {
+      names.assign(it->second.begin(), it->second.end());
+    }
+  }
+  // readdir pages through the MDS; one RPC per page of entries.
+  constexpr size_t kEntriesPerPage = 1024;
+  size_t pages = names.size() / kEntriesPerPage + 1;
+  uint64_t resp_bytes = 0;
+  for (const auto& n : names) resp_bytes += n.size() + 32;
+  for (size_t p = 0; p < pages; ++p) {
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, options_.mds_node, kMetaRpcBytes,
+        resp_bytes / pages + kMetaRpcBytes, [&](Nanos arrival) {
+          return mds_.Serve(arrival, resp_bytes / pages);
+        }));
+  }
+  return names;
+}
+
+Status LustreFs::Unlink(sim::VirtualClock& clock, sim::NodeId client,
+                        const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    files_.erase(it);
+    auto dit = dirs_.find(ParentOf(path));
+    if (dit != dirs_.end()) dit->second.erase(NameOf(path));
+  }
+  return fabric_.Call(clock, client, options_.mds_node, kMetaRpcBytes,
+                      kMetaRpcBytes, [&](Nanos arrival) {
+                        return mds_.Serve(arrival, 0, sim::kLustreCreateCost);
+                      });
+}
+
+bool LustreFs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+size_t LustreFs::NumFiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+}  // namespace diesel::lustre

@@ -1,0 +1,98 @@
+// Simulated Lustre baseline (shared POSIX distributed filesystem, §2.2).
+//
+// Models the cost structure the paper measures against, not Lustre's
+// internals: a central MDS whose service capacity caps metadata ops
+// (~68k QPS, Fig. 10b text), OSS data servers with a random-small-read
+// penalty, per-open client lock/layout overhead, and the size-on-OSS stat
+// pathology (`ls -lR` needs extra OSS RPCs per file, Fig. 10c).
+//
+// File payloads are optional: CreateSized() registers metadata only and
+// reads return zero bytes of content but charge full time — benchmarks use
+// it so hundreds of thousands of synthetic files need no backing memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/fabric.h"
+#include "sim/clock.h"
+#include "sim/device.h"
+
+namespace diesel::lustre {
+
+struct LustreStat {
+  uint64_t size = 0;
+  Nanos mtime = 0;
+  bool is_dir = false;
+};
+
+struct LustreOptions {
+  sim::NodeId mds_node = 0;
+  sim::NodeId oss_node = 0;
+};
+
+class LustreFs {
+ public:
+  LustreFs(net::Fabric& fabric, LustreOptions options);
+
+  /// Create a file with real content.
+  Status Create(sim::VirtualClock& clock, sim::NodeId client,
+                const std::string& path, BytesView content);
+
+  /// Create metadata-only (content reads back as zeros of `size` bytes).
+  Status CreateSized(sim::VirtualClock& clock, sim::NodeId client,
+                     const std::string& path, uint64_t size);
+
+  /// Full-file read (open + data transfer + close).
+  Result<Bytes> Read(sim::VirtualClock& clock, sim::NodeId client,
+                     const std::string& path);
+
+  /// stat(2). `need_size` adds the MDS->OSS glimpse RPCs (ls -lR cost).
+  Result<LustreStat> Stat(sim::VirtualClock& clock, sim::NodeId client,
+                          const std::string& path, bool need_size);
+
+  /// readdir(3): child names (files and directories) of `path`.
+  Result<std::vector<std::string>> ReadDir(sim::VirtualClock& clock,
+                                           sim::NodeId client,
+                                           const std::string& path);
+
+  Status Unlink(sim::VirtualClock& clock, sim::NodeId client,
+                const std::string& path);
+
+  bool Exists(const std::string& path) const;
+  size_t NumFiles() const;
+
+  sim::Device& mds() { return mds_; }
+  sim::Device& oss() { return oss_; }
+
+ private:
+  struct FileEntry {
+    uint64_t size = 0;
+    Nanos mtime = 0;
+    std::optional<Bytes> content;  // nullopt => sized-only
+  };
+
+  static std::string ParentOf(const std::string& path);
+  static std::string NameOf(const std::string& path);
+  /// Register all ancestor directories of `path`.
+  void AddDirsLocked(const std::string& path);
+
+  net::Fabric& fabric_;
+  LustreOptions options_;
+  sim::Device mds_;
+  sim::Device oss_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FileEntry> files_;
+  std::map<std::string, std::set<std::string>> dirs_;  // dir -> child names
+  uint32_t statahead_seq_ = 0;  // batches size-less stats (statahead model)
+};
+
+}  // namespace diesel::lustre

@@ -1,0 +1,96 @@
+#include "net/fabric.h"
+
+namespace diesel::net {
+
+bool ConnectionTable::Connect(EndpointId a, EndpointId b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.insert(Canonical(a, b)).second;
+}
+
+bool ConnectionTable::Disconnect(EndpointId a, EndpointId b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.erase(Canonical(a, b)) > 0;
+}
+
+bool ConnectionTable::Connected(EndpointId a, EndpointId b) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.count(Canonical(a, b)) > 0;
+}
+
+size_t ConnectionTable::TotalConnections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.size();
+}
+
+size_t ConnectionTable::ConnectionsOf(EndpointId e) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [a, b] : connections_) {
+    if (a == e || b == e) ++n;
+  }
+  return n;
+}
+
+void ConnectionTable::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.clear();
+}
+
+Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+                    uint64_t req_bytes, uint64_t resp_bytes,
+                    const std::function<Nanos(Nanos)>& handler) {
+  if (!cluster_.node(src).up())
+    return Status::Unavailable("source node down: " + cluster_.node(src).name());
+  if (!cluster_.node(dst).up())
+    return Status::Unavailable("target node down: " + cluster_.node(dst).name());
+
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+
+  if (src == dst) {
+    // Loopback: no NIC traversal, just serialization overhead + handler.
+    Nanos arrival = clock.now() + sim::kRpcCpuOverhead;
+    Nanos done = handler(arrival);
+    clock.AdvanceTo(done + sim::kRpcCpuOverhead);
+    return Status::Ok();
+  }
+
+  sim::SimNode& s = cluster_.node(src);
+  sim::SimNode& d = cluster_.node(dst);
+
+  Nanos t = s.nic().Serve(clock.now(), req_bytes, sim::kRpcCpuOverhead);
+  t += wire_latency_;
+  t = d.nic().Serve(t, req_bytes, sim::kRpcCpuOverhead);
+  Nanos done = handler(t);
+  t = d.nic().Serve(done, resp_bytes, sim::kRpcCpuOverhead);
+  t += wire_latency_;
+  t = s.nic().Serve(t, resp_bytes, sim::kRpcCpuOverhead);
+  clock.AdvanceTo(t);
+  return Status::Ok();
+}
+
+Status Fabric::Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+                    uint64_t bytes, const std::function<void(Nanos)>& deliver) {
+  if (!cluster_.node(src).up())
+    return Status::Unavailable("source node down");
+  if (!cluster_.node(dst).up())
+    return Status::Unavailable("target node down");
+
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+
+  if (src == dst) {
+    deliver(clock.now() + sim::kRpcCpuOverhead);
+    clock.Advance(sim::kRpcCpuOverhead);
+    return Status::Ok();
+  }
+
+  sim::SimNode& s = cluster_.node(src);
+  sim::SimNode& d = cluster_.node(dst);
+  Nanos t = s.nic().Serve(clock.now(), bytes, sim::kRpcCpuOverhead);
+  clock.AdvanceTo(t);  // sender is free once bytes are on the wire
+  t += wire_latency_;
+  t = d.nic().Serve(t, bytes, sim::kRpcCpuOverhead);
+  deliver(t);
+  return Status::Ok();
+}
+
+}  // namespace diesel::net

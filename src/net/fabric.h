@@ -1,0 +1,88 @@
+// RPC fabric over the simulated network.
+//
+// Models one request/response exchange as: sender NIC (request bytes) ->
+// wire latency -> receiver NIC -> per-RPC CPU overhead -> user handler ->
+// receiver NIC (response bytes) -> wire -> sender NIC. Same-node calls pay
+// only a loopback cost. This stands in for the Apache Thrift layer the
+// paper uses between clients, peers and servers.
+//
+// Connection accounting: endpoints explicitly open connections; the table
+// exposes counts so tests can assert the task-grained cache's p x (n-1)
+// topology versus the full-mesh n x (n-1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/calibration.h"
+#include "sim/clock.h"
+#include "sim/node.h"
+
+namespace diesel::net {
+
+/// Globally unique endpoint identity: (node, local index).
+struct EndpointId {
+  sim::NodeId node = sim::kInvalidNode;
+  uint32_t index = 0;
+
+  friend auto operator<=>(const EndpointId&, const EndpointId&) = default;
+};
+
+/// Tracks open point-to-point connections (unordered pairs of endpoints).
+class ConnectionTable {
+ public:
+  /// Open (idempotent). Returns true if newly opened.
+  bool Connect(EndpointId a, EndpointId b);
+  bool Disconnect(EndpointId a, EndpointId b);
+  bool Connected(EndpointId a, EndpointId b) const;
+  size_t TotalConnections() const;
+  /// Connections with `e` as either side.
+  size_t ConnectionsOf(EndpointId e) const;
+  void Clear();
+
+ private:
+  using Pair = std::pair<EndpointId, EndpointId>;
+  static Pair Canonical(EndpointId a, EndpointId b) {
+    return a < b ? Pair{a, b} : Pair{b, a};
+  }
+
+  mutable std::mutex mutex_;
+  std::set<Pair> connections_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Cluster& cluster, Nanos wire_latency = sim::kWireLatency)
+      : cluster_(cluster), wire_latency_(wire_latency) {}
+
+  sim::Cluster& cluster() { return cluster_; }
+  ConnectionTable& connections() { return connections_; }
+
+  /// One RPC round trip. `handler(arrival) -> Nanos` runs the server-side
+  /// work and returns its completion time (it may charge further devices).
+  /// Fails Unavailable if either node is down. Advances `clock` to the time
+  /// the response has fully arrived back at the caller.
+  Status Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+              uint64_t req_bytes, uint64_t resp_bytes,
+              const std::function<Nanos(Nanos)>& handler);
+
+  /// Fire-and-forget one-way message (used for background cache pushes).
+  Status Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+              uint64_t bytes, const std::function<void(Nanos)>& deliver);
+
+  uint64_t rpcs_issued() const { return rpcs_.load(std::memory_order_relaxed); }
+
+ private:
+  sim::Cluster& cluster_;
+  Nanos wire_latency_;
+  ConnectionTable connections_;
+  std::atomic<uint64_t> rpcs_{0};
+};
+
+}  // namespace diesel::net

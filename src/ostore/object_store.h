@@ -1,0 +1,53 @@
+// Object-store abstraction for chunk blobs (stands in for Ceph/Lustre-backed
+// object storage, Fig. 2).
+//
+// DIESEL stores data chunks as immutable blobs keyed by their encoded chunk
+// ID; listing returns keys in lexicographic order, which — with the
+// order-preserving chunk-ID encoding — is write order, the property the
+// metadata recovery scan depends on (§4.1.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sim/clock.h"
+#include "sim/node.h"
+
+namespace diesel::ostore {
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Store a blob (overwrites).
+  virtual Status Put(sim::VirtualClock& clock, sim::NodeId client,
+                     const std::string& key, BytesView data) = 0;
+
+  /// Fetch a whole blob.
+  virtual Result<Bytes> Get(sim::VirtualClock& clock, sim::NodeId client,
+                            const std::string& key) = 0;
+
+  /// Fetch `len` bytes starting at `offset`. OutOfRange if past the end.
+  virtual Result<Bytes> GetRange(sim::VirtualClock& clock, sim::NodeId client,
+                                 const std::string& key, uint64_t offset,
+                                 uint64_t len) = 0;
+
+  virtual Status Delete(sim::VirtualClock& clock, sim::NodeId client,
+                        const std::string& key) = 0;
+
+  /// Keys with the given prefix, lexicographically sorted.
+  virtual Result<std::vector<std::string>> List(sim::VirtualClock& clock,
+                                                sim::NodeId client,
+                                                const std::string& prefix) = 0;
+
+  virtual Result<uint64_t> Size(sim::VirtualClock& clock, sim::NodeId client,
+                                const std::string& key) = 0;
+
+  virtual bool Contains(const std::string& key) const = 0;
+  virtual size_t NumObjects() const = 0;
+  virtual uint64_t TotalBytes() const = 0;
+};
+
+}  // namespace diesel::ostore

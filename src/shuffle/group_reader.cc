@@ -1,0 +1,116 @@
+#include "shuffle/group_reader.h"
+
+#include <algorithm>
+
+namespace diesel::shuffle {
+
+GroupWindowReader::GroupWindowReader(core::DieselServer& server,
+                                     const core::MetadataSnapshot& snapshot,
+                                     sim::NodeId node, size_t fetch_streams)
+    : server_(server), snapshot_(snapshot), node_(node),
+      fetch_streams_(std::max<size_t>(1, fetch_streams)) {}
+
+void GroupWindowReader::StartEpoch(ShufflePlan plan) {
+  plan_ = std::move(plan);
+  pos_ = 0;
+  current_group_ = static_cast<size_t>(-1);
+  prefetched_.clear();
+  prefetch_group_ = static_cast<size_t>(-1);
+  prefetch_done_ = 0;
+  FreeWindow();
+}
+
+void GroupWindowReader::FreeWindow() {
+  window_.clear();
+  window_bytes_ = 0;
+}
+
+Result<Nanos> GroupWindowReader::FetchGroup(Nanos start, size_t group,
+                                            Window& out) {
+  // `fetch_streams_` concurrent chunk fetches; done when the slowest ends.
+  std::vector<sim::VirtualClock> streams(fetch_streams_,
+                                         sim::VirtualClock(start));
+  for (uint32_t ci : plan_.group_chunks.at(group)) {
+    size_t s = 0;
+    for (size_t k = 1; k < streams.size(); ++k) {
+      if (streams[k].now() < streams[s].now()) s = k;
+    }
+    const core::ChunkId& id = snapshot_.chunks().at(ci);
+    DIESEL_ASSIGN_OR_RETURN(
+        Bytes blob,
+        server_.ReadChunk(streams[s], node_, snapshot_.dataset(), id));
+    DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
+    stats_.chunk_bytes_fetched += blob.size();
+    ++stats_.chunk_fetches;
+    out.emplace(ci, WindowChunk{std::move(blob), view.header_len()});
+  }
+  Nanos done = start;
+  for (const auto& s : streams) done = std::max(done, s.now());
+  return done;
+}
+
+Status GroupWindowReader::LoadGroup(sim::VirtualClock& clock, size_t group) {
+  FreeWindow();
+  if (prefetch_next_ && group == prefetch_group_) {
+    // The background fetch started when the previous group was entered;
+    // entering this group only waits for its completion.
+    window_ = std::move(prefetched_);
+    prefetched_.clear();
+    prefetch_group_ = static_cast<size_t>(-1);
+    clock.AdvanceTo(prefetch_done_);
+  } else {
+    DIESEL_ASSIGN_OR_RETURN(Nanos done, FetchGroup(clock.now(), group,
+                                                   window_));
+    clock.AdvanceTo(done);
+  }
+  window_bytes_ = 0;
+  for (const auto& [ci, wc] : window_) window_bytes_ += wc.blob.size();
+
+  // Kick off the next group's background fetch.
+  if (prefetch_next_ && group + 1 < plan_.num_groups()) {
+    prefetched_.clear();
+    DIESEL_ASSIGN_OR_RETURN(prefetch_done_,
+                            FetchGroup(clock.now(), group + 1, prefetched_));
+    prefetch_group_ = group + 1;
+    uint64_t prefetched_bytes = 0;
+    for (const auto& [ci, wc] : prefetched_) {
+      prefetched_bytes += wc.blob.size();
+    }
+    stats_.peak_window_bytes = std::max(
+        stats_.peak_window_bytes, window_bytes_ + prefetched_bytes);
+  }
+  stats_.peak_window_bytes = std::max(stats_.peak_window_bytes, window_bytes_);
+  ++stats_.groups_entered;
+  current_group_ = group;
+  return Status::Ok();
+}
+
+Result<uint32_t> GroupWindowReader::PeekIndex() const {
+  if (Done()) return Status::OutOfRange("epoch exhausted");
+  return plan_.file_order[pos_];
+}
+
+Result<Bytes> GroupWindowReader::Next(sim::VirtualClock& clock) {
+  if (Done()) return Status::OutOfRange("epoch exhausted");
+  size_t group = plan_.GroupOf(pos_);
+  if (group != current_group_) {
+    DIESEL_RETURN_IF_ERROR(LoadGroup(clock, group));
+  }
+  const core::FileMeta& meta = snapshot_.files()[plan_.file_order[pos_]];
+  size_t ci = snapshot_.ChunkIndex(meta.chunk);
+  auto it = window_.find(static_cast<uint32_t>(ci));
+  if (it == window_.end())
+    return Status::Internal("file's chunk missing from group window: " +
+                            meta.full_name);
+  const WindowChunk& wc = it->second;
+  uint64_t begin = wc.header_len + meta.offset;
+  if (begin + meta.length > wc.blob.size())
+    return Status::Corruption("file range past chunk end: " + meta.full_name);
+  ++pos_;
+  ++stats_.files_read;
+  stats_.bytes_read += meta.length;
+  return Bytes(wc.blob.begin() + static_cast<ptrdiff_t>(begin),
+               wc.blob.begin() + static_cast<ptrdiff_t>(begin + meta.length));
+}
+
+}  // namespace diesel::shuffle

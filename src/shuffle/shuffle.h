@@ -1,0 +1,71 @@
+// Shuffle strategies (§4.3, Fig. 8).
+//
+// Chunk-wise shuffle generates a per-epoch random file order that converts
+// to large chunk reads:
+//   1. shuffle the dataset's chunk IDs;
+//   2. split the shuffled chunk list into groups of `group_size` chunks;
+//   3. within each group, collect the files of those chunks and shuffle them;
+//   4. concatenate the per-group file lists.
+// Reads then proceed group by group: a group's chunks are fetched as whole
+// chunks (exploiting sequential bandwidth, Table 2), files are served from
+// the in-memory group window, and the window is freed when the group ends —
+// memory footprint is ~group_size chunks instead of the whole dataset.
+//
+// The baseline `ShuffleDataset` is the conventional full-dataset file-level
+// shuffle (Fig. 1), which produces uniformly random order but chunk-random
+// I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/snapshot.h"
+
+namespace diesel::shuffle {
+
+/// Conventional shuffle-over-dataset: a uniformly random permutation of all
+/// file indices (into snapshot.files()).
+std::vector<uint32_t> ShuffleDataset(const core::MetadataSnapshot& snapshot,
+                                     Rng& rng);
+
+struct ChunkShuffleOptions {
+  /// Chunks per group (paper: 100/500 for ImageNet-1K, 15/30 for CIFAR-10).
+  size_t group_size = 100;
+};
+
+/// A generated epoch plan: the file order plus the group structure needed to
+/// prefetch chunk windows.
+struct ShufflePlan {
+  /// File indices into snapshot.files(), concatenated across groups.
+  std::vector<uint32_t> file_order;
+  /// group g spans file_order[group_begin[g] .. group_begin[g+1]);
+  /// group_begin.back() == file_order.size().
+  std::vector<size_t> group_begin;
+  /// Chunk indices (into snapshot.chunks()) belonging to each group.
+  std::vector<std::vector<uint32_t>> group_chunks;
+
+  size_t num_groups() const {
+    return group_begin.empty() ? 0 : group_begin.size() - 1;
+  }
+  /// Group containing position `pos` of file_order.
+  size_t GroupOf(size_t pos) const;
+};
+
+/// Generate one epoch's chunk-wise shuffle plan.
+ShufflePlan ChunkWiseShuffle(const core::MetadataSnapshot& snapshot,
+                             const ChunkShuffleOptions& options, Rng& rng);
+
+/// Restrict a plan to the groups assigned to worker `part` of `num_parts`
+/// (round-robin by group), for multi-node training where each node reads a
+/// disjoint portion of the epoch.
+ShufflePlan PartitionPlan(const ShufflePlan& plan, size_t part,
+                          size_t num_parts);
+
+/// Statistical distance diagnostics used by tests: fraction of adjacent
+/// file pairs in the order that share a chunk (high for chunk-wise within a
+/// group vs ~0 for dataset shuffle across a big dataset).
+double AdjacentSameChunkFraction(const core::MetadataSnapshot& snapshot,
+                                 const std::vector<uint32_t>& order);
+
+}  // namespace diesel::shuffle

@@ -1,0 +1,37 @@
+// Virtual time.
+//
+// Every logical worker (a simulated client thread, server executor, I/O
+// worker) owns a VirtualClock measured in nanoseconds. Devices advance a
+// worker's clock when the worker uses them; workers never advance each
+// other's clocks directly. Wall-clock time never enters the simulation, so
+// every experiment is deterministic and independent of host load.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.h"
+
+namespace diesel::sim {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(Nanos start) : now_(start) {}
+
+  Nanos now() const { return now_; }
+
+  /// Jump forward to `t` (no-op if `t` is in the past: a device that was
+  /// free earlier than the worker arrived completes at the worker's now).
+  void AdvanceTo(Nanos t) { now_ = std::max(now_, t); }
+
+  /// Spend `d` of local compute/think time.
+  void Advance(Nanos d) { now_ += d; }
+
+  void Reset(Nanos t = 0) { now_ = t; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+}  // namespace diesel::sim

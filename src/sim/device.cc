@@ -1,0 +1,112 @@
+#include "sim/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace diesel::sim {
+
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {
+  assert(spec_.channels > 0);
+  channels_.resize(spec_.channels);
+}
+
+Nanos Device::ServiceTime(uint64_t bytes) const {
+  Nanos transfer = 0;
+  if (spec_.bytes_per_sec > 0.0 && bytes > 0) {
+    transfer = static_cast<Nanos>(
+        std::llround(static_cast<double>(bytes) / spec_.bytes_per_sec * 1e9));
+  }
+  return spec_.latency + transfer;
+}
+
+Nanos Device::Serve(Nanos now, uint64_t bytes) { return Serve(now, bytes, 0); }
+
+Nanos Device::Serve(Nanos now, uint64_t bytes, Nanos extra) {
+  Nanos service = ServiceTime(bytes) + extra;
+  if (service == 0) service = 1;  // occupy a measurable instant
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Requests may arrive out of virtual-time order (a driver executes one
+  // worker's whole multi-leg operation before another worker's earlier
+  // request). Channels therefore keep busy *intervals* and new work backfills
+  // the earliest idle gap at or after `now`, instead of queueing behind
+  // later-scheduled work.
+  Nanos best_start = ~Nanos{0};
+  size_t best_channel = 0;
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    Nanos start = EarliestFit(channels_[c], now, service);
+    if (start < best_start) {
+      best_start = start;
+      best_channel = c;
+    }
+  }
+  Insert(channels_[best_channel], best_start, best_start + service);
+
+  ++ops_;
+  bytes_ += bytes;
+  busy_ += service;
+  return best_start + service;
+}
+
+Nanos Device::EarliestFit(const Channel& ch, Nanos now, Nanos dur) {
+  Nanos candidate = now;
+  for (const Interval& iv : ch.busy) {  // sorted by start
+    if (iv.start >= candidate && iv.start - candidate >= dur) break;
+    candidate = std::max(candidate, iv.end);
+  }
+  return candidate;
+}
+
+void Device::Insert(Channel& ch, Nanos start, Nanos end) {
+  auto it = std::lower_bound(
+      ch.busy.begin(), ch.busy.end(), start,
+      [](const Interval& iv, Nanos s) { return iv.start < s; });
+  it = ch.busy.insert(it, {start, end});
+  // Merge with touching neighbours to keep the list short.
+  if (it != ch.busy.begin()) {
+    auto prev = it - 1;
+    if (prev->end >= it->start) {
+      prev->end = std::max(prev->end, it->end);
+      it = ch.busy.erase(it);
+      --it;
+    }
+  }
+  auto next = it + 1;
+  if (next != ch.busy.end() && it->end >= next->start) {
+    it->end = std::max(it->end, next->end);
+    ch.busy.erase(next);
+  }
+  // Bound memory: collapse the oldest gap when the list grows long. This is
+  // conservative (pretends the gap was busy) but only affects requests that
+  // arrive more than kMaxIntervals ops in the past.
+  if (ch.busy.size() > kMaxIntervals) {
+    ch.busy[1].start = ch.busy[0].start;
+    ch.busy.erase(ch.busy.begin());
+  }
+}
+
+uint64_t Device::ops_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+uint64_t Device::bytes_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+Nanos Device::busy_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_;
+}
+
+void Device::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& ch : channels_) ch.busy.clear();
+  ops_ = 0;
+  bytes_ = 0;
+  busy_ = 0;
+}
+
+}  // namespace diesel::sim

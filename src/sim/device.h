@@ -1,0 +1,84 @@
+// Queueing device model.
+//
+// A Device is a resource with `channels` parallel servers, a fixed per-op
+// latency, and a per-channel byte bandwidth. Serving a request picks the
+// earliest-free channel:
+//
+//   start = max(request_arrival, channel_free_time)
+//   end   = start + latency + bytes / bandwidth
+//
+// and the worker's virtual clock jumps to `end`. When arrival rate exceeds
+// capacity, channel free-times run ahead of arrivals and queueing delay
+// emerges — this is what produces the saturation knees in the paper's
+// scaling figures (e.g. Fig. 10a metadata QPS flattening).
+//
+// Thread-safe: Serve() is mutex-guarded; devices are shared by many logical
+// workers running on real threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace diesel::sim {
+
+struct DeviceSpec {
+  std::string name;
+  uint32_t channels = 1;
+  Nanos latency = 0;             // fixed cost per operation
+  double bytes_per_sec = 0.0;    // per-channel bandwidth; 0 = infinite
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec);
+
+  /// Service time for `bytes` excluding queueing (latency + transfer).
+  Nanos ServiceTime(uint64_t bytes) const;
+
+  /// Serve a request arriving at `now`; returns completion time.
+  Nanos Serve(Nanos now, uint64_t bytes);
+
+  /// Serve with an extra fixed cost (e.g. op-specific CPU work).
+  Nanos Serve(Nanos now, uint64_t bytes, Nanos extra);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Total operations served (monotonic; for stats/tests).
+  uint64_t ops_served() const;
+  /// Total bytes moved.
+  uint64_t bytes_served() const;
+  /// Total busy time summed over channels.
+  Nanos busy_time() const;
+
+  /// Forget all queue state (start of a new experiment repetition).
+  void Reset();
+
+ private:
+  struct Interval {
+    Nanos start;
+    Nanos end;
+  };
+  struct Channel {
+    std::vector<Interval> busy;  // sorted by start, non-overlapping
+  };
+
+  static constexpr size_t kMaxIntervals = 4096;
+
+  /// Earliest start >= now with an idle gap of length `dur` on `ch`.
+  static Nanos EarliestFit(const Channel& ch, Nanos now, Nanos dur);
+  static void Insert(Channel& ch, Nanos start, Nanos end);
+
+  DeviceSpec spec_;
+  mutable std::mutex mutex_;
+  std::vector<Channel> channels_;
+  uint64_t ops_ = 0;
+  uint64_t bytes_ = 0;
+  Nanos busy_ = 0;
+};
+
+}  // namespace diesel::sim

@@ -1,0 +1,76 @@
+// Simulated cluster nodes.
+//
+// A SimNode bundles the per-machine shared resources (NIC, memory bus) and
+// an availability flag used for failure injection. A Cluster owns a fleet of
+// nodes; node identity is a dense index so tables keyed by NodeId stay flat.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/calibration.h"
+#include "sim/device.h"
+
+namespace diesel::sim {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class SimNode {
+ public:
+  SimNode(NodeId id, std::string name)
+      : id_(id),
+        name_(std::move(name)),
+        nic_(NicSpec(name_ + "/nic")),
+        membus_(MemBusSpec(name_ + "/mem")) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  Device& nic() { return nic_; }
+  Device& membus() { return membus_; }
+
+  bool up() const { return up_.load(std::memory_order_acquire); }
+  void set_up(bool up) { up_.store(up, std::memory_order_release); }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  Device nic_;
+  Device membus_;
+  std::atomic<bool> up_{true};
+};
+
+class Cluster {
+ public:
+  /// Create `n` nodes named "<prefix>0".."<prefix>{n-1}".
+  explicit Cluster(size_t n, const std::string& prefix = "node") {
+    nodes_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<SimNode>(
+          static_cast<NodeId>(i), prefix + std::to_string(i)));
+    }
+  }
+
+  size_t size() const { return nodes_.size(); }
+  SimNode& node(NodeId id) { return *nodes_.at(id); }
+  const SimNode& node(NodeId id) const { return *nodes_.at(id); }
+
+  void FailNode(NodeId id) { node(id).set_up(false); }
+  void RecoverNode(NodeId id) { node(id).set_up(true); }
+
+  void ResetDevices() {
+    for (auto& n : nodes_) {
+      n->nic().Reset();
+      n->membus().Reset();
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+};
+
+}  // namespace diesel::sim

@@ -1,0 +1,63 @@
+#include "cache/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel::cache {
+namespace {
+
+TEST(TaskRegistryTest, RanksAssignedInOrder) {
+  TaskRegistry reg;
+  EXPECT_EQ(reg.Register({0, 0}), 0u);
+  EXPECT_EQ(reg.Register({0, 1}), 1u);
+  EXPECT_EQ(reg.Register({1, 0}), 2u);
+  EXPECT_EQ(reg.NumClients(), 3u);
+}
+
+TEST(TaskRegistryTest, SmallestRankOnNodeIsMaster) {
+  TaskRegistry reg;
+  reg.Register({0, 3});   // rank 0, node 0 -> master despite index 3
+  reg.Register({0, 0});   // rank 1
+  reg.Register({1, 5});   // rank 2, node 1 -> master
+  reg.Register({1, 1});   // rank 3
+
+  auto m0 = reg.MasterOf(0);
+  ASSERT_TRUE(m0.ok());
+  EXPECT_EQ(m0->index, 3u);
+  auto m1 = reg.MasterOf(1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->index, 5u);
+
+  EXPECT_TRUE(reg.IsMaster({0, 3}));
+  EXPECT_FALSE(reg.IsMaster({0, 0}));
+  EXPECT_TRUE(reg.IsMaster({1, 5}));
+}
+
+TEST(TaskRegistryTest, MasterOfUnknownNodeFails) {
+  TaskRegistry reg;
+  reg.Register({0, 0});
+  EXPECT_TRUE(reg.MasterOf(9).status().IsNotFound());
+}
+
+TEST(TaskRegistryTest, NodesAreDistinctInRegistrationOrder) {
+  TaskRegistry reg;
+  reg.Register({2, 0});
+  reg.Register({0, 0});
+  reg.Register({2, 1});
+  reg.Register({1, 0});
+  EXPECT_EQ(reg.Nodes(), (std::vector<sim::NodeId>{2, 0, 1}));
+}
+
+TEST(TaskRegistryTest, MastersOnePerNode) {
+  TaskRegistry reg;
+  for (uint32_t n = 0; n < 4; ++n) {
+    for (uint32_t i = 0; i < 4; ++i) reg.Register({n, i});
+  }
+  auto masters = reg.Masters();
+  EXPECT_EQ(masters.size(), 4u);
+  for (const auto& m : masters) {
+    EXPECT_EQ(m.index, 0u);  // first registrant per node
+  }
+}
+
+}  // namespace
+}  // namespace diesel::cache

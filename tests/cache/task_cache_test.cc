@@ -1,0 +1,200 @@
+#include "cache/task_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+
+namespace diesel::cache {
+namespace {
+
+class TaskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::DeploymentOptions opts;
+    opts.num_client_nodes = 4;
+    deployment_ = std::make_unique<core::Deployment>(opts);
+
+    spec_.name = "tc";
+    spec_.num_classes = 2;
+    spec_.files_per_class = 40;
+    spec_.mean_file_bytes = 2048;
+
+    auto writer = deployment_->MakeClient(0, 0, spec_.name, 16 * 1024);
+    ASSERT_TRUE(dlt::ForEachFile(spec_, [&](const dlt::GeneratedFile& f) {
+                  return writer->Put(f.path, f.content);
+                }).ok());
+    ASSERT_TRUE(writer->Flush().ok());
+
+    // 4 nodes x 4 I/O workers.
+    for (uint32_t n = 0; n < 4; ++n) {
+      for (uint32_t i = 0; i < 4; ++i) {
+        clients_.push_back(deployment_->MakeClient(n, i, spec_.name));
+        registry_.Register(clients_.back()->endpoint());
+      }
+    }
+    ASSERT_TRUE(clients_[0]->FetchSnapshot().ok());
+    snapshot_ = clients_[0]->snapshot();
+  }
+
+  TaskCache MakeCache(TaskCacheOptions opts = {}) {
+    return TaskCache(deployment_->fabric(), deployment_->server(0),
+                     *snapshot_, registry_, opts);
+  }
+
+  std::unique_ptr<core::Deployment> deployment_;
+  dlt::DatasetSpec spec_;
+  std::vector<std::unique_ptr<core::DieselClient>> clients_;
+  TaskRegistry registry_;
+  const core::MetadataSnapshot* snapshot_ = nullptr;
+};
+
+TEST_F(TaskCacheTest, ConnectionTopologyIsPTimesNMinus1) {
+  TaskCache cache = MakeCache();
+  size_t before = deployment_->fabric().connections().TotalConnections();
+  cache.EstablishConnections();
+  size_t added =
+      deployment_->fabric().connections().TotalConnections() - before;
+  // p=4 nodes, n=16 clients: p x (n-1) = 60 directed opens (paper §4.2),
+  // versus the full mesh's n x (n-1) = 240. As undirected edges the 6
+  // master<->master pairs collapse: 60 - C(4,2) = 54.
+  EXPECT_EQ(cache.connections_opened(), 4u * (16u - 1u));
+  EXPECT_EQ(added, 4u * (16u - 1u) - 6u);
+}
+
+TEST_F(TaskCacheTest, ChunkOwnersCoverAllNodes) {
+  TaskCache cache = MakeCache();
+  std::set<sim::NodeId> owners;
+  for (size_t ci = 0; ci < snapshot_->chunks().size(); ++ci) {
+    auto owner = cache.OwnerNodeOfChunk(ci);
+    ASSERT_TRUE(owner.ok());
+    owners.insert(owner.value());
+  }
+  EXPECT_EQ(owners.size(), 4u);
+}
+
+TEST_F(TaskCacheTest, PreloadPopulatesEverything) {
+  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  auto end = cache.Preload(0);
+  ASSERT_TRUE(end.ok());
+  EXPECT_GT(end.value(), 0u);
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 1.0);
+  EXPECT_EQ(cache.stats().chunk_loads, snapshot_->chunks().size());
+}
+
+TEST_F(TaskCacheTest, OnDemandLoadsLazily) {
+  TaskCache cache = MakeCache();
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 0.0);
+  sim::VirtualClock clock;
+  const core::FileMeta* meta = snapshot_->Lookup(dlt::FilePath(spec_, 0));
+  ASSERT_NE(meta, nullptr);
+  auto content = cache.GetFile(clock, clients_[0]->endpoint(), *meta);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(dlt::VerifyContent(spec_, 0, content.value()));
+  EXPECT_GT(cache.HitRatio(), 0.0);
+  EXPECT_LT(cache.HitRatio(), 1.0);
+}
+
+TEST_F(TaskCacheTest, SecondReadIsCachedAndCheaper) {
+  TaskCache cache = MakeCache();
+  const core::FileMeta* meta = snapshot_->Lookup(dlt::FilePath(spec_, 3));
+  ASSERT_NE(meta, nullptr);
+  sim::VirtualClock first, second;
+  ASSERT_TRUE(cache.GetFile(first, clients_[0]->endpoint(), *meta).ok());
+  ASSERT_TRUE(cache.GetFile(second, clients_[0]->endpoint(), *meta).ok());
+  EXPECT_LT(second.now(), first.now());
+  EXPECT_EQ(cache.stats().chunk_loads, 1u);
+}
+
+TEST_F(TaskCacheTest, AllClientsReadAllFilesCorrectly) {
+  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  ASSERT_TRUE(cache.Preload(0).ok());
+  sim::VirtualClock clock;
+  for (size_t i = 0; i < spec_.total_files(); ++i) {
+    const core::FileMeta* meta = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    ASSERT_NE(meta, nullptr);
+    auto& client = clients_[i % clients_.size()];
+    auto content = cache.GetFile(clock, client->endpoint(), *meta);
+    ASSERT_TRUE(content.ok()) << content.status().ToString();
+    ASSERT_TRUE(dlt::VerifyContent(spec_, i, content.value())) << i;
+  }
+  auto stats = cache.stats();
+  EXPECT_GT(stats.local_hits, 0u);
+  EXPECT_GT(stats.peer_hits, stats.local_hits);  // 3/4 of chunks are remote
+}
+
+TEST_F(TaskCacheTest, PeerFetchCostsMoreThanLocal) {
+  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  ASSERT_TRUE(cache.Preload(0).ok());
+  // Find one local and one remote file for client 0 (node 0).
+  const core::FileMeta *local = nullptr, *remote = nullptr;
+  for (size_t i = 0; i < spec_.total_files() && (!local || !remote); ++i) {
+    const core::FileMeta* m = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    size_t ci = snapshot_->ChunkIndex(m->chunk);
+    sim::NodeId owner = cache.OwnerNodeOfChunk(ci).value();
+    if (owner == 0 && !local) local = m;
+    if (owner != 0 && !remote) remote = m;
+  }
+  ASSERT_NE(local, nullptr);
+  ASSERT_NE(remote, nullptr);
+  sim::VirtualClock lc, rc;
+  ASSERT_TRUE(cache.GetFile(lc, clients_[0]->endpoint(), *local).ok());
+  ASSERT_TRUE(cache.GetFile(rc, clients_[0]->endpoint(), *remote).ok());
+  EXPECT_LT(lc.now(), rc.now());
+}
+
+TEST_F(TaskCacheTest, DropNodeLosesOnlyItsPartition) {
+  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  ASSERT_TRUE(cache.Preload(0).ok());
+  cache.DropNode(2);
+  double ratio = cache.HitRatio();
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_GT(ratio, 0.5);
+}
+
+TEST_F(TaskCacheTest, ReloadRestoresFullCache) {
+  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  ASSERT_TRUE(cache.Preload(0).ok());
+  cache.DropAll();
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 0.0);
+  auto end = cache.Reload(Seconds(10.0));
+  ASSERT_TRUE(end.ok());
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 1.0);
+}
+
+TEST_F(TaskCacheTest, CapacityBoundEvicts) {
+  // Partition capacity below the per-node share forces evictions.
+  TaskCache cache = MakeCache({.per_node_capacity_bytes = 40 * 1024});
+  sim::VirtualClock clock;
+  for (size_t i = 0; i < spec_.total_files(); ++i) {
+    const core::FileMeta* meta = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    auto content = cache.GetFile(clock, clients_[0]->endpoint(), *meta);
+    ASSERT_TRUE(content.ok()) << content.status().ToString();
+    ASSERT_TRUE(dlt::VerifyContent(spec_, i, content.value()));
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LT(cache.HitRatio(), 1.0);
+}
+
+TEST_F(TaskCacheTest, DownOwnerNodeMakesPeerFetchFail) {
+  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  ASSERT_TRUE(cache.Preload(0).ok());
+  deployment_->cluster().FailNode(1);
+  // A file owned by node 1, requested from node 0, must fail (containment:
+  // this task is broken, but the failure is visible and immediate).
+  const core::FileMeta* victim = nullptr;
+  for (size_t i = 0; i < spec_.total_files(); ++i) {
+    const core::FileMeta* m = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    if (cache.OwnerNodeOfChunk(snapshot_->ChunkIndex(m->chunk)).value() == 1) {
+      victim = m;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  sim::VirtualClock clock;
+  EXPECT_TRUE(cache.GetFile(clock, clients_[0]->endpoint(), *victim)
+                  .status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace diesel::cache

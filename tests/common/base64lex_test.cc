@@ -1,0 +1,85 @@
+#include "common/base64lex.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace diesel {
+namespace {
+
+TEST(Base64LexTest, EmptyInput) {
+  EXPECT_EQ(Base64LexEncode({}), "");
+  auto decoded = Base64LexDecode("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Base64LexTest, RoundTripAllLengths) {
+  Rng rng(1);
+  for (size_t len = 0; len <= 64; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+    std::string enc = Base64LexEncode(data);
+    auto dec = Base64LexDecode(enc);
+    ASSERT_TRUE(dec.ok()) << "len=" << len;
+    EXPECT_EQ(dec.value(), data) << "len=" << len;
+  }
+}
+
+TEST(Base64LexTest, EncodedLengthFormula) {
+  for (size_t len : {1u, 2u, 3u, 4u, 15u, 16u, 17u}) {
+    Bytes data(len, 0x5A);
+    EXPECT_EQ(Base64LexEncode(data).size(), (len * 4 + 2) / 3);
+  }
+}
+
+TEST(Base64LexTest, RejectsInvalidCharacters) {
+  EXPECT_FALSE(Base64LexDecode("ab=d").ok());   // '=' not in alphabet
+  EXPECT_FALSE(Base64LexDecode("ab d").ok());
+  EXPECT_FALSE(Base64LexDecode("ab+d").ok());   // std base64 char, not ours
+}
+
+TEST(Base64LexTest, RejectsImpossibleLength) {
+  EXPECT_FALSE(Base64LexDecode("a").ok());      // 1 mod 4
+  EXPECT_FALSE(Base64LexDecode("abcde").ok());  // 5 mod 4
+}
+
+// The property the chunk-ID design depends on: for equal-length inputs,
+// encoded order equals byte order.
+TEST(Base64LexTest, PropertyOrderPreservingForEqualLengths) {
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = 1 + rng.Uniform(24);
+    Bytes a(len), b(len);
+    for (auto& x : a) x = static_cast<uint8_t>(rng.Next());
+    for (auto& x : b) x = static_cast<uint8_t>(rng.Next());
+    bool raw_less = std::lexicographical_compare(a.begin(), a.end(),
+                                                 b.begin(), b.end());
+    bool enc_less = Base64LexEncode(a) < Base64LexEncode(b);
+    bool raw_eq = a == b;
+    if (raw_eq) {
+      EXPECT_EQ(Base64LexEncode(a), Base64LexEncode(b));
+    } else {
+      EXPECT_EQ(raw_less, enc_less)
+          << "ordering broken at trial " << trial;
+    }
+  }
+}
+
+TEST(Base64LexTest, AlphabetIsAsciiSorted) {
+  // Encode single bytes 0..255 stepping 3 (each maps to 2 chars); the
+  // first char sequence must be non-decreasing.
+  std::string prev;
+  for (int v = 0; v < 256; ++v) {
+    Bytes one{static_cast<uint8_t>(v)};
+    std::string enc = Base64LexEncode(one);
+    if (!prev.empty()) {
+      EXPECT_LE(prev, enc) << "v=" << v;
+    }
+    prev = enc;
+  }
+}
+
+}  // namespace
+}  // namespace diesel

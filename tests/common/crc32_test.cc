@@ -1,0 +1,45 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace diesel {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes -> 0x8A9136AA.
+  Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // 32 x 0xFF -> 0x62A8AB43.
+  Bytes ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  // "123456789" -> 0xE3069283.
+  std::string digits = "123456789";
+  EXPECT_EQ(Crc32c(AsBytesView(digits)), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(Crc32c({}), 0u); }
+
+TEST(Crc32cTest, StreamingMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(AsBytesView(data));
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t part = Crc32c(AsBytesView(data.substr(0, split)));
+    part = Crc32c(AsBytesView(data.substr(split)), part);
+    EXPECT_EQ(part, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  Bytes data(64, 0x55);
+  uint32_t base = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); byte += 7) {
+    Bytes mutated = data;
+    mutated[byte] ^= 1;
+    EXPECT_NE(Crc32c(mutated), base) << "byte=" << byte;
+  }
+}
+
+}  // namespace
+}  // namespace diesel

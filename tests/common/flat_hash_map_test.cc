@@ -1,0 +1,108 @@
+#include "common/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace diesel {
+namespace {
+
+TEST(FlatHashMapTest, InsertFindErase) {
+  FlatHashMap<std::string, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.InsertOrAssign("a", 1));
+  EXPECT_TRUE(map.InsertOrAssign("b", 2));
+  EXPECT_FALSE(map.InsertOrAssign("a", 3));  // overwrite
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find("a"), nullptr);
+  EXPECT_EQ(*map.Find("a"), 3);
+  EXPECT_EQ(map.Find("zzz"), nullptr);
+  EXPECT_TRUE(map.Erase("a"));
+  EXPECT_FALSE(map.Erase("a"));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.Contains("a"));
+  EXPECT_TRUE(map.Contains("b"));
+}
+
+TEST(FlatHashMapTest, GrowsPastInitialCapacity) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 10000; ++i) map.InsertOrAssign(i, i * 2);
+  EXPECT_EQ(map.size(), 10000u);
+  for (int i = 0; i < 10000; i += 97) {
+    ASSERT_NE(map.Find(i), nullptr);
+    EXPECT_EQ(*map.Find(i), i * 2);
+  }
+}
+
+TEST(FlatHashMapTest, ForEachVisitsAll) {
+  FlatHashMap<int, int> map;
+  for (int i = 0; i < 100; ++i) map.InsertOrAssign(i, 1);
+  int sum = 0;
+  map.ForEach([&](const int&, int& v) { sum += v; });
+  EXPECT_EQ(sum, 100);
+}
+
+TEST(FlatHashMapTest, ClearEmpties) {
+  FlatHashMap<int, int> map;
+  map.InsertOrAssign(1, 1);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+// Property test: behave identically to std::unordered_map under a random
+// operation sequence (the backward-shift deletion is the risky part).
+TEST(FlatHashMapTest, PropertyMatchesReferenceUnderRandomOps) {
+  Rng rng(42);
+  FlatHashMap<uint64_t, uint64_t> subject;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  // Small key space forces collisions and delete-reinsert churn.
+  constexpr uint64_t kKeySpace = 257;
+
+  for (int op = 0; op < 50000; ++op) {
+    uint64_t key = rng.Uniform(kKeySpace);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // insert/overwrite
+        uint64_t value = rng.Next();
+        bool fresh = subject.InsertOrAssign(key, value);
+        bool ref_fresh = reference.insert_or_assign(key, value).second;
+        ASSERT_EQ(fresh, ref_fresh) << "op " << op;
+        break;
+      }
+      case 2: {  // erase
+        bool erased = subject.Erase(key);
+        bool ref_erased = reference.erase(key) > 0;
+        ASSERT_EQ(erased, ref_erased) << "op " << op;
+        break;
+      }
+      case 3: {  // lookup
+        const uint64_t* v = subject.Find(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          ASSERT_EQ(v, nullptr) << "op " << op;
+        } else {
+          ASSERT_NE(v, nullptr) << "op " << op;
+          ASSERT_EQ(*v, it->second) << "op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(subject.size(), reference.size()) << "op " << op;
+  }
+  // Final full sweep.
+  size_t visited = 0;
+  subject.ForEach([&](const uint64_t& k, uint64_t& v) {
+    auto it = reference.find(k);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(v, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+}  // namespace
+}  // namespace diesel

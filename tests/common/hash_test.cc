@@ -1,0 +1,64 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace diesel {
+namespace {
+
+TEST(Fnv1a64Test, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, SeedChaining) {
+  // Hash("ab") == Hash("b", seed=Hash("a")): streaming property.
+  EXPECT_EQ(Fnv1a64("ab"), Fnv1a64("b", Fnv1a64("a")));
+}
+
+TEST(Fnv1a64Test, IsConstexpr) {
+  constexpr uint64_t h = Fnv1a64("compile-time");
+  static_assert(h != 0);
+  EXPECT_NE(h, 0u);
+}
+
+TEST(Mix64Test, AvalancheOnSingleBitFlips) {
+  // Flipping any input bit must flip a substantial fraction of output bits.
+  for (int bit = 0; bit < 64; bit += 7) {
+    uint64_t a = Mix64(0x123456789ABCDEFULL);
+    uint64_t b = Mix64(0x123456789ABCDEFULL ^ (1ULL << bit));
+    int flipped = __builtin_popcountll(a ^ b);
+    EXPECT_GT(flipped, 16) << "bit " << bit;
+    EXPECT_LT(flipped, 48) << "bit " << bit;
+  }
+}
+
+TEST(Mix64Test, SequentialInputsSpread) {
+  // Consecutive integers map to well-separated outputs (used for shard and
+  // ring placement of structured ids).
+  std::set<uint64_t> high_bytes;
+  for (uint64_t i = 0; i < 256; ++i) {
+    high_bytes.insert(Mix64(i) >> 56);
+  }
+  EXPECT_GT(high_bytes.size(), 150u);  // ~256 * (1 - 1/e) for uniform
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(HashCombine(0, 0), 0u);
+}
+
+TEST(PathHashTest, DistinctDirectoriesDistinctPrefixes) {
+  std::set<uint64_t> hashes;
+  for (int c = 0; c < 1000; ++c) {
+    hashes.insert(PathHash("/train/cls" + std::to_string(c)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions across ImageNet-scale dirs
+}
+
+}  // namespace
+}  // namespace diesel

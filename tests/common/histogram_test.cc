@@ -1,0 +1,84 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace diesel {
+namespace {
+
+TEST(HistogramTest, EmptyIsZeroed) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_NEAR(h.Median(), 42.0, 42.0 * 0.07);
+}
+
+TEST(HistogramTest, MeanMinMaxExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(HistogramTest, QuantilesApproximateUniform) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble() * 1000.0);
+  EXPECT_NEAR(h.Median(), 500.0, 50.0);
+  EXPECT_NEAR(h.Quantile(0.9), 900.0, 70.0);
+  EXPECT_NEAR(h.P99(), 990.0, 80.0);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedStream) {
+  Histogram a, b, all;
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.NextDouble() * 100.0 + 1.0;
+    ((i % 2 == 0) ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.sum(), all.sum(), all.sum() * 1e-12);  // summation order differs
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.Median(), all.Median(), 1e-9);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SubUnitValuesLandInBucketZero) {
+  Histogram h;
+  h.Add(0.25);
+  h.Add(0.75);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Median(), 1.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  EXPECT_NE(h.Summary().find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diesel

@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace diesel {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LogTest, MacroCompilesForAllSeverities) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // suppress output below Error
+  DIESEL_LOG(Debug) << "debug " << 1;
+  DIESEL_LOG(Info) << "info " << 2.5;
+  DIESEL_LOG(Warn) << "warn " << "text";
+  // Streaming into a disabled message must not evaluate visibly or crash.
+  int evaluations = 0;
+  auto count = [&] { return ++evaluations; };
+  DIESEL_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 1);  // args ARE evaluated (documented cost)
+}
+
+TEST(LogTest, ConcurrentLoggingDoesNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // keep the test output quiet
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 500; ++i) {
+        DIESEL_LOG(Warn) << "thread " << t << " iter " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace diesel

@@ -1,0 +1,94 @@
+#include "core/auth.h"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+
+namespace diesel::core {
+namespace {
+
+class AuthTest : public ::testing::Test {
+ protected:
+  AuthTest()
+      : cluster_(3), fabric_(cluster_), config_(fabric_, 2),
+        auth_(config_, 0) {}
+
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  etcd::ConfigStore config_;
+  AuthRegistry auth_;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(AuthTest, CreateGrantAuthenticate) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "alice", "s3cret").ok());
+  ASSERT_TRUE(auth_.GrantDataset(clock_, "alice", "imagenet").ok());
+  EXPECT_TRUE(auth_.Authenticate(clock_, 1, "alice", "s3cret", "imagenet")
+                  .ok());
+}
+
+TEST_F(AuthTest, WrongKeyRejected) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "alice", "s3cret").ok());
+  ASSERT_TRUE(auth_.GrantDataset(clock_, "alice", "ds").ok());
+  EXPECT_EQ(auth_.Authenticate(clock_, 1, "alice", "wrong", "ds").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AuthTest, UnknownUserIsNotFound) {
+  EXPECT_TRUE(auth_.Authenticate(clock_, 1, "mallory", "x", "ds")
+                  .IsNotFound());
+}
+
+TEST_F(AuthTest, MissingGrantRejected) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "bob", "pw").ok());
+  EXPECT_EQ(auth_.Authenticate(clock_, 1, "bob", "pw", "private").code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(auth_.GrantDataset(clock_, "bob", "private").ok());
+  EXPECT_TRUE(auth_.Authenticate(clock_, 1, "bob", "pw", "private").ok());
+}
+
+TEST_F(AuthTest, RevokeRemovesAccess) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "carol", "pw").ok());
+  ASSERT_TRUE(auth_.GrantDataset(clock_, "carol", "ds").ok());
+  ASSERT_TRUE(auth_.RevokeDataset(clock_, "carol", "ds").ok());
+  EXPECT_FALSE(auth_.Authenticate(clock_, 1, "carol", "pw", "ds").ok());
+}
+
+TEST_F(AuthTest, DuplicateUserRejected) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "dave", "pw1").ok());
+  EXPECT_EQ(auth_.CreateUser(clock_, "dave", "pw2").code(),
+            StatusCode::kAlreadyExists);
+  // Original credentials still valid.
+  ASSERT_TRUE(auth_.GrantDataset(clock_, "dave", "ds").ok());
+  EXPECT_TRUE(auth_.Authenticate(clock_, 1, "dave", "pw1", "ds").ok());
+  EXPECT_FALSE(auth_.Authenticate(clock_, 1, "dave", "pw2", "ds").ok());
+}
+
+TEST_F(AuthTest, GrantsAreIsolatedPerDataset) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "erin", "pw").ok());
+  ASSERT_TRUE(auth_.GrantDataset(clock_, "erin", "a").ok());
+  EXPECT_TRUE(auth_.Authenticate(clock_, 1, "erin", "pw", "a").ok());
+  EXPECT_FALSE(auth_.Authenticate(clock_, 1, "erin", "pw", "b").ok());
+}
+
+TEST_F(AuthTest, GrantForUnknownUserFails) {
+  EXPECT_TRUE(auth_.GrantDataset(clock_, "nobody", "ds").IsNotFound());
+}
+
+TEST_F(AuthTest, SecretsAreNotStoredRaw) {
+  ASSERT_TRUE(auth_.CreateUser(clock_, "frank", "hunter2").ok());
+  auto entry = config_.Get(clock_, 0, "/diesel/users/frank");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->value.find("hunter2"), std::string::npos);
+  EXPECT_EQ(entry->value.size(), 16u);  // hex digest
+}
+
+TEST_F(AuthTest, EmptyCredentialsRejected) {
+  EXPECT_EQ(auth_.CreateUser(clock_, "", "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(auth_.CreateUser(clock_, "x", "").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace diesel::core

@@ -1,0 +1,208 @@
+#include "core/chunk_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace diesel::core {
+namespace {
+
+Bytes RandomContent(Rng& rng, size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Next());
+  return out;
+}
+
+ChunkId TestId() { return ChunkId::Make(100, 1, 2, 3); }
+
+TEST(ChunkBuilderTest, TracksFullness) {
+  ChunkBuilder b(/*target=*/100);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_FALSE(b.Full());
+  Rng rng(1);
+  b.Add("/f1", RandomContent(rng, 60));
+  EXPECT_FALSE(b.Full());
+  b.Add("/f2", RandomContent(rng, 60));
+  EXPECT_TRUE(b.Full());
+  EXPECT_EQ(b.num_files(), 2u);
+  EXPECT_EQ(b.payload_bytes(), 120u);
+}
+
+TEST(ChunkBuilderTest, FinishResetsBuilder) {
+  ChunkBuilder b(100);
+  Rng rng(2);
+  b.Add("/f", RandomContent(rng, 10));
+  Bytes chunk = b.Finish(TestId(), 999);
+  EXPECT_FALSE(chunk.empty());
+  EXPECT_TRUE(b.Empty());
+  EXPECT_EQ(b.payload_bytes(), 0u);
+}
+
+TEST(ChunkFormatTest, RoundTripPreservesFilesAndMetadata) {
+  ChunkBuilder b(0);
+  Rng rng(3);
+  std::vector<Bytes> contents;
+  for (int i = 0; i < 10; ++i) {
+    contents.push_back(RandomContent(rng, 100 + static_cast<size_t>(i) * 37));
+    b.Add("/dir/file" + std::to_string(i), contents.back());
+  }
+  Bytes chunk = b.Finish(TestId(), 12345);
+
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->id(), TestId());
+  EXPECT_EQ(view->create_ts_ns(), 12345u);
+  ASSERT_EQ(view->entries().size(), 10u);
+  EXPECT_EQ(view->num_deleted(), 0u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(view->entries()[i].name, "/dir/file" + std::to_string(i));
+    EXPECT_FALSE(view->IsDeleted(i));
+    auto content = view->ExtractFile(i);
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(content.value(), contents[i]);
+  }
+}
+
+TEST(ChunkFormatTest, OffsetsAreContiguous) {
+  ChunkBuilder b(0);
+  Rng rng(4);
+  b.Add("/a", RandomContent(rng, 11));
+  b.Add("/b", RandomContent(rng, 13));
+  b.Add("/c", RandomContent(rng, 17));
+  Bytes chunk = b.Finish(TestId(), 0);
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->entries()[0].offset, 0u);
+  EXPECT_EQ(view->entries()[1].offset, 11u);
+  EXPECT_EQ(view->entries()[2].offset, 24u);
+}
+
+TEST(ChunkFormatTest, FindEntryByName) {
+  ChunkBuilder b(0);
+  Rng rng(5);
+  b.Add("/x/one", RandomContent(rng, 8));
+  b.Add("/x/two", RandomContent(rng, 8));
+  Bytes chunk = b.Finish(TestId(), 0);
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());
+  ASSERT_NE(view->FindEntry("/x/two"), nullptr);
+  EXPECT_EQ(view->FindEntry("/x/two")->offset, 8u);
+  EXPECT_EQ(view->FindEntry("/x/zzz"), nullptr);
+}
+
+TEST(ChunkFormatTest, EmptyChunkIsValid) {
+  ChunkBuilder b(0);
+  Bytes chunk = b.Finish(TestId(), 1);
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->entries().empty());
+}
+
+TEST(ChunkFormatTest, HeaderOnlyParseServesRecovery) {
+  ChunkBuilder b(0);
+  Rng rng(6);
+  b.Add("/r/f1", RandomContent(rng, 1000));
+  b.Add("/r/f2", RandomContent(rng, 2000));
+  Bytes chunk = b.Finish(TestId(), 77);
+
+  auto hl = ChunkView::PeekHeaderLen({chunk.data(), 12});
+  ASSERT_TRUE(hl.ok());
+  ASSERT_LT(hl.value(), chunk.size());
+
+  auto view = ChunkView::ParseHeaderOnly({chunk.data(), hl.value()});
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->entries().size(), 2u);
+  EXPECT_EQ(view->entries()[1].length, 2000u);
+  // Payload access must be refused on header-only views.
+  EXPECT_EQ(view->ExtractFile(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChunkFormatTest, CorruptMagicRejected) {
+  ChunkBuilder b(0);
+  Bytes chunk = b.Finish(TestId(), 0);
+  chunk[0] ^= 0xFF;
+  EXPECT_TRUE(ChunkView::Parse(chunk).status().IsCorruption());
+  EXPECT_TRUE(ChunkView::PeekHeaderLen({chunk.data(), 12})
+                  .status().IsCorruption());
+}
+
+TEST(ChunkFormatTest, CorruptHeaderByteFailsChecksum) {
+  ChunkBuilder b(0);
+  Rng rng(7);
+  b.Add("/c/f", RandomContent(rng, 64));
+  Bytes chunk = b.Finish(TestId(), 0);
+  // Flip a byte inside the file table (past the fixed prefix).
+  chunk[40] ^= 0x01;
+  EXPECT_TRUE(ChunkView::Parse(chunk).status().IsCorruption());
+}
+
+TEST(ChunkFormatTest, CorruptPayloadCaughtByFileCrc) {
+  ChunkBuilder b(0);
+  Rng rng(8);
+  b.Add("/c/f", RandomContent(rng, 64));
+  Bytes chunk = b.Finish(TestId(), 0);
+  auto clean = ChunkView::Parse(chunk);
+  ASSERT_TRUE(clean.ok());
+  chunk[chunk.size() - 1] ^= 0xFF;  // payload byte
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());  // header is intact
+  EXPECT_TRUE(view->ExtractFile(0).status().IsCorruption());
+}
+
+TEST(ChunkFormatTest, TruncatedChunkRejected) {
+  ChunkBuilder b(0);
+  Rng rng(9);
+  b.Add("/t/f", RandomContent(rng, 256));
+  Bytes chunk = b.Finish(TestId(), 0);
+  Bytes truncated(chunk.begin(), chunk.begin() + 20);
+  EXPECT_FALSE(ChunkView::Parse(truncated).ok());
+}
+
+TEST(ChunkFormatTest, ExtractFileIndexOutOfRange) {
+  ChunkBuilder b(0);
+  Rng rng(10);
+  b.Add("/f", RandomContent(rng, 10));
+  Bytes chunk = b.Finish(TestId(), 0);
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->ExtractFile(5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CompactChunkTest, DropsDeletedFiles) {
+  ChunkBuilder b(0);
+  Rng rng(11);
+  std::vector<Bytes> contents;
+  for (int i = 0; i < 5; ++i) {
+    contents.push_back(RandomContent(rng, 50));
+    b.Add("/p/f" + std::to_string(i), contents.back());
+  }
+  Bytes chunk = b.Finish(TestId(), 1);
+
+  std::vector<uint8_t> bitmap{(1 << 1) | (1 << 3)};  // delete f1, f3
+  ChunkId new_id = ChunkId::Make(100, 1, 2, 4);
+  auto compacted = CompactChunk(chunk, bitmap, new_id, 2);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+
+  auto view = ChunkView::Parse(compacted.value());
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->entries().size(), 3u);
+  EXPECT_EQ(view->entries()[0].name, "/p/f0");
+  EXPECT_EQ(view->entries()[1].name, "/p/f2");
+  EXPECT_EQ(view->entries()[2].name, "/p/f4");
+  EXPECT_EQ(view->ExtractFile(1).value(), contents[2]);
+  EXPECT_LT(compacted->size(), chunk.size());
+}
+
+TEST(CompactChunkTest, RejectsShortBitmap) {
+  ChunkBuilder b(0);
+  Rng rng(12);
+  for (int i = 0; i < 9; ++i) b.Add("/f" + std::to_string(i),
+                                    RandomContent(rng, 10));
+  Bytes chunk = b.Finish(TestId(), 0);
+  // 9 files need 2 bitmap bytes.
+  EXPECT_FALSE(CompactChunk(chunk, {0}, TestId(), 0).ok());
+}
+
+}  // namespace
+}  // namespace diesel::core

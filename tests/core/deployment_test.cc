@@ -1,0 +1,108 @@
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "dlt/dataset_gen.h"
+
+namespace diesel::core {
+namespace {
+
+TEST(DeploymentTest, NodeLayoutIsDense) {
+  DeploymentOptions opts;
+  opts.num_client_nodes = 3;
+  opts.num_kv_nodes = 2;
+  opts.num_servers = 2;
+  Deployment dep(opts);
+  // clients + storage gateway + kv nodes + servers + etcd.
+  EXPECT_EQ(dep.cluster().size(), 3u + 1u + 2u + 2u + 1u);
+  EXPECT_EQ(dep.client_node(0), 0u);
+  EXPECT_EQ(dep.client_node(2), 2u);
+  EXPECT_EQ(dep.storage_node(), 3u);
+  EXPECT_EQ(dep.kv_node(0), 4u);
+  EXPECT_EQ(dep.kv_node(1), 5u);
+  EXPECT_EQ(dep.server_node(0), 6u);
+  EXPECT_EQ(dep.server_node(1), 7u);
+  EXPECT_EQ(dep.num_servers(), 2u);
+  EXPECT_EQ(dep.server(0).node(), 6u);
+  EXPECT_EQ(dep.server(1).node(), 7u);
+  EXPECT_EQ(dep.etcd_node(), 8u);
+}
+
+TEST(DeploymentTest, ServersSelfRegisterAndDiscoveryWorks) {
+  DeploymentOptions opts;
+  opts.num_servers = 3;
+  Deployment dep(opts);
+  EXPECT_EQ(dep.config().NumKeys(), 3u);
+
+  sim::VirtualClock clock;
+  auto client = dep.MakeClientViaDiscovery(clock, 0, 7, "ds");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_GT(clock.now(), 0u);  // discovery paid the etcd list RPC
+  // The discovered client connects to every registered server.
+  EXPECT_EQ(dep.fabric().connections().ConnectionsOf((*client)->endpoint()),
+            3u);
+}
+
+TEST(DeploymentTest, KvShardsPlacedOnKvNodes) {
+  DeploymentOptions opts;
+  opts.num_kv_nodes = 3;
+  opts.kv_shards_per_node = 2;
+  Deployment dep(opts);
+  EXPECT_EQ(dep.kv().NumShards(), 6u);
+  for (uint32_t s = 0; s < 6; ++s) {
+    sim::NodeId node = dep.kv().ShardNode(s);
+    EXPECT_GE(node, dep.kv_node(0));
+    EXPECT_LE(node, dep.kv_node(2));
+  }
+}
+
+TEST(DeploymentTest, MakeClientConnectsToAllServers) {
+  DeploymentOptions opts;
+  opts.num_servers = 3;
+  Deployment dep(opts);
+  auto client = dep.MakeClient(0, 5, "ds");
+  EXPECT_EQ(dep.fabric().connections().ConnectionsOf(client->endpoint()), 3u);
+}
+
+TEST(DeploymentTest, TieredStoreRoutesThroughSsdCache) {
+  DeploymentOptions opts;
+  opts.tiered_store = true;
+  opts.ssd_cache_bytes = 0;  // unbounded fast tier
+  Deployment dep(opts);
+
+  dlt::DatasetSpec spec;
+  spec.name = "tiered";
+  spec.num_classes = 2;
+  spec.files_per_class = 10;
+  spec.mean_file_bytes = 1024;
+  auto writer = dep.MakeClient(0, 0, spec.name, 8 * 1024);
+  ASSERT_TRUE(dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+                return writer->Put(f.path, f.content);
+              }).ok());
+  ASSERT_TRUE(writer->Flush().ok());
+
+  // First read: HDD tier (slow) + promotion; second read: SSD tier (fast).
+  auto reader = dep.MakeClient(1, 0, spec.name);
+  sim::VirtualClock c1, c2;
+  {
+    auto r = dep.server(0).ReadFile(c1, 1, spec.name, dlt::FilePath(spec, 0));
+    ASSERT_TRUE(r.ok());
+  }
+  {
+    auto r = dep.server(0).ReadFile(c2, 1, spec.name, dlt::FilePath(spec, 0));
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_LT(c2.now(), c1.now());
+}
+
+TEST(DeploymentTest, DistinctDeploymentsAreIsolated) {
+  Deployment a({}), b({});
+  auto wa = a.MakeClient(0, 0, "ds");
+  ASSERT_TRUE(wa->Put("/ds/f", AsBytesView(std::string("x"))).ok());
+  ASSERT_TRUE(wa->Flush().ok());
+  auto rb = b.MakeClient(0, 0, "ds");
+  EXPECT_TRUE(rb->Get("/ds/f").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace diesel::core

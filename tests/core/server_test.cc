@@ -1,0 +1,170 @@
+#include "core/server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+
+namespace diesel::core {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeploymentOptions opts;
+    opts.num_client_nodes = 2;
+    deployment_ = std::make_unique<Deployment>(opts);
+
+    spec_.name = "srv";
+    spec_.num_classes = 2;
+    spec_.files_per_class = 30;
+    spec_.mean_file_bytes = 2048;
+
+    auto writer = deployment_->MakeClient(0, 0, spec_.name, 16 * 1024);
+    ASSERT_TRUE(dlt::ForEachFile(spec_, [&](const dlt::GeneratedFile& f) {
+                  return writer->Put(f.path, f.content);
+                }).ok());
+    ASSERT_TRUE(writer->Flush().ok());
+    chunks_flushed_ = writer->stats().chunks_flushed;
+  }
+
+  DieselServer& server() { return deployment_->server(0); }
+
+  std::unique_ptr<Deployment> deployment_;
+  dlt::DatasetSpec spec_;
+  uint64_t chunks_flushed_ = 0;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(ServerTest, IngestRejectsCorruptChunk) {
+  Bytes junk(100, 0xAB);
+  Status st = server().IngestChunk(clock_, 0, "bad", junk);
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+TEST_F(ServerTest, ReadFileReturnsExactContent) {
+  auto content = server().ReadFile(clock_, 0, spec_.name,
+                                   dlt::FilePath(spec_, 5));
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(dlt::VerifyContent(spec_, 5, content.value()));
+}
+
+TEST_F(ServerTest, ReadMissingFileIsNotFound) {
+  EXPECT_TRUE(server().ReadFile(clock_, 0, spec_.name, "/srv/nope")
+                  .status().IsNotFound());
+}
+
+TEST_F(ServerTest, RequestExecutorMergesBatchIntoFewRangeReads) {
+  // Batch read of many files must issue fewer storage ops than files
+  // (the executor sorts by (chunk, offset) and merges adjacent ranges).
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < 40; ++i) paths.push_back(dlt::FilePath(spec_, i));
+
+  uint64_t ops_before = deployment_->ssd_store().device().ops_served();
+  auto contents = server().ReadFiles(clock_, 0, spec_.name, paths);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  uint64_t storage_ops =
+      deployment_->ssd_store().device().ops_served() - ops_before;
+
+  ASSERT_EQ(contents->size(), paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_TRUE(dlt::VerifyContent(spec_, i, (*contents)[i])) << i;
+  }
+  EXPECT_LT(storage_ops, paths.size() / 2);
+}
+
+TEST_F(ServerTest, BatchedReadIsFasterThanSingles) {
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < 30; ++i) paths.push_back(dlt::FilePath(spec_, i));
+  sim::VirtualClock batched, single;
+  ASSERT_TRUE(server().ReadFiles(batched, 0, spec_.name, paths).ok());
+  for (const auto& p : paths) {
+    ASSERT_TRUE(server().ReadFile(single, 1, spec_.name, p).ok());
+  }
+  EXPECT_LT(batched.now(), single.now());
+}
+
+TEST_F(ServerTest, ReadChunkReturnsParsableChunk) {
+  auto chunks = server().metadata().ListChunks(clock_, spec_.name);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_FALSE(chunks->empty());
+  auto blob = server().ReadChunk(clock_, 0, spec_.name, (*chunks)[0]);
+  ASSERT_TRUE(blob.ok());
+  auto view = ChunkView::Parse(blob.value());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->id(), (*chunks)[0]);
+}
+
+TEST_F(ServerTest, StatAndListDir) {
+  auto fm = server().StatFile(clock_, 0, spec_.name, dlt::FilePath(spec_, 0));
+  ASSERT_TRUE(fm.ok());
+  EXPECT_GT(fm->length, 0u);
+
+  auto ls = server().ListDir(clock_, 0, spec_.name, "/srv/train");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ls->size(), spec_.num_classes);
+}
+
+TEST_F(ServerTest, BuildSnapshotMatchesDataset) {
+  auto snap = server().BuildSnapshot(clock_, 0, spec_.name);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_files(), spec_.total_files());
+  EXPECT_EQ(snap->chunks().size(), chunks_flushed_);
+  EXPECT_NE(snap->Lookup(dlt::FilePath(spec_, 3)), nullptr);
+}
+
+TEST_F(ServerTest, DeleteFileThenReadFails) {
+  std::string victim = dlt::FilePath(spec_, 7);
+  ASSERT_TRUE(server().DeleteFile(clock_, 0, spec_.name, victim).ok());
+  EXPECT_TRUE(server().ReadFile(clock_, 0, spec_.name, victim)
+                  .status().IsNotFound());
+  // Others unaffected.
+  EXPECT_TRUE(server().ReadFile(clock_, 0, spec_.name,
+                                dlt::FilePath(spec_, 8)).ok());
+}
+
+TEST_F(ServerTest, DeleteDatasetRemovesBlobsAndKeys) {
+  ASSERT_TRUE(server().DeleteDataset(clock_, 0, spec_.name).ok());
+  EXPECT_EQ(deployment_->kv().TotalKeys(), 0u);
+  EXPECT_EQ(deployment_->store().NumObjects(), 0u);
+  EXPECT_TRUE(server().GetDatasetMeta(clock_, 0, spec_.name)
+                  .status().IsNotFound());
+}
+
+TEST_F(ServerTest, PartialRecoveryAfterSingleShardLoss) {
+  // Scenario (a): one KV shard dies and restarts empty -> some keys lost.
+  size_t keys_before = deployment_->kv().TotalKeys();
+  deployment_->kv().FailShard(3);
+  deployment_->kv().RestartShard(3);
+  ASSERT_LT(deployment_->kv().TotalKeys(), keys_before);
+
+  // Recover from timestamp 0 watermark (all chunks re-scanned; puts are
+  // idempotent, lost keys restored).
+  auto stats = server().RecoverMetadata(clock_, spec_.name, 0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(deployment_->kv().TotalKeys(), keys_before);
+  EXPECT_TRUE(server().ReadFile(clock_, 0, spec_.name,
+                                dlt::FilePath(spec_, 11)).ok());
+}
+
+TEST_F(ServerTest, WatermarkRecoverySkipsOldChunks) {
+  // All chunks were written at virtual second ~0; a watermark in the future
+  // scans nothing.
+  auto stats = server().RecoverMetadata(clock_, spec_.name,
+                                        /*from_ts_sec=*/1000000);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->chunks_scanned, 0u);
+}
+
+TEST_F(ServerTest, RecoveryReadsHeadersNotPayloads) {
+  auto dm = server().GetDatasetMeta(clock_, 0, spec_.name);
+  ASSERT_TRUE(dm.ok());
+  auto stats = server().RecoverMetadata(clock_, spec_.name, 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->header_bytes_read, 0u);
+  EXPECT_LT(stats->header_bytes_read, dm->total_bytes / 2)
+      << "recovery should not read full chunk payloads";
+}
+
+}  // namespace
+}  // namespace diesel::core

@@ -1,0 +1,124 @@
+#include "dlt/distributed_task.h"
+
+#include <gtest/gtest.h>
+
+#include "dlt/dataset_gen.h"
+
+namespace diesel::dlt {
+namespace {
+
+class DistributedTaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::DeploymentOptions opts;
+    opts.num_client_nodes = 4;
+    deployment_ = std::make_unique<core::Deployment>(opts);
+    spec_.name = "dtask";
+    spec_.num_classes = 4;
+    spec_.files_per_class = 50;
+    spec_.mean_file_bytes = 1024;
+    auto writer = deployment_->MakeClient(0, 0, spec_.name, 8 * 1024);
+    ASSERT_TRUE(dlt::ForEachFile(spec_, [&](const dlt::GeneratedFile& f) {
+                  return writer->Put(f.path, f.content);
+                }).ok());
+    ASSERT_TRUE(writer->Flush().ok());
+  }
+
+  std::unique_ptr<core::Deployment> deployment_;
+  DatasetSpec spec_;
+};
+
+TEST_F(DistributedTaskTest, EpochDeliversEveryFileOnceViaCache) {
+  DistributedTaskOptions opts;
+  opts.num_nodes = 4;
+  opts.io_workers_per_node = 2;
+  opts.minibatch = 16;
+  opts.cache.policy = cache::CachePolicy::kOneshot;
+  opts.shuffle.group_size = 2;
+  DistributedTrainingTask task(*deployment_, spec_.name, opts);
+  ASSERT_TRUE(task.Setup().ok());
+
+  size_t delivered = 0, batches = 0;
+  auto report = task.RunEpoch([&](std::span<const Bytes> batch) {
+    delivered += batch.size();
+    ++batches;
+    EXPECT_LE(batch.size(), opts.minibatch);
+    for (const Bytes& b : batch) EXPECT_FALSE(b.empty());
+    return Status::Ok();
+  });
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(delivered, spec_.total_files());
+  EXPECT_EQ(report->files_read, spec_.total_files());
+  EXPECT_GT(report->epoch_seconds, 0.0);
+  EXPECT_GE(report->slowest_node_seconds, report->fastest_node_seconds);
+  EXPECT_GT(batches, spec_.total_files() / opts.minibatch / 2);
+}
+
+TEST_F(DistributedTaskTest, MemoryConstrainedModeUsesGroupWindows) {
+  DistributedTaskOptions opts;
+  opts.num_nodes = 2;
+  opts.io_workers_per_node = 2;
+  opts.minibatch = 8;
+  opts.use_task_cache = false;
+  opts.shuffle.group_size = 3;
+  DistributedTrainingTask task(*deployment_, spec_.name, opts);
+  ASSERT_TRUE(task.Setup().ok());
+  EXPECT_EQ(task.cache(), nullptr);
+
+  size_t delivered = 0;
+  auto report = task.RunEpoch([&](std::span<const Bytes> batch) {
+    delivered += batch.size();
+    return Status::Ok();
+  });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(delivered, spec_.total_files());
+}
+
+TEST_F(DistributedTaskTest, EpochsAdvanceTaskTimeMonotonically) {
+  DistributedTaskOptions opts;
+  opts.num_nodes = 2;
+  opts.io_workers_per_node = 1;
+  DistributedTrainingTask task(*deployment_, spec_.name, opts);
+  ASSERT_TRUE(task.Setup().ok());
+  auto e1 = task.RunEpoch([](std::span<const Bytes>) { return Status::Ok(); });
+  auto e2 = task.RunEpoch([](std::span<const Bytes>) { return Status::Ok(); });
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e1->epoch, 1u);
+  EXPECT_EQ(e2->epoch, 2u);
+  // Second epoch is fully cached -> at least as fast as the first.
+  EXPECT_LE(e2->epoch_seconds, e1->epoch_seconds * 1.05);
+  EXPECT_EQ(task.epochs_run(), 2u);
+}
+
+TEST_F(DistributedTaskTest, BatchCallbackErrorAbortsEpoch) {
+  DistributedTaskOptions opts;
+  opts.num_nodes = 1;
+  opts.io_workers_per_node = 1;
+  DistributedTrainingTask task(*deployment_, spec_.name, opts);
+  ASSERT_TRUE(task.Setup().ok());
+  auto report = task.RunEpoch([](std::span<const Bytes>) {
+    return Status::IoError("trainer crashed");
+  });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(DistributedTaskTest, SetupValidatesShape) {
+  DistributedTaskOptions opts;
+  opts.num_nodes = 99;  // more than the deployment has
+  DistributedTrainingTask task(*deployment_, spec_.name, opts);
+  EXPECT_EQ(task.Setup().code(), StatusCode::kInvalidArgument);
+
+  DistributedTaskOptions zero;
+  zero.minibatch = 0;
+  DistributedTrainingTask task2(*deployment_, spec_.name, zero);
+  EXPECT_EQ(task2.Setup().code(), StatusCode::kInvalidArgument);
+
+  DistributedTrainingTask unready(*deployment_, spec_.name, {});
+  auto r = unready.RunEpoch([](std::span<const Bytes>) { return Status::Ok(); });
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace diesel::dlt

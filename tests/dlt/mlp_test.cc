@@ -1,0 +1,148 @@
+#include "dlt/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dlt/dataset_gen.h"
+
+namespace diesel::dlt {
+namespace {
+
+std::vector<LabelledSample> MakeSet(const SampleSpec& spec, size_t n,
+                                    size_t offset = 0) {
+  std::vector<LabelledSample> out;
+  for (size_t i = 0; i < n; ++i) {
+    auto s = SoftmaxTrainer::Decode(MakeSample(spec, offset + i));
+    EXPECT_TRUE(s.ok());
+    out.push_back(std::move(s).value());
+  }
+  return out;
+}
+
+TEST(MlpTrainerTest, UntrainedIsNearChance) {
+  SampleSpec spec;
+  MlpTrainer mlp({});
+  auto eval = MakeSet(spec, 500);
+  EXPECT_LT(mlp.TopKAccuracy(eval, 1), 0.35);
+  EXPECT_EQ(mlp.TopKAccuracy(eval, 10), 1.0);
+}
+
+TEST(MlpTrainerTest, LossDecreasesAndLearns) {
+  SampleSpec spec;
+  spec.separation = 2.0;
+  MlpTrainer mlp({});
+  auto train = MakeSet(spec, 2000);
+  auto eval = MakeSet(spec, 500, 2000);
+  Rng rng(1);
+  double first_loss = mlp.TrainEpoch(train);
+  double last_loss = first_loss;
+  for (int e = 0; e < 8; ++e) {
+    auto shuffled = train;
+    rng.Shuffle(shuffled);
+    last_loss = mlp.TrainEpoch(shuffled);
+  }
+  EXPECT_LT(last_loss, first_loss);
+  EXPECT_GT(mlp.TopKAccuracy(eval, 1), 0.85);
+}
+
+TEST(MlpTrainerTest, SolvesANonLinearProblemALinearModelCannot) {
+  // XOR-style labels over two features: linear softmax is stuck near
+  // chance; the MLP separates it.
+  auto make_xor = [](size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<LabelledSample> out;
+    for (size_t i = 0; i < n; ++i) {
+      LabelledSample s;
+      double x = rng.NextDouble() * 2 - 1;
+      double y = rng.NextDouble() * 2 - 1;
+      s.features = {static_cast<float>(x), static_cast<float>(y)};
+      s.label = (x > 0) != (y > 0) ? 1 : 0;
+      out.push_back(std::move(s));
+    }
+    return out;
+  };
+  auto train = make_xor(4000, 1);
+  auto eval = make_xor(1000, 2);
+
+  TrainerOptions lopts;
+  lopts.num_classes = 2;
+  lopts.dims = 2;
+  lopts.learning_rate = 0.1;
+  SoftmaxTrainer linear(lopts);
+
+  MlpOptions mopts;
+  mopts.num_classes = 2;
+  mopts.dims = 2;
+  mopts.hidden = 16;
+  mopts.learning_rate = 0.1;
+  MlpTrainer mlp(mopts);
+
+  Rng rng(3);
+  for (int e = 0; e < 30; ++e) {
+    auto shuffled = train;
+    rng.Shuffle(shuffled);
+    linear.TrainEpoch(shuffled);
+    mlp.TrainEpoch(shuffled);
+  }
+  EXPECT_LT(linear.TopKAccuracy(eval, 1), 0.65);
+  EXPECT_GT(mlp.TopKAccuracy(eval, 1), 0.9);
+}
+
+TEST(MlpTrainerTest, DeterministicGivenSameData) {
+  SampleSpec spec;
+  auto train = MakeSet(spec, 300);
+  MlpTrainer a({}), b({});
+  a.TrainEpoch(train);
+  b.TrainEpoch(train);
+  auto eval = MakeSet(spec, 100, 300);
+  EXPECT_DOUBLE_EQ(a.TopKAccuracy(eval, 1), b.TopKAccuracy(eval, 1));
+}
+
+TEST(MlpTrainerTest, BatchLossFiniteAndEmptyBatchIsZero) {
+  SampleSpec spec;
+  MlpTrainer mlp({});
+  auto batch = MakeSet(spec, 32);
+  double loss = mlp.TrainBatch(batch);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+  EXPECT_EQ(mlp.TrainBatch({}), 0.0);
+}
+
+TEST(MlpTrainerTest, ChunkWiseOrderEquivalenceHoldsForNonLinearModel) {
+  // The Fig. 13 property on the second model family: training on a
+  // grouped-shuffle order matches a full shuffle within tolerance.
+  SampleSpec spec;
+  spec.separation = 1.0;
+  auto train = MakeSet(spec, 3000);
+  auto eval = MakeSet(spec, 600, 3000);
+
+  Rng rng(11);
+  MlpTrainer full({}), grouped({});
+  for (int e = 0; e < 6; ++e) {
+    // Full shuffle.
+    auto a = train;
+    rng.Shuffle(a);
+    full.TrainEpoch(a);
+    // Grouped shuffle: shuffle blocks of 128, then shuffle within blocks —
+    // the structure chunk-wise shuffle produces.
+    std::vector<size_t> block_order(train.size() / 128);
+    for (size_t i = 0; i < block_order.size(); ++i) block_order[i] = i;
+    rng.Shuffle(block_order);
+    std::vector<LabelledSample> b;
+    for (size_t blk : block_order) {
+      std::vector<LabelledSample> window(
+          train.begin() + static_cast<ptrdiff_t>(blk * 128),
+          train.begin() + static_cast<ptrdiff_t>((blk + 1) * 128));
+      rng.Shuffle(window);
+      for (auto& s : window) b.push_back(std::move(s));
+    }
+    grouped.TrainEpoch(b);
+  }
+  EXPECT_NEAR(full.TopKAccuracy(eval, 1), grouped.TopKAccuracy(eval, 1),
+              0.05);
+}
+
+}  // namespace
+}  // namespace diesel::dlt

@@ -1,0 +1,88 @@
+#include "dlt/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel::dlt {
+namespace {
+
+// Batch reader that costs a fixed `io_ns` per batch.
+BatchReadFn FixedCostReader(Nanos io_ns) {
+  return [io_ns](size_t, sim::VirtualClock& w) {
+    w.Advance(io_ns);
+    return Status::Ok();
+  };
+}
+
+TEST(TrainingPipelineTest, ComputeBoundHidesIoCompletely) {
+  // 4 workers x 10ms compute, 20ms I/O per batch: steady-state I/O per
+  // compute slot = 20/4 = 5ms < 10ms, so waits vanish after warmup.
+  TrainingPipeline pipe({.io_workers = 4, .model = {"m", Millis(10)}});
+  auto r = pipe.RunEpoch(0, 100, 0, FixedCostReader(Millis(20)));
+  ASSERT_TRUE(r.ok());
+  double tail_wait = 0;
+  for (size_t i = 50; i < 100; ++i) tail_wait += r->data_time_s[i];
+  EXPECT_NEAR(tail_wait, 0.0, 1e-9);
+  // Epoch time ~ 100 x compute.
+  EXPECT_NEAR(ToSeconds(r->epoch_end), 1.0, 0.15);
+}
+
+TEST(TrainingPipelineTest, IoBoundEpochTimeTracksIo) {
+  // 1 worker, I/O 30ms > compute 10ms: every iteration waits ~20ms.
+  TrainingPipeline pipe({.io_workers = 1, .model = {"m", Millis(10)}});
+  auto r = pipe.RunEpoch(0, 50, 0, FixedCostReader(Millis(30)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(ToSeconds(r->epoch_end), 50 * 0.030 + 0.010, 0.01);
+  EXPECT_GT(r->total_data_wait_s, 50 * 0.015);
+}
+
+TEST(TrainingPipelineTest, ShuffleCostSpikesFirstIteration) {
+  TrainingPipeline pipe({.io_workers = 4, .model = {"m", Millis(10)}});
+  auto r = pipe.RunEpoch(0, 20, /*shuffle=*/Millis(500),
+                         FixedCostReader(Millis(1)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->data_time_s[0], 0.5);
+  for (size_t i = 5; i < 20; ++i) {
+    EXPECT_LT(r->data_time_s[i], r->data_time_s[0] / 10);
+  }
+}
+
+TEST(TrainingPipelineTest, MoreWorkersReduceWaits) {
+  auto run = [&](size_t workers) {
+    TrainingPipeline pipe({.io_workers = workers, .model = {"m", Millis(10)}});
+    auto r = pipe.RunEpoch(0, 100, 0, FixedCostReader(Millis(40)));
+    EXPECT_TRUE(r.ok());
+    return r->total_data_wait_s;
+  };
+  double w1 = run(1), w2 = run(2), w8 = run(8);
+  EXPECT_GT(w1, w2);
+  EXPECT_GT(w2, w8);
+}
+
+TEST(TrainingPipelineTest, ReadErrorPropagates) {
+  TrainingPipeline pipe({.io_workers = 2, .model = {"m", Millis(1)}});
+  auto r = pipe.RunEpoch(0, 10, 0, [](size_t iter, sim::VirtualClock&) {
+    return iter == 5 ? Status::IoError("boom") : Status::Ok();
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TrainingPipelineTest, ComputeTimeAccounted) {
+  TrainingPipeline pipe({.io_workers = 2, .model = {"m", Millis(7)}});
+  auto r = pipe.RunEpoch(0, 10, 0, FixedCostReader(0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->compute_s, 0.07, 1e-9);
+  EXPECT_EQ(r->data_time_s.size(), 10u);
+}
+
+TEST(TrainingPipelineTest, StartOffsetShiftsEpochEnd) {
+  TrainingPipeline pipe({.io_workers = 2, .model = {"m", Millis(5)}});
+  auto a = pipe.RunEpoch(0, 10, 0, FixedCostReader(Millis(1)));
+  auto b = pipe.RunEpoch(Seconds(1.0), 10, 0, FixedCostReader(Millis(1)));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(ToSeconds(b->epoch_end - a->epoch_end), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace diesel::dlt

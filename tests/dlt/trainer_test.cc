@@ -1,0 +1,106 @@
+#include "dlt/trainer.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "common/rng.h"
+#include "dlt/dataset_gen.h"
+
+namespace diesel::dlt {
+namespace {
+
+std::vector<LabelledSample> MakeTrainSet(const SampleSpec& spec, size_t n,
+                                         size_t offset = 0) {
+  std::vector<LabelledSample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto s = SoftmaxTrainer::Decode(MakeSample(spec, offset + i));
+    EXPECT_TRUE(s.ok());
+    out.push_back(std::move(s).value());
+  }
+  return out;
+}
+
+TEST(SoftmaxTrainerTest, UntrainedAccuracyNearChance) {
+  SampleSpec spec;
+  TrainerOptions opts;
+  SoftmaxTrainer trainer(opts);
+  auto eval = MakeTrainSet(spec, 500);
+  double top1 = trainer.TopKAccuracy(eval, 1);
+  EXPECT_LT(top1, 0.35);  // 10 classes, chance = 0.1
+  double top5 = trainer.TopKAccuracy(eval, 5);
+  EXPECT_GE(top5, top1);
+  EXPECT_EQ(trainer.TopKAccuracy(eval, 10), 1.0);  // top-C is always a hit
+}
+
+TEST(SoftmaxTrainerTest, LossDecreasesOverEpochs) {
+  SampleSpec spec;
+  SoftmaxTrainer trainer({});
+  auto train = MakeTrainSet(spec, 1000);
+  Rng rng(1);
+  double first = trainer.TrainEpoch(train);
+  double last = first;
+  for (int e = 0; e < 4; ++e) {
+    std::vector<LabelledSample> shuffled = train;
+    rng.Shuffle(shuffled);
+    last = trainer.TrainEpoch(shuffled);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(SoftmaxTrainerTest, LearnsSeparableMixture) {
+  SampleSpec spec;
+  spec.separation = 4.0;
+  SoftmaxTrainer trainer({});
+  auto train = MakeTrainSet(spec, 2000);
+  auto held_out = MakeTrainSet(spec, 500, /*offset=*/2000);
+  Rng rng(2);
+  for (int e = 0; e < 6; ++e) {
+    std::vector<LabelledSample> shuffled = train;
+    rng.Shuffle(shuffled);
+    trainer.TrainEpoch(shuffled);
+  }
+  EXPECT_GT(trainer.TopKAccuracy(held_out, 1), 0.9);
+  EXPECT_GT(trainer.TopKAccuracy(held_out, 5), 0.99);
+}
+
+TEST(SoftmaxTrainerTest, DeterministicGivenSameData) {
+  SampleSpec spec;
+  auto train = MakeTrainSet(spec, 200);
+  SoftmaxTrainer a({}), b({});
+  a.TrainEpoch(train);
+  b.TrainEpoch(train);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(SoftmaxTrainerTest, OrderAffectsWeightsButNotQuality) {
+  SampleSpec spec;
+  auto train = MakeTrainSet(spec, 2000);
+  auto eval = MakeTrainSet(spec, 400, 2000);
+  SoftmaxTrainer fwd({}), rev({});
+  std::vector<LabelledSample> reversed(train.rbegin(), train.rend());
+  for (int e = 0; e < 4; ++e) {
+    fwd.TrainEpoch(train);
+    rev.TrainEpoch(reversed);
+  }
+  EXPECT_NE(fwd.weights(), rev.weights());
+  EXPECT_NEAR(fwd.TopKAccuracy(eval, 1), rev.TopKAccuracy(eval, 1), 0.05);
+}
+
+TEST(SoftmaxTrainerTest, DecodeRejectsGarbage) {
+  Bytes junk{1, 2, 3};
+  EXPECT_FALSE(SoftmaxTrainer::Decode(junk).ok());
+}
+
+TEST(SoftmaxTrainerTest, TrainBatchReturnsFiniteLoss) {
+  SampleSpec spec;
+  SoftmaxTrainer trainer({});
+  auto batch = MakeTrainSet(spec, 32);
+  double loss = trainer.TrainBatch(batch);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+  EXPECT_EQ(trainer.TrainBatch({}), 0.0);
+}
+
+}  // namespace
+}  // namespace diesel::dlt

@@ -1,0 +1,124 @@
+#include "etcd/config_store.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel::etcd {
+namespace {
+
+class ConfigStoreTest : public ::testing::Test {
+ protected:
+  ConfigStoreTest() : cluster_(3), fabric_(cluster_), store_(fabric_, 2) {}
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  ConfigStore store_;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(ConfigStoreTest, PutGetDelete) {
+  auto rev = store_.Put(clock_, 0, "/cfg/a", "1");
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ(*rev, 1u);
+  auto entry = store_.Get(clock_, 0, "/cfg/a");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->value, "1");
+  EXPECT_EQ(entry->create_revision, 1u);
+  EXPECT_EQ(entry->mod_revision, 1u);
+  auto del = store_.Delete(clock_, 0, "/cfg/a");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(*del, 2u);
+  EXPECT_TRUE(store_.Get(clock_, 0, "/cfg/a").status().IsNotFound());
+  EXPECT_TRUE(store_.Delete(clock_, 0, "/cfg/a").status().IsNotFound());
+}
+
+TEST_F(ConfigStoreTest, RevisionsMonotonicAndModTracked) {
+  ASSERT_TRUE(store_.Put(clock_, 0, "/k", "v1").ok());
+  ASSERT_TRUE(store_.Put(clock_, 0, "/k", "v2").ok());
+  auto entry = store_.Get(clock_, 0, "/k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->create_revision, 1u);
+  EXPECT_EQ(entry->mod_revision, 2u);
+  EXPECT_EQ(store_.Revision(), 2u);
+}
+
+TEST_F(ConfigStoreTest, ListByPrefixIsSorted) {
+  ASSERT_TRUE(store_.Put(clock_, 0, "/s/2", "b").ok());
+  ASSERT_TRUE(store_.Put(clock_, 0, "/s/1", "a").ok());
+  ASSERT_TRUE(store_.Put(clock_, 0, "/t/9", "x").ok());
+  auto entries = store_.List(clock_, 0, "/s/");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].key, "/s/1");
+  EXPECT_EQ((*entries)[1].key, "/s/2");
+}
+
+TEST_F(ConfigStoreTest, CompareAndSwapEnforcesRevision) {
+  // CAS create (expected 0).
+  auto r1 = store_.CompareAndSwap(clock_, 0, "/lock", "me", 0);
+  ASSERT_TRUE(r1.ok());
+  // Second create attempt loses.
+  auto r2 = store_.CompareAndSwap(clock_, 1, "/lock", "you", 0);
+  EXPECT_EQ(r2.status().code(), StatusCode::kFailedPrecondition);
+  // Update with the right revision wins.
+  auto r3 = store_.CompareAndSwap(clock_, 0, "/lock", "me2", *r1);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_GT(*r3, *r1);
+  EXPECT_EQ(store_.Get(clock_, 0, "/lock")->value, "me2");
+}
+
+TEST_F(ConfigStoreTest, WatchSinceReturnsOrderedEvents) {
+  ASSERT_TRUE(store_.Put(clock_, 0, "/w/a", "1").ok());
+  uint64_t mark = store_.Revision();
+  ASSERT_TRUE(store_.Put(clock_, 0, "/w/b", "2").ok());
+  ASSERT_TRUE(store_.Delete(clock_, 0, "/w/a").ok());
+  ASSERT_TRUE(store_.Put(clock_, 0, "/other", "x").ok());
+
+  auto events = store_.WatchSince(clock_, 1, "/w/", mark);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].type, ConfigEvent::Type::kPut);
+  EXPECT_EQ((*events)[0].entry.key, "/w/b");
+  EXPECT_EQ((*events)[1].type, ConfigEvent::Type::kDelete);
+  EXPECT_EQ((*events)[1].entry.key, "/w/a");
+  EXPECT_LT((*events)[0].entry.mod_revision, (*events)[1].entry.mod_revision);
+}
+
+TEST_F(ConfigStoreTest, CompactedWatchIsOutOfRange) {
+  ASSERT_TRUE(store_.Put(clock_, 0, "/c/1", "a").ok());
+  ASSERT_TRUE(store_.Put(clock_, 0, "/c/2", "b").ok());
+  store_.Compact(2);
+  EXPECT_EQ(store_.WatchSince(clock_, 0, "/c/", 1).status().code(),
+            StatusCode::kOutOfRange);
+  // Watching from the compaction floor onward still works.
+  ASSERT_TRUE(store_.Put(clock_, 0, "/c/3", "c").ok());
+  auto events = store_.WatchSince(clock_, 0, "/c/", 2);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 1u);
+}
+
+TEST_F(ConfigStoreTest, OpsChargeVirtualTime) {
+  Nanos before = clock_.now();
+  ASSERT_TRUE(store_.Put(clock_, 0, "/t", "v").ok());
+  EXPECT_GT(clock_.now(), before);
+}
+
+TEST_F(ConfigStoreTest, DownNodeMakesStoreUnavailable) {
+  cluster_.FailNode(2);
+  EXPECT_TRUE(store_.Put(clock_, 0, "/x", "v").status().IsUnavailable());
+}
+
+TEST(ServerAdvertisementTest, RoundTrip) {
+  std::string value = ServerValue(17, "diesel-server");
+  auto node = ParseServerNode(value);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, 17u);
+  EXPECT_FALSE(ParseServerNode("garbage").ok());
+  EXPECT_FALSE(ParseServerNode("x;info").ok());
+}
+
+TEST(ServerAdvertisementTest, KeysAreSortable) {
+  EXPECT_LT(ServerKey(1), ServerKey(2));
+  EXPECT_LT(ServerKey(9), ServerKey(10));  // zero-padded
+}
+
+}  // namespace
+}  // namespace diesel::etcd

@@ -1,0 +1,80 @@
+// Watch-based server discovery: a client keeps its server list fresh by
+// polling WatchSince on the /diesel/servers/ prefix — membership changes
+// (new server, decommissioned server) arrive as ordered events.
+#include <gtest/gtest.h>
+
+#include "etcd/config_store.h"
+
+namespace diesel::etcd {
+namespace {
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  DiscoveryTest() : cluster_(6), fabric_(cluster_), config_(fabric_, 5) {}
+
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  ConfigStore config_;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(DiscoveryTest, ClientTracksMembershipThroughWatch) {
+  // Bootstrap: two servers registered.
+  ASSERT_TRUE(config_.Put(clock_, 1, ServerKey(0), ServerValue(1, "s")).ok());
+  ASSERT_TRUE(config_.Put(clock_, 2, ServerKey(1), ServerValue(2, "s")).ok());
+
+  // Client lists once and remembers the revision.
+  auto initial = config_.List(clock_, 0, "/diesel/servers/");
+  ASSERT_TRUE(initial.ok());
+  ASSERT_EQ(initial->size(), 2u);
+  uint64_t seen = config_.Revision();
+
+  std::set<sim::NodeId> members;
+  for (const auto& e : initial.value()) {
+    members.insert(ParseServerNode(e.value).value());
+  }
+  EXPECT_EQ(members, (std::set<sim::NodeId>{1, 2}));
+
+  // Quiet poll: no events.
+  auto quiet = config_.WatchSince(clock_, 0, "/diesel/servers/", seen);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_TRUE(quiet->empty());
+
+  // A third server joins; one leaves; unrelated keys churn.
+  ASSERT_TRUE(config_.Put(clock_, 3, ServerKey(2), ServerValue(3, "s")).ok());
+  ASSERT_TRUE(config_.Put(clock_, 0, "/diesel/datasets/x", "meta").ok());
+  ASSERT_TRUE(config_.Delete(clock_, 1, ServerKey(0)).ok());
+
+  auto events = config_.WatchSince(clock_, 0, "/diesel/servers/", seen);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 2u);
+  for (const ConfigEvent& ev : events.value()) {
+    if (ev.type == ConfigEvent::Type::kPut) {
+      members.insert(ParseServerNode(ev.entry.value).value());
+    } else {
+      members.erase(ParseServerNode(ev.entry.value).value());
+    }
+    seen = ev.entry.mod_revision;
+  }
+  EXPECT_EQ(members, (std::set<sim::NodeId>{2, 3}));
+
+  // Resuming from the last applied revision sees nothing new.
+  auto resumed = config_.WatchSince(clock_, 0, "/diesel/servers/", seen);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->empty());
+}
+
+TEST_F(DiscoveryTest, CasElectsExactlyOneHousekeeper) {
+  // Two servers race to own housekeeping for a dataset; CAS picks one.
+  auto a = config_.CompareAndSwap(clock_, 1, "/diesel/housekeeper/ds",
+                                  "server-1", 0);
+  auto b = config_.CompareAndSwap(clock_, 2, "/diesel/housekeeper/ds",
+                                  "server-2", 0);
+  EXPECT_NE(a.ok(), b.ok());
+  auto owner = config_.Get(clock_, 0, "/diesel/housekeeper/ds");
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(owner->value, a.ok() ? "server-1" : "server-2");
+}
+
+}  // namespace
+}  // namespace diesel::etcd

@@ -1,0 +1,114 @@
+// FUSE write path and the §5 shuffle-list helper file.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "fusefs/fusefs.h"
+
+namespace diesel::fusefs {
+namespace {
+
+class FuseWriteShuffleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<core::Deployment>(core::DeploymentOptions{});
+    spec_.name = "fws";
+    spec_.num_classes = 3;
+    spec_.files_per_class = 20;
+    spec_.mean_file_bytes = 2048;
+    auto writer = deployment_->MakeClient(0, 0, spec_.name, 16 * 1024);
+    ASSERT_TRUE(dlt::ForEachFile(spec_, [&](const dlt::GeneratedFile& f) {
+                  return writer->Put(f.path, f.content);
+                }).ok());
+    ASSERT_TRUE(writer->Flush().ok());
+    for (uint32_t i = 0; i < 2; ++i) {
+      clients_.push_back(deployment_->MakeClient(1, i, spec_.name));
+      ASSERT_TRUE(clients_.back()->FetchSnapshot().ok());
+      daemon_.push_back(clients_.back().get());
+    }
+  }
+
+  std::unique_ptr<core::Deployment> deployment_;
+  dlt::DatasetSpec spec_;
+  std::vector<std::unique_ptr<core::DieselClient>> clients_;
+  std::vector<core::DieselClient*> daemon_;
+};
+
+TEST_F(FuseWriteShuffleTest, WriteFlushReadRoundTrip) {
+  FuseMount mount(daemon_);
+  sim::VirtualClock app;
+  // Writers on node 1 need unique chunk-id timestamps vs the ingest writer.
+  for (auto* c : daemon_) c->clock().Advance(Seconds(2.0));
+  std::string payload(5000, 'W');
+  ASSERT_TRUE(mount.WriteFile(app, "/fws/new/file.bin",
+                              AsBytesView(payload)).ok());
+  ASSERT_TRUE(mount.Flush(app).ok());
+
+  // Visible through a fresh client (no snapshot: server path).
+  auto reader = deployment_->MakeClient(0, 9, spec_.name);
+  auto content = reader->Get("/fws/new/file.bin");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(ToString(content.value()), payload);
+}
+
+TEST_F(FuseWriteShuffleTest, LargeWritePaysMoreCrossings) {
+  FuseMount mount(daemon_);
+  sim::VirtualClock small_clock, big_clock;
+  uint64_t before = mount.stats().requests;
+  ASSERT_TRUE(mount.WriteFile(small_clock, "/fws/s.bin",
+                              AsBytesView(std::string(1024, 'a'))).ok());
+  uint64_t small_reqs = mount.stats().requests - before;
+  before = mount.stats().requests;
+  ASSERT_TRUE(mount.WriteFile(big_clock, "/fws/b.bin",
+                              AsBytesView(std::string(600 * 1024, 'b'))).ok());
+  uint64_t big_reqs = mount.stats().requests - before;
+  EXPECT_GT(big_reqs, small_reqs);
+}
+
+TEST_F(FuseWriteShuffleTest, ShuffleListCoversDatasetExactlyOnce) {
+  FuseMount mount(daemon_);
+  sim::VirtualClock app;
+  auto list = mount.ReadShuffleList(app, /*group_size=*/2, /*seed=*/7);
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+
+  std::set<std::string> seen;
+  std::istringstream in(list.value());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_TRUE(seen.insert(line).second) << "duplicate " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, spec_.total_files());
+  // Every listed path is readable through the same mount.
+  auto content = mount.ReadFile(app, *seen.begin());
+  EXPECT_TRUE(content.ok());
+}
+
+TEST_F(FuseWriteShuffleTest, ShuffleListVariesWithSeed) {
+  FuseMount mount(daemon_);
+  sim::VirtualClock app;
+  auto a = mount.ReadShuffleList(app, 2, 1);
+  auto b = mount.ReadShuffleList(app, 2, 2);
+  auto a2 = mount.ReadShuffleList(app, 2, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_NE(a.value(), b.value());   // epochs differ
+  EXPECT_EQ(a.value(), a2.value());  // deterministic per seed
+}
+
+TEST_F(FuseWriteShuffleTest, ShuffleListNeedsSnapshot) {
+  auto bare = deployment_->MakeClient(1, 8, spec_.name);  // no snapshot
+  FuseMount mount({bare.get()});
+  sim::VirtualClock app;
+  EXPECT_EQ(mount.ReadShuffleList(app, 2, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace diesel::fusefs

@@ -1,0 +1,183 @@
+#include "fusefs/fusefs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "fusefs/localfs.h"
+#include "fusefs/lustre_adapter.h"
+#include "lustre/lustre.h"
+#include "sim/calibration.h"
+
+namespace diesel::fusefs {
+namespace {
+
+class FuseMountTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::DeploymentOptions opts;
+    deployment_ = std::make_unique<core::Deployment>(opts);
+
+    spec_.name = "fuse";
+    spec_.num_classes = 3;
+    spec_.files_per_class = 10;
+    spec_.mean_file_bytes = 4096;
+
+    auto writer = deployment_->MakeClient(0, 0, spec_.name, 32 * 1024);
+    ASSERT_TRUE(dlt::ForEachFile(spec_, [&](const dlt::GeneratedFile& f) {
+                  return writer->Put(f.path, f.content);
+                }).ok());
+    ASSERT_TRUE(writer->Flush().ok());
+
+    for (uint32_t i = 0; i < 4; ++i) {
+      clients_.push_back(deployment_->MakeClient(1, i, spec_.name));
+      ASSERT_TRUE(clients_.back()->FetchSnapshot().ok());
+      client_ptrs_.push_back(clients_.back().get());
+    }
+  }
+
+  std::unique_ptr<core::Deployment> deployment_;
+  dlt::DatasetSpec spec_;
+  std::vector<std::unique_ptr<core::DieselClient>> clients_;
+  std::vector<core::DieselClient*> client_ptrs_;
+};
+
+TEST_F(FuseMountTest, ReadFileMatchesContent) {
+  FuseMount mount(client_ptrs_);
+  sim::VirtualClock app;
+  auto content = mount.ReadFile(app, dlt::FilePath(spec_, 4));
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(dlt::VerifyContent(spec_, 4, content.value()));
+  EXPECT_GT(mount.stats().bytes_read, 0u);
+}
+
+TEST_F(FuseMountTest, MissingFileNotFound) {
+  FuseMount mount(client_ptrs_);
+  sim::VirtualClock app;
+  EXPECT_TRUE(mount.ReadFile(app, "/fuse/nope").status().IsNotFound());
+}
+
+TEST_F(FuseMountTest, CrossingCostChargedPerRequest) {
+  FuseMount mount(client_ptrs_);
+  sim::VirtualClock app;
+  uint64_t before = mount.stats().requests;
+  ASSERT_TRUE(mount.ReadFile(app, dlt::FilePath(spec_, 0)).ok());
+  // A ~4KB file: open + (1 read riding along) + close = 2+ crossings.
+  EXPECT_GE(mount.stats().requests - before, 2u);
+  EXPECT_GT(app.now(), 2 * sim::kFuseCrossingCost);
+}
+
+TEST_F(FuseMountTest, LargeFilesSplitIntoMoreRequests) {
+  // Write one big file (600KB) -> ceil(600/128) slices.
+  auto writer = deployment_->MakeClient(0, 9, spec_.name);
+  writer->clock().Advance(Seconds(2.0));
+  Bytes big(600 * 1024, 0x7);
+  ASSERT_TRUE(writer->Put("/fuse/big.bin", big).ok());
+  ASSERT_TRUE(writer->Flush().ok());
+  auto reader = deployment_->MakeClient(1, 8, spec_.name);
+  FuseMount mount({reader.get()});
+  sim::VirtualClock app;
+  uint64_t before = mount.stats().requests;
+  auto content = mount.ReadFile(app, "/fuse/big.bin");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), big.size());
+  // open + 4 extra read slices + close = 6 crossings.
+  EXPECT_EQ(mount.stats().requests - before, 6u);
+}
+
+TEST_F(FuseMountTest, StatAndReadDirAndWalk) {
+  FuseMount mount(client_ptrs_);
+  sim::VirtualClock app;
+  auto st = mount.Stat(app, dlt::FilePath(spec_, 2), true);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(st->size, 0u);
+  EXPECT_FALSE(st->is_dir);
+
+  auto dir = mount.Stat(app, "/fuse/train", false);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->is_dir);
+
+  auto ls = mount.ReadDir(app, "/fuse/train");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ls->size(), spec_.num_classes);
+
+  auto walk = LsRecursive(mount, app, "/fuse", false);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(walk->entries_listed,
+            1 + spec_.num_classes + spec_.total_files());  // train + dirs + files
+  // ls --color stats every file even without -l.
+  EXPECT_EQ(walk->stats_issued, spec_.total_files());
+}
+
+TEST_F(FuseMountTest, RequestsSpreadAcrossDaemonClients) {
+  FuseMount mount(client_ptrs_);
+  sim::VirtualClock app;
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(mount.ReadFile(app, dlt::FilePath(spec_, i)).ok());
+  }
+  size_t active = 0;
+  for (auto& c : clients_) {
+    if (c->stats().files_read > 0) ++active;
+  }
+  EXPECT_EQ(active, clients_.size());
+}
+
+TEST(XfsFsTest, StructureAndWalk) {
+  XfsFs fs;
+  for (int c = 0; c < 3; ++c) {
+    for (int f = 0; f < 5; ++f) {
+      fs.AddFile("/data/cls" + std::to_string(c) + "/f" + std::to_string(f),
+                 100);
+    }
+  }
+  EXPECT_EQ(fs.NumFiles(), 15u);
+  sim::VirtualClock clock;
+  auto ls = fs.ReadDir(clock, "/data");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ls->size(), 3u);
+  EXPECT_TRUE((*ls)[0].is_dir);
+
+  auto st = fs.Stat(clock, "/data/cls0/f0", true);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 100u);
+
+  auto walk = LsRecursive(fs, clock, "/data", true);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(walk->stats_issued, 15u);
+  EXPECT_GT(clock.now(), 0u);
+}
+
+TEST(XfsFsTest, MissingPathsFail) {
+  XfsFs fs;
+  sim::VirtualClock clock;
+  EXPECT_TRUE(fs.ReadDir(clock, "/nope").status().IsNotFound());
+  EXPECT_TRUE(fs.Stat(clock, "/nope", false).status().IsNotFound());
+}
+
+TEST(LustreAdapterTest, WalkCountsMatch) {
+  sim::Cluster cluster(3);
+  net::Fabric fabric(cluster);
+  lustre::LustreFs lfs(fabric, {.mds_node = 1, .oss_node = 2});
+  sim::VirtualClock clock;
+  for (int c = 0; c < 2; ++c) {
+    for (int f = 0; f < 4; ++f) {
+      ASSERT_TRUE(lfs.CreateSized(clock, 0,
+                                  "/ds/c" + std::to_string(c) + "/f" +
+                                      std::to_string(f),
+                                  64).ok());
+    }
+  }
+  LustreAdapter adapter(lfs, 0);
+  sim::VirtualClock plain, sized;
+  auto walk = LsRecursive(adapter, plain, "/ds", false);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(walk->entries_listed, 2u + 8u);
+  auto walk_l = LsRecursive(adapter, sized, "/ds", true);
+  ASSERT_TRUE(walk_l.ok());
+  EXPECT_EQ(walk_l->stats_issued, 8u);
+  // ls -lR pays the size-on-OSS penalty (Fig. 10c).
+  EXPECT_GT(sized.now(), plain.now());
+}
+
+}  // namespace
+}  // namespace diesel::fusefs

@@ -1,0 +1,148 @@
+#include "kv/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/node.h"
+
+namespace diesel::kv {
+namespace {
+
+class KvClusterTest : public ::testing::Test {
+ protected:
+  KvClusterTest() : cluster_(6), fabric_(cluster_) {
+    KvClusterOptions opts;
+    opts.nodes = {2, 3, 4, 5};
+    opts.shards_per_node = 4;
+    kv_ = std::make_unique<KvCluster>(fabric_, opts);
+  }
+
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  std::unique_ptr<KvCluster> kv_;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(KvClusterTest, ShardLayoutMatchesOptions) {
+  EXPECT_EQ(kv_->NumShards(), 16u);
+  EXPECT_EQ(kv_->ShardNode(0), 2u);
+  EXPECT_EQ(kv_->ShardNode(15), 5u);
+}
+
+TEST_F(KvClusterTest, PutGetDeleteRoundTrip) {
+  ASSERT_TRUE(kv_->Put(clock_, 0, "alpha", "1").ok());
+  auto v = kv_->Get(clock_, 0, "alpha");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "1");
+  ASSERT_TRUE(kv_->Delete(clock_, 0, "alpha").ok());
+  EXPECT_TRUE(kv_->Get(clock_, 0, "alpha").status().IsNotFound());
+  EXPECT_TRUE(kv_->Delete(clock_, 0, "alpha").IsNotFound());
+}
+
+TEST_F(KvClusterTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(kv_->Get(clock_, 0, "ghost").status().IsNotFound());
+}
+
+TEST_F(KvClusterTest, PutOverwrites) {
+  ASSERT_TRUE(kv_->Put(clock_, 0, "k", "old").ok());
+  ASSERT_TRUE(kv_->Put(clock_, 0, "k", "new").ok());
+  EXPECT_EQ(kv_->Get(clock_, 0, "k").value(), "new");
+  EXPECT_EQ(kv_->TotalKeys(), 1u);
+}
+
+TEST_F(KvClusterTest, BatchPutStoresEverything) {
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.emplace_back("key" + std::to_string(i), "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(kv_->BatchPut(clock_, 0, batch).ok());
+  EXPECT_EQ(kv_->TotalKeys(), 200u);
+  EXPECT_EQ(kv_->Get(clock_, 0, "key123").value(), "v123");
+}
+
+TEST_F(KvClusterTest, BatchPutIsFasterThanSingles) {
+  std::vector<std::pair<std::string, std::string>> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.emplace_back("b" + std::to_string(i), "v");
+  }
+  sim::VirtualClock batched, single;
+  ASSERT_TRUE(kv_->BatchPut(batched, 0, batch).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(kv_->Put(single, 1, "s" + std::to_string(i), "v").ok());
+  }
+  EXPECT_LT(batched.now(), single.now());
+}
+
+TEST_F(KvClusterTest, PScanReturnsSortedPrefixMatches) {
+  ASSERT_TRUE(kv_->Put(clock_, 0, "p/c", "3").ok());
+  ASSERT_TRUE(kv_->Put(clock_, 0, "p/a", "1").ok());
+  ASSERT_TRUE(kv_->Put(clock_, 0, "p/b", "2").ok());
+  ASSERT_TRUE(kv_->Put(clock_, 0, "q/x", "9").ok());
+  auto scan = kv_->PScan(clock_, 0, "p/");
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 3u);
+  EXPECT_EQ((*scan)[0].key, "p/a");
+  EXPECT_EQ((*scan)[1].key, "p/b");
+  EXPECT_EQ((*scan)[2].key, "p/c");
+}
+
+TEST_F(KvClusterTest, PScanHonoursLimit) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(kv_->Put(clock_, 0, "lim/" + std::to_string(i), "v").ok());
+  }
+  auto scan = kv_->PScan(clock_, 0, "lim/", 10);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->size(), 10u);
+}
+
+TEST_F(KvClusterTest, FailedShardReturnsUnavailable) {
+  // Find a key owned by shard 5 deterministically.
+  std::string key;
+  for (int i = 0;; ++i) {
+    key = "probe" + std::to_string(i);
+    if (kv_->OwnerShard(key) == 5) break;
+  }
+  ASSERT_TRUE(kv_->Put(clock_, 0, key, "v").ok());
+  kv_->FailShard(5);
+  EXPECT_TRUE(kv_->Get(clock_, 0, key).status().IsUnavailable());
+  EXPECT_TRUE(kv_->Put(clock_, 0, key, "v2").IsUnavailable());
+  // Restart: shard is empty (in-memory store).
+  kv_->RestartShard(5);
+  EXPECT_TRUE(kv_->Get(clock_, 0, key).status().IsNotFound());
+}
+
+TEST_F(KvClusterTest, FailShardsOnNodeKillsOnlyThatNodesShards) {
+  kv_->FailShardsOnNode(2);
+  size_t down = 0;
+  for (uint32_t s = 0; s < kv_->NumShards(); ++s) {
+    if (!kv_->shard(s).up()) {
+      ++down;
+      EXPECT_EQ(kv_->ShardNode(s), 2u);
+    }
+  }
+  EXPECT_EQ(down, 4u);
+}
+
+TEST_F(KvClusterTest, PScanFailsWhenAnyShardDown) {
+  kv_->FailShard(0);
+  EXPECT_TRUE(kv_->PScan(clock_, 0, "x").status().IsUnavailable());
+}
+
+TEST_F(KvClusterTest, OperationsChargeVirtualTime) {
+  Nanos before = clock_.now();
+  ASSERT_TRUE(kv_->Put(clock_, 0, "timed", "v").ok());
+  EXPECT_GT(clock_.now(), before);
+}
+
+TEST_F(KvClusterTest, KeysSpreadAcrossShards) {
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(kv_->Put(clock_, 0, "spread" + std::to_string(i), "v").ok());
+  }
+  size_t nonempty = 0;
+  for (uint32_t s = 0; s < kv_->NumShards(); ++s) {
+    if (kv_->shard(s).NumKeys() > 0) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 12u);  // near-uniform over 16 shards
+}
+
+}  // namespace
+}  // namespace diesel::kv

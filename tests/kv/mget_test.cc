@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "kv/cluster.h"
+#include "sim/node.h"
+
+namespace diesel::kv {
+namespace {
+
+class MGetTest : public ::testing::Test {
+ protected:
+  MGetTest() : cluster_(5), fabric_(cluster_) {
+    KvClusterOptions opts;
+    opts.nodes = {1, 2, 3, 4};
+    kv_ = std::make_unique<KvCluster>(fabric_, opts);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(kv_->Put(clock_, 0, "k" + std::to_string(i),
+                           "v" + std::to_string(i)).ok());
+    }
+  }
+
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  std::unique_ptr<KvCluster> kv_;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(MGetTest, ResultsAlignWithKeys) {
+  std::vector<std::string> keys{"k5", "k99", "missing", "k0", "k5"};
+  auto values = kv_->MGet(clock_, 0, keys);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), keys.size());
+  EXPECT_EQ((*values)[0], "v5");
+  EXPECT_EQ((*values)[1], "v99");
+  EXPECT_FALSE((*values)[2].has_value());
+  EXPECT_EQ((*values)[3], "v0");
+  EXPECT_EQ((*values)[4], "v5");  // duplicates allowed
+}
+
+TEST_F(MGetTest, EmptyKeyListIsNoop) {
+  Nanos before = clock_.now();
+  auto values = kv_->MGet(clock_, 0, {});
+  ASSERT_TRUE(values.ok());
+  EXPECT_TRUE(values->empty());
+  EXPECT_EQ(clock_.now(), before);  // no RPCs issued
+}
+
+TEST_F(MGetTest, BatchedGetIsFasterThanSingles) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("k" + std::to_string(i));
+  sim::VirtualClock batched, single;
+  ASSERT_TRUE(kv_->MGet(batched, 0, keys).ok());
+  for (const auto& k : keys) {
+    ASSERT_TRUE(kv_->Get(single, 0, k).ok());
+  }
+  EXPECT_LT(batched.now(), single.now() / 2);
+}
+
+TEST_F(MGetTest, DownShardFailsOnlyBatchesTouchingIt) {
+  // Find one key on the shard we will kill and one elsewhere. With 16
+  // shards and a balanced ring, both exist among a few hundred probes.
+  std::string victim, live;
+  for (int i = 0; i < 1000 && (victim.empty() || live.empty()); ++i) {
+    std::string key = "probe" + std::to_string(i);
+    if (kv_->OwnerShard(key) == 7) {
+      if (victim.empty()) victim = key;
+    } else if (live.empty()) {
+      live = key;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  ASSERT_FALSE(live.empty());
+  ASSERT_TRUE(kv_->Put(clock_, 0, live, "alive").ok());
+
+  kv_->FailShard(7);
+  EXPECT_TRUE(kv_->MGet(clock_, 0, {live, victim}).status().IsUnavailable());
+  auto good = kv_->MGet(clock_, 0, {live});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ((*good)[0], "alive");
+}
+
+}  // namespace
+}  // namespace diesel::kv

@@ -1,0 +1,107 @@
+#include "kv/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace diesel::kv {
+namespace {
+
+TEST(HashRingTest, AddRemoveMembers) {
+  HashRing ring;
+  ring.AddMember(0);
+  ring.AddMember(1);
+  EXPECT_EQ(ring.NumMembers(), 2u);
+  ring.AddMember(1);  // idempotent
+  EXPECT_EQ(ring.NumMembers(), 2u);
+  ring.RemoveMember(0);
+  EXPECT_EQ(ring.NumMembers(), 1u);
+  EXPECT_FALSE(ring.HasMember(0));
+  EXPECT_TRUE(ring.HasMember(1));
+}
+
+TEST(HashRingTest, SingleMemberOwnsEverything) {
+  HashRing ring;
+  ring.AddMember(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.Owner("key" + std::to_string(i)), 3u);
+  }
+  EXPECT_NEAR(ring.OwnedFraction(3), 1.0, 1e-9);
+}
+
+TEST(HashRingTest, OwnershipIsDeterministic) {
+  HashRing a, b;
+  for (uint32_t m = 0; m < 8; ++m) {
+    a.AddMember(m);
+    b.AddMember(m);
+  }
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a.Owner(key), b.Owner(key));
+  }
+}
+
+TEST(HashRingTest, LoadIsRoughlyBalanced) {
+  HashRing ring(128);
+  const uint32_t kMembers = 10;
+  for (uint32_t m = 0; m < kMembers; ++m) ring.AddMember(m);
+  std::map<uint32_t, int> counts;
+  const int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ring.Owner("object-" + std::to_string(i))];
+  }
+  for (uint32_t m = 0; m < kMembers; ++m) {
+    double share = static_cast<double>(counts[m]) / kKeys;
+    EXPECT_GT(share, 0.05) << "member " << m;
+    EXPECT_LT(share, 0.20) << "member " << m;
+  }
+}
+
+TEST(HashRingTest, OwnedFractionsSumToOne) {
+  HashRing ring(64);
+  for (uint32_t m = 0; m < 5; ++m) ring.AddMember(m);
+  double total = 0;
+  for (uint32_t m = 0; m < 5; ++m) total += ring.OwnedFraction(m);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+// The consistent-hashing property: removing one member only remaps the keys
+// it owned; every other key keeps its owner.
+TEST(HashRingTest, PropertyRemovalOnlyRemapsVictimKeys) {
+  HashRing ring(64);
+  for (uint32_t m = 0; m < 8; ++m) ring.AddMember(m);
+  std::map<std::string, uint32_t> before;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "file" + std::to_string(i);
+    before[key] = ring.Owner(key);
+  }
+  const uint32_t kVictim = 3;
+  ring.RemoveMember(kVictim);
+  for (const auto& [key, owner] : before) {
+    uint32_t now = ring.Owner(key);
+    if (owner == kVictim) {
+      EXPECT_NE(now, kVictim);
+    } else {
+      EXPECT_EQ(now, owner) << key;
+    }
+  }
+}
+
+TEST(HashRingTest, ReAddingMemberRestoresOwnership) {
+  HashRing ring(64);
+  for (uint32_t m = 0; m < 4; ++m) ring.AddMember(m);
+  std::map<std::string, uint32_t> before;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "k" + std::to_string(i);
+    before[key] = ring.Owner(key);
+  }
+  ring.RemoveMember(2);
+  ring.AddMember(2);
+  for (const auto& [key, owner] : before) {
+    EXPECT_EQ(ring.Owner(key), owner) << key;
+  }
+}
+
+}  // namespace
+}  // namespace diesel::kv

@@ -1,0 +1,110 @@
+#include "lustre/lustre.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel::lustre {
+namespace {
+
+class LustreTest : public ::testing::Test {
+ protected:
+  LustreTest() : cluster_(4), fabric_(cluster_) {
+    LustreOptions opts;
+    opts.mds_node = 2;
+    opts.oss_node = 3;
+    fs_ = std::make_unique<LustreFs>(fabric_, opts);
+  }
+
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  std::unique_ptr<LustreFs> fs_;
+  sim::VirtualClock clock_;
+};
+
+TEST_F(LustreTest, CreateAndReadBackContent) {
+  std::string payload = "lustre file content";
+  ASSERT_TRUE(fs_->Create(clock_, 0, "/d/f.txt", AsBytesView(payload)).ok());
+  auto data = fs_->Read(clock_, 0, "/d/f.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(data.value()), payload);
+}
+
+TEST_F(LustreTest, CreateSizedReadsZerosButChargesTime) {
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/d/s.bin", 1 << 20).ok());
+  sim::VirtualClock small_clock, big_clock;
+  ASSERT_TRUE(fs_->CreateSized(small_clock, 0, "/d/tiny.bin", 128).ok());
+  auto big = fs_->Read(big_clock, 0, "/d/s.bin");
+  auto small = fs_->Read(small_clock, 0, "/d/tiny.bin");
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(big->size(), 1u << 20);
+  EXPECT_GT(big_clock.now(), small_clock.now());
+}
+
+TEST_F(LustreTest, ReadMissingFails) {
+  EXPECT_TRUE(fs_->Read(clock_, 0, "/ghost").status().IsNotFound());
+}
+
+TEST_F(LustreTest, StatReturnsSizeAndDirBit) {
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/a/b/c.bin", 777).ok());
+  auto st = fs_->Stat(clock_, 0, "/a/b/c.bin", true);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 777u);
+  EXPECT_FALSE(st->is_dir);
+  auto dir = fs_->Stat(clock_, 0, "/a/b", false);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->is_dir);
+}
+
+TEST_F(LustreTest, StatWithSizeCostsMoreThanWithout) {
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/x/f", 10).ok());
+  sim::VirtualClock plain, sized;
+  ASSERT_TRUE(fs_->Stat(plain, 0, "/x/f", false).ok());
+  ASSERT_TRUE(fs_->Stat(sized, 1, "/x/f", true).ok());
+  // The OSS glimpse makes ls -lR slower than ls -R (Fig. 10c).
+  EXPECT_GT(sized.now(), plain.now());
+}
+
+TEST_F(LustreTest, ReadDirListsChildren) {
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/root/sub/f1", 1).ok());
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/root/f2", 1).ok());
+  auto entries = fs_->ReadDir(clock_, 0, "/root");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);  // "sub" and "f2"
+  auto sub = fs_->ReadDir(clock_, 0, "/root/sub");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value(), std::vector<std::string>{"f1"});
+}
+
+TEST_F(LustreTest, ReadDirMissingDirFails) {
+  EXPECT_TRUE(fs_->ReadDir(clock_, 0, "/nowhere").status().IsNotFound());
+}
+
+TEST_F(LustreTest, UnlinkRemovesFileAndDirEntry) {
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/u/f", 1).ok());
+  ASSERT_TRUE(fs_->Unlink(clock_, 0, "/u/f").ok());
+  EXPECT_TRUE(fs_->Read(clock_, 0, "/u/f").status().IsNotFound());
+  auto entries = fs_->ReadDir(clock_, 0, "/u");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+  EXPECT_TRUE(fs_->Unlink(clock_, 0, "/u/f").IsNotFound());
+}
+
+TEST_F(LustreTest, SmallFileCreatesAreMdsBound) {
+  // 64 sequential creates of tiny files serialize around the MDS: total time
+  // must be at least 64 x the MDS create cost.
+  sim::VirtualClock w;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs_->CreateSized(w, 0, "/mds/f" + std::to_string(i), 128).ok());
+  }
+  EXPECT_GT(w.now(), 64 * sim::kLustreCreateCost);
+}
+
+TEST_F(LustreTest, MdsDeviceAccountsOps) {
+  uint64_t before = fs_->mds().ops_served();
+  ASSERT_TRUE(fs_->CreateSized(clock_, 0, "/ops/f", 1).ok());
+  ASSERT_TRUE(fs_->Stat(clock_, 0, "/ops/f", false).ok());
+  EXPECT_GE(fs_->mds().ops_served(), before + 2);
+}
+
+}  // namespace
+}  // namespace diesel::lustre

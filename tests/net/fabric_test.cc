@@ -1,0 +1,120 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel::net {
+namespace {
+
+TEST(ConnectionTableTest, ConnectIsIdempotentAndUnordered) {
+  ConnectionTable table;
+  EndpointId a{0, 0}, b{1, 0};
+  EXPECT_TRUE(table.Connect(a, b));
+  EXPECT_FALSE(table.Connect(a, b));
+  EXPECT_FALSE(table.Connect(b, a));  // same edge
+  EXPECT_EQ(table.TotalConnections(), 1u);
+  EXPECT_TRUE(table.Connected(b, a));
+}
+
+TEST(ConnectionTableTest, DisconnectRemoves) {
+  ConnectionTable table;
+  EndpointId a{0, 0}, b{1, 0};
+  table.Connect(a, b);
+  EXPECT_TRUE(table.Disconnect(b, a));
+  EXPECT_FALSE(table.Disconnect(a, b));
+  EXPECT_EQ(table.TotalConnections(), 0u);
+}
+
+TEST(ConnectionTableTest, ConnectionsOfCountsIncidentEdges) {
+  ConnectionTable table;
+  EndpointId hub{0, 0};
+  for (uint32_t i = 1; i <= 5; ++i) {
+    table.Connect(hub, {i, 0});
+  }
+  EXPECT_EQ(table.ConnectionsOf(hub), 5u);
+  EXPECT_EQ(table.ConnectionsOf({1, 0}), 1u);
+  EXPECT_EQ(table.ConnectionsOf({9, 9}), 0u);
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : cluster_(3), fabric_(cluster_) {}
+  sim::Cluster cluster_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, CallRoundTripAdvancesClock) {
+  sim::VirtualClock clock;
+  Status st = fabric_.Call(clock, 0, 1, 100, 100,
+                           [](Nanos arrival) { return arrival + 500; });
+  ASSERT_TRUE(st.ok());
+  // At least: 2 wire latencies + handler 500ns + NIC/CPU costs.
+  EXPECT_GT(clock.now(), 2 * sim::kWireLatency + 500);
+}
+
+TEST_F(FabricTest, LoopbackSkipsNics) {
+  sim::VirtualClock remote, local;
+  ASSERT_TRUE(fabric_.Call(remote, 0, 1, 0, 0,
+                           [](Nanos a) { return a; }).ok());
+  ASSERT_TRUE(fabric_.Call(local, 0, 0, 0, 0,
+                           [](Nanos a) { return a; }).ok());
+  EXPECT_LT(local.now(), remote.now());
+}
+
+TEST_F(FabricTest, HandlerSeesArrivalAfterRequestLeg) {
+  sim::VirtualClock clock;
+  clock.AdvanceTo(1000);
+  Nanos seen = 0;
+  ASSERT_TRUE(fabric_.Call(clock, 0, 1, 64, 0, [&](Nanos arrival) {
+                seen = arrival;
+                return arrival;
+              }).ok());
+  EXPECT_GT(seen, 1000u + sim::kWireLatency);
+}
+
+TEST_F(FabricTest, CallToDownNodeFailsUnavailable) {
+  cluster_.FailNode(1);
+  sim::VirtualClock clock;
+  Status st = fabric_.Call(clock, 0, 1, 0, 0, [](Nanos a) { return a; });
+  EXPECT_TRUE(st.IsUnavailable());
+  // Recovery restores service.
+  cluster_.RecoverNode(1);
+  EXPECT_TRUE(fabric_.Call(clock, 0, 1, 0, 0,
+                           [](Nanos a) { return a; }).ok());
+}
+
+TEST_F(FabricTest, CallFromDownNodeFails) {
+  cluster_.FailNode(0);
+  sim::VirtualClock clock;
+  EXPECT_TRUE(fabric_.Call(clock, 0, 1, 0, 0,
+                           [](Nanos a) { return a; }).IsUnavailable());
+}
+
+TEST_F(FabricTest, SendDeliversWithoutBlockingOnHandler) {
+  sim::VirtualClock clock;
+  Nanos delivered_at = 0;
+  ASSERT_TRUE(fabric_.Send(clock, 0, 2, 1 << 20, [&](Nanos t) {
+                delivered_at = t;
+              }).ok());
+  // Sender clock advances only through its NIC, not to delivery time.
+  EXPECT_GT(delivered_at, clock.now());
+}
+
+TEST_F(FabricTest, RpcCounterIncrements) {
+  sim::VirtualClock clock;
+  uint64_t before = fabric_.rpcs_issued();
+  (void)fabric_.Call(clock, 0, 1, 0, 0, [](Nanos a) { return a; });
+  (void)fabric_.Send(clock, 0, 1, 0, [](Nanos) {});
+  EXPECT_EQ(fabric_.rpcs_issued(), before + 2);
+}
+
+TEST_F(FabricTest, BigPayloadTakesLongerThanSmall) {
+  sim::VirtualClock small, big;
+  ASSERT_TRUE(fabric_.Call(small, 0, 1, 64, 64,
+                           [](Nanos a) { return a; }).ok());
+  ASSERT_TRUE(fabric_.Call(big, 0, 2, 4 << 20, 64,
+                           [](Nanos a) { return a; }).ok());
+  EXPECT_GT(big.now(), small.now());
+}
+
+}  // namespace
+}  // namespace diesel::net

@@ -1,0 +1,177 @@
+// Conformance suite run against every ObjectStore implementation
+// (typed tests), plus implementation-specific checks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "ostore/dir_store.h"
+#include "ostore/mem_store.h"
+#include "ostore/modeled_store.h"
+#include "sim/calibration.h"
+
+namespace diesel::ostore {
+namespace {
+
+Bytes Blob(std::initializer_list<uint8_t> v) { return Bytes(v); }
+
+// ---- shared conformance fixture -------------------------------------------
+
+struct MemFactory {
+  static std::unique_ptr<ObjectStore> Make() {
+    return std::make_unique<MemStore>();
+  }
+};
+
+struct DirFactory {
+  static std::unique_ptr<ObjectStore> Make() {
+    static int counter = 0;
+    auto dir = std::filesystem::temp_directory_path() /
+               ("diesel_dirstore_test_" + std::to_string(counter++));
+    std::filesystem::remove_all(dir);
+    return std::make_unique<DirStore>(dir);
+  }
+};
+
+template <typename Factory>
+class ObjectStoreConformance : public ::testing::Test {
+ protected:
+  ObjectStoreConformance() : store_(Factory::Make()) {}
+  std::unique_ptr<ObjectStore> store_;
+  sim::VirtualClock clock_;
+};
+
+using Factories = ::testing::Types<MemFactory, DirFactory>;
+TYPED_TEST_SUITE(ObjectStoreConformance, Factories);
+
+TYPED_TEST(ObjectStoreConformance, PutGetRoundTrip) {
+  Bytes data = Blob({1, 2, 3, 4, 5});
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "a/b", data).ok());
+  auto got = this->store_->Get(this->clock_, 0, "a/b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), data);
+  EXPECT_TRUE(this->store_->Contains("a/b"));
+  EXPECT_EQ(this->store_->NumObjects(), 1u);
+}
+
+TYPED_TEST(ObjectStoreConformance, GetMissingIsNotFound) {
+  EXPECT_TRUE(this->store_->Get(this->clock_, 0, "nope").status().IsNotFound());
+  EXPECT_FALSE(this->store_->Contains("nope"));
+}
+
+TYPED_TEST(ObjectStoreConformance, PutOverwrites) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "k", Blob({1, 2})).ok());
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "k", Blob({9})).ok());
+  EXPECT_EQ(this->store_->Get(this->clock_, 0, "k").value(), Blob({9}));
+  EXPECT_EQ(this->store_->NumObjects(), 1u);
+}
+
+TYPED_TEST(ObjectStoreConformance, GetRangeSlices) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<uint8_t>(i));
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "r", data).ok());
+  auto mid = this->store_->GetRange(this->clock_, 0, "r", 10, 5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid.value(), Blob({10, 11, 12, 13, 14}));
+  auto whole = this->store_->GetRange(this->clock_, 0, "r", 0, 100);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->size(), 100u);
+}
+
+TYPED_TEST(ObjectStoreConformance, GetRangePastEndIsOutOfRange) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "r", Blob({1, 2, 3})).ok());
+  auto r = this->store_->GetRange(this->clock_, 0, "r", 2, 5);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TYPED_TEST(ObjectStoreConformance, DeleteRemoves) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "d", Blob({7})).ok());
+  ASSERT_TRUE(this->store_->Delete(this->clock_, 0, "d").ok());
+  EXPECT_TRUE(this->store_->Delete(this->clock_, 0, "d").IsNotFound());
+  EXPECT_EQ(this->store_->NumObjects(), 0u);
+}
+
+TYPED_TEST(ObjectStoreConformance, ListSortedWithPrefix) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "p/3", Blob({3})).ok());
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "p/1", Blob({1})).ok());
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "p/2", Blob({2})).ok());
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "q/9", Blob({9})).ok());
+  auto keys = this->store_->List(this->clock_, 0, "p/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys.value(),
+            (std::vector<std::string>{"p/1", "p/2", "p/3"}));
+}
+
+TYPED_TEST(ObjectStoreConformance, SizeReportsLength) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "s", Bytes(1234, 0)).ok());
+  EXPECT_EQ(this->store_->Size(this->clock_, 0, "s").value(), 1234u);
+  EXPECT_TRUE(this->store_->Size(this->clock_, 0, "zz").status().IsNotFound());
+}
+
+TYPED_TEST(ObjectStoreConformance, TotalBytesTracksContent) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "a", Bytes(100, 0)).ok());
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "b", Bytes(50, 0)).ok());
+  EXPECT_EQ(this->store_->TotalBytes(), 150u);
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "a", Bytes(10, 0)).ok());
+  EXPECT_EQ(this->store_->TotalBytes(), 60u);
+}
+
+TYPED_TEST(ObjectStoreConformance, EmptyBlobAllowed) {
+  ASSERT_TRUE(this->store_->Put(this->clock_, 0, "empty", {}).ok());
+  auto got = this->store_->Get(this->clock_, 0, "empty");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+// ---- ModeledStore timing ----------------------------------------------------
+
+class ModeledStoreTest : public ::testing::Test {
+ protected:
+  ModeledStoreTest()
+      : cluster_(3), fabric_(cluster_),
+        modeled_(fabric_, 2, sim::SsdClusterSpec(), &backing_) {}
+  sim::Cluster cluster_;
+  net::Fabric fabric_;
+  MemStore backing_;
+  ModeledStore modeled_;
+};
+
+TEST_F(ModeledStoreTest, ChargesDeviceAndNetworkTime) {
+  sim::VirtualClock clock;
+  ASSERT_TRUE(modeled_.Put(clock, 0, "x", Bytes(1 << 20, 1)).ok());
+  EXPECT_GT(clock.now(), sim::SsdClusterSpec().latency);
+  // Writes go to the (possibly distinct) write device; reads to the read one.
+  EXPECT_EQ(modeled_.write_device().ops_served(), 1u);
+  EXPECT_EQ(modeled_.device().ops_served(), 0u);
+  ASSERT_TRUE(modeled_.Get(clock, 0, "x").ok());
+  EXPECT_EQ(modeled_.device().ops_served(), 1u);
+}
+
+TEST_F(ModeledStoreTest, LargerReadsTakeLonger) {
+  sim::VirtualClock w;
+  ASSERT_TRUE(modeled_.Put(w, 0, "small", Bytes(4 << 10, 1)).ok());
+  ASSERT_TRUE(modeled_.Put(w, 0, "large", Bytes(4 << 20, 1)).ok());
+  sim::VirtualClock s, l;
+  ASSERT_TRUE(modeled_.Get(s, 0, "small").ok());
+  ASSERT_TRUE(modeled_.Get(l, 1, "large").ok());
+  EXPECT_GT(l.now(), s.now());
+}
+
+TEST_F(ModeledStoreTest, RangeReadChargesOnlyRangeBytes) {
+  sim::VirtualClock w;
+  ASSERT_TRUE(modeled_.Put(w, 0, "big", Bytes(8 << 20, 1)).ok());
+  sim::VirtualClock whole, range;
+  ASSERT_TRUE(modeled_.Get(whole, 0, "big").ok());
+  ASSERT_TRUE(modeled_.GetRange(range, 1, "big", 0, 4 << 10).ok());
+  EXPECT_LT(range.now(), whole.now());
+}
+
+TEST_F(ModeledStoreTest, FailedGatewayNodeMakesStoreUnavailable) {
+  sim::VirtualClock clock;
+  ASSERT_TRUE(modeled_.Put(clock, 0, "x", Bytes(10, 1)).ok());
+  cluster_.FailNode(2);
+  EXPECT_TRUE(modeled_.Get(clock, 0, "x").status().IsUnavailable());
+}
+
+}  // namespace
+}  // namespace diesel::ostore

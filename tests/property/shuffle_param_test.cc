@@ -1,0 +1,129 @@
+// Parameterized properties of the shuffle strategies over many dataset
+// shapes and group sizes: permutation-ness, group containment, partition
+// disjointness, epoch divergence, and randomness quality bounds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "shuffle/shuffle.h"
+
+namespace diesel::shuffle {
+namespace {
+
+struct Param {
+  size_t num_chunks;
+  size_t files_per_chunk;
+  size_t group_size;
+};
+
+core::MetadataSnapshot MakeSnapshot(size_t num_chunks, size_t files_per_chunk) {
+  std::vector<core::ChunkId> chunks;
+  std::vector<core::FileMeta> files;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    core::ChunkId id = core::ChunkId::Make(1 + static_cast<uint32_t>(c), 1, 1,
+                                           static_cast<uint32_t>(c));
+    chunks.push_back(id);
+    for (size_t f = 0; f < files_per_chunk; ++f) {
+      core::FileMeta m;
+      m.chunk = id;
+      m.offset = f * 10;
+      m.length = 10;
+      m.index_in_chunk = static_cast<uint32_t>(f);
+      m.full_name = "/p/c" + std::to_string(c) + "/f" + std::to_string(f);
+      files.push_back(std::move(m));
+    }
+  }
+  return core::MetadataSnapshot::Create("p", 1, std::move(chunks),
+                                        std::move(files));
+}
+
+class ShuffleParamTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ShuffleParamTest, PlanIsValidPermutationWithGroupContainment) {
+  const Param& p = GetParam();
+  auto snap = MakeSnapshot(p.num_chunks, p.files_per_chunk);
+  Rng rng(p.num_chunks * 131 + p.group_size);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ShufflePlan plan = ChunkWiseShuffle(snap, {.group_size = p.group_size},
+                                        rng);
+    const size_t total = p.num_chunks * p.files_per_chunk;
+    // Permutation.
+    ASSERT_EQ(plan.file_order.size(), total);
+    std::vector<bool> seen(total, false);
+    for (uint32_t idx : plan.file_order) {
+      ASSERT_LT(idx, total);
+      ASSERT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+    // Group count and boundaries.
+    size_t expected_groups =
+        (p.num_chunks + p.group_size - 1) / p.group_size;
+    EXPECT_EQ(plan.num_groups(), expected_groups);
+    EXPECT_EQ(plan.group_begin.front(), 0u);
+    EXPECT_EQ(plan.group_begin.back(), total);
+    for (size_t g = 1; g < plan.group_begin.size(); ++g) {
+      EXPECT_LE(plan.group_begin[g - 1], plan.group_begin[g]);
+    }
+    // Containment: group files come only from group chunks; chunk partition.
+    std::set<uint32_t> all_chunks;
+    for (size_t g = 0; g < plan.num_groups(); ++g) {
+      std::set<uint32_t> members(plan.group_chunks[g].begin(),
+                                 plan.group_chunks[g].end());
+      for (uint32_t ci : members) {
+        EXPECT_TRUE(all_chunks.insert(ci).second);
+      }
+      for (size_t pos = plan.group_begin[g]; pos < plan.group_begin[g + 1];
+           ++pos) {
+        size_t ci = snap.ChunkIndex(snap.files()[plan.file_order[pos]].chunk);
+        EXPECT_TRUE(members.count(static_cast<uint32_t>(ci)) > 0);
+      }
+    }
+    EXPECT_EQ(all_chunks.size(), p.num_chunks);
+  }
+}
+
+TEST_P(ShuffleParamTest, PartitionsAreDisjointAndCompleteForAnyPartCount) {
+  const Param& p = GetParam();
+  auto snap = MakeSnapshot(p.num_chunks, p.files_per_chunk);
+  Rng rng(7);
+  ShufflePlan plan = ChunkWiseShuffle(snap, {.group_size = p.group_size}, rng);
+  for (size_t parts : {1u, 2u, 3u, 7u}) {
+    std::set<uint32_t> all;
+    for (size_t part = 0; part < parts; ++part) {
+      ShufflePlan sub = PartitionPlan(plan, part, parts);
+      EXPECT_EQ(sub.group_begin.back(), sub.file_order.size());
+      for (uint32_t f : sub.file_order) {
+        EXPECT_TRUE(all.insert(f).second) << "parts=" << parts;
+      }
+    }
+    EXPECT_EQ(all.size(), plan.file_order.size()) << "parts=" << parts;
+  }
+}
+
+TEST_P(ShuffleParamTest, ConsecutiveEpochsDifferWhenNontrivial) {
+  const Param& p = GetParam();
+  if (p.num_chunks * p.files_per_chunk < 8) return;  // trivially stable
+  auto snap = MakeSnapshot(p.num_chunks, p.files_per_chunk);
+  Rng rng(9);
+  auto a = ChunkWiseShuffle(snap, {.group_size = p.group_size}, rng);
+  auto b = ChunkWiseShuffle(snap, {.group_size = p.group_size}, rng);
+  EXPECT_NE(a.file_order, b.file_order);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShuffleParamTest,
+    ::testing::Values(Param{1, 1, 1}, Param{1, 50, 3}, Param{7, 1, 2},
+                      Param{10, 10, 1}, Param{10, 10, 4}, Param{10, 10, 10},
+                      Param{10, 10, 25},   // group > chunks
+                      Param{33, 7, 5}, Param{100, 3, 16}, Param{64, 16, 8}),
+    [](const auto& info) {
+      const Param& p = info.param;
+      return "c" + std::to_string(p.num_chunks) + "_f" +
+             std::to_string(p.files_per_chunk) + "_g" +
+             std::to_string(p.group_size);
+    });
+
+}  // namespace
+}  // namespace diesel::shuffle

@@ -1,0 +1,146 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace diesel::sim {
+namespace {
+
+TEST(VirtualClockTest, AdvanceToNeverGoesBack) {
+  VirtualClock c;
+  c.AdvanceTo(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.AdvanceTo(50);
+  EXPECT_EQ(c.now(), 100u);
+  c.Advance(10);
+  EXPECT_EQ(c.now(), 110u);
+}
+
+TEST(DeviceTest, ServiceTimeIsLatencyPlusTransfer) {
+  Device d({.name = "d", .channels = 1, .latency = 1000,
+            .bytes_per_sec = 1e9});
+  EXPECT_EQ(d.ServiceTime(0), 1000u);
+  // 1000 bytes at 1 GB/s = 1000 ns.
+  EXPECT_EQ(d.ServiceTime(1000), 2000u);
+}
+
+TEST(DeviceTest, ZeroBandwidthMeansNoTransferCost) {
+  Device d({.name = "d", .channels = 1, .latency = 500, .bytes_per_sec = 0});
+  EXPECT_EQ(d.ServiceTime(1 << 20), 500u);
+}
+
+TEST(DeviceTest, SingleChannelSerializesRequests) {
+  Device d({.name = "d", .channels = 1, .latency = 100, .bytes_per_sec = 0});
+  // Three requests all arriving at t=0 queue behind one another.
+  EXPECT_EQ(d.Serve(0, 0), 100u);
+  EXPECT_EQ(d.Serve(0, 0), 200u);
+  EXPECT_EQ(d.Serve(0, 0), 300u);
+}
+
+TEST(DeviceTest, MultiChannelServesInParallel) {
+  Device d({.name = "d", .channels = 2, .latency = 100, .bytes_per_sec = 0});
+  EXPECT_EQ(d.Serve(0, 0), 100u);
+  EXPECT_EQ(d.Serve(0, 0), 100u);   // second channel
+  EXPECT_EQ(d.Serve(0, 0), 200u);   // queues behind the earlier of the two
+}
+
+TEST(DeviceTest, LateArrivalStartsAtArrival) {
+  Device d({.name = "d", .channels = 1, .latency = 100, .bytes_per_sec = 0});
+  EXPECT_EQ(d.Serve(1000, 0), 1100u);
+}
+
+TEST(DeviceTest, ExtraCostAddsToService) {
+  Device d({.name = "d", .channels = 1, .latency = 100, .bytes_per_sec = 0});
+  EXPECT_EQ(d.Serve(0, 0, 50), 150u);
+}
+
+TEST(DeviceTest, StatsAccumulate) {
+  Device d({.name = "d", .channels = 1, .latency = 10, .bytes_per_sec = 1e9});
+  d.Serve(0, 500);
+  d.Serve(0, 1500);
+  EXPECT_EQ(d.ops_served(), 2u);
+  EXPECT_EQ(d.bytes_served(), 2000u);
+  EXPECT_GT(d.busy_time(), 0u);
+  d.Reset();
+  EXPECT_EQ(d.ops_served(), 0u);
+  EXPECT_EQ(d.Serve(0, 0), 10u);  // queue state cleared
+}
+
+TEST(DeviceTest, SaturationThroughputMatchesCapacity) {
+  // channels/latency = 4/100ns = 40M ops/s capacity. Feed 1000 requests from
+  // each of 8 closed-loop workers and check completion time ~ ops/capacity.
+  Device d({.name = "d", .channels = 4, .latency = 100, .bytes_per_sec = 0});
+  const int kWorkers = 8, kOps = 1000;
+  Nanos latest = 0;
+  std::vector<VirtualClock> clocks(kWorkers);
+  for (int i = 0; i < kOps; ++i) {
+    for (auto& c : clocks) {
+      c.AdvanceTo(d.Serve(c.now(), 0));
+      latest = std::max(latest, c.now());
+    }
+  }
+  double expected = double(kWorkers) * kOps * 100.0 / 4.0;
+  EXPECT_NEAR(static_cast<double>(latest), expected, expected * 0.01);
+}
+
+TEST(DeviceTest, BackfillServesEarlyArrivalsInIdleGaps) {
+  // A request booked far in the future must not delay an earlier arrival:
+  // channels keep busy intervals, and new work backfills idle gaps.
+  Device d({.name = "d", .channels = 1, .latency = 100, .bytes_per_sec = 0});
+  EXPECT_EQ(d.Serve(10000, 0), 10100u);  // future booking
+  EXPECT_EQ(d.Serve(0, 0), 100u);        // backfills [0, 100)
+  EXPECT_EQ(d.Serve(0, 0), 200u);        // next gap
+  // Gap [200, 10000) has room for plenty more.
+  EXPECT_EQ(d.Serve(150, 0), 300u);
+}
+
+TEST(DeviceTest, BackfillRespectsGapSize) {
+  Device d({.name = "d", .channels = 1, .latency = 100, .bytes_per_sec = 0});
+  EXPECT_EQ(d.Serve(0, 0), 100u);
+  EXPECT_EQ(d.Serve(150, 0), 250u);
+  // A request needing 100ns arriving at 50 does not fit in [100, 150);
+  // it must start after 250.
+  EXPECT_EQ(d.Serve(50, 0), 350u);
+}
+
+TEST(DeviceTest, BackfillPrefersEarliestFeasibleChannel) {
+  Device d({.name = "d", .channels = 2, .latency = 100, .bytes_per_sec = 0});
+  EXPECT_EQ(d.Serve(0, 0), 100u);    // ch A [0,100]
+  EXPECT_EQ(d.Serve(0, 0), 100u);    // ch B [0,100]
+  EXPECT_EQ(d.Serve(5000, 0), 5100u);  // ch A [5000,5100]
+  // Arrival at 0: both channels busy until 100; earliest start is 100.
+  EXPECT_EQ(d.Serve(0, 0), 200u);
+}
+
+TEST(DeviceTest, IntervalsMergeSoMemoryStaysBounded) {
+  // Back-to-back serves produce one merged interval per channel; the
+  // structure must not grow with op count.
+  Device d({.name = "d", .channels = 1, .latency = 10, .bytes_per_sec = 0});
+  Nanos t = 0;
+  for (int i = 0; i < 100000; ++i) t = d.Serve(t, 0);
+  EXPECT_EQ(t, 1000000u);
+  EXPECT_EQ(d.ops_served(), 100000u);
+}
+
+TEST(DeviceTest, ThreadSafeUnderConcurrentServe) {
+  Device d({.name = "d", .channels = 3, .latency = 10, .bytes_per_sec = 0});
+  constexpr int kThreads = 8, kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) d.Serve(0, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(d.ops_served(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(d.bytes_served(), static_cast<uint64_t>(kThreads) * kOps);
+  // Total busy time must equal ops * latency exactly (no lost updates).
+  EXPECT_EQ(d.busy_time(), static_cast<Nanos>(kThreads) * kOps * 10);
+}
+
+}  // namespace
+}  // namespace diesel::sim
