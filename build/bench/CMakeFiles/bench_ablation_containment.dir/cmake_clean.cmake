@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_containment.dir/bench_ablation_containment.cc.o"
+  "CMakeFiles/bench_ablation_containment.dir/bench_ablation_containment.cc.o.d"
+  "bench_ablation_containment"
+  "bench_ablation_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

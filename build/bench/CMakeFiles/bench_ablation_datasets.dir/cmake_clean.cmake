@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_datasets.dir/bench_ablation_datasets.cc.o"
+  "CMakeFiles/bench_ablation_datasets.dir/bench_ablation_datasets.cc.o.d"
+  "bench_ablation_datasets"
+  "bench_ablation_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

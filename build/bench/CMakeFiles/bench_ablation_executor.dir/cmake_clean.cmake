@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_executor.dir/bench_ablation_executor.cc.o"
+  "CMakeFiles/bench_ablation_executor.dir/bench_ablation_executor.cc.o.d"
+  "bench_ablation_executor"
+  "bench_ablation_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_snapshot.dir/bench_ablation_snapshot.cc.o"
+  "CMakeFiles/bench_ablation_snapshot.dir/bench_ablation_snapshot.cc.o.d"
+  "bench_ablation_snapshot"
+  "bench_ablation_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

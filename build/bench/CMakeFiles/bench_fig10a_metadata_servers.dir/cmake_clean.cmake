@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_metadata_servers.dir/bench_fig10a_metadata_servers.cc.o"
+  "CMakeFiles/bench_fig10a_metadata_servers.dir/bench_fig10a_metadata_servers.cc.o.d"
+  "bench_fig10a_metadata_servers"
+  "bench_fig10a_metadata_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_metadata_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

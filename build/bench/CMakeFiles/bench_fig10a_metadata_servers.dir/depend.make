@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10a_metadata_servers.
+# This may be replaced when dependencies are built.

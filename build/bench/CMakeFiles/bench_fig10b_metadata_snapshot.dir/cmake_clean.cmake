@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_metadata_snapshot.dir/bench_fig10b_metadata_snapshot.cc.o"
+  "CMakeFiles/bench_fig10b_metadata_snapshot.dir/bench_fig10b_metadata_snapshot.cc.o.d"
+  "bench_fig10b_metadata_snapshot"
+  "bench_fig10b_metadata_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_metadata_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

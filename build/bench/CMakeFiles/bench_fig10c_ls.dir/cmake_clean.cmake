@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_ls.dir/bench_fig10c_ls.cc.o"
+  "CMakeFiles/bench_fig10c_ls.dir/bench_fig10c_ls.cc.o.d"
+  "bench_fig10c_ls"
+  "bench_fig10c_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

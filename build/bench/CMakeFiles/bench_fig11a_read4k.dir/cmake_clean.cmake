@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_read4k.dir/bench_fig11a_read4k.cc.o"
+  "CMakeFiles/bench_fig11a_read4k.dir/bench_fig11a_read4k.cc.o.d"
+  "bench_fig11a_read4k"
+  "bench_fig11a_read4k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_read4k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_memcached_failure.dir/bench_fig6_memcached_failure.cc.o"
+  "CMakeFiles/bench_fig6_memcached_failure.dir/bench_fig6_memcached_failure.cc.o.d"
+  "bench_fig6_memcached_failure"
+  "bench_fig6_memcached_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_memcached_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_blocksize.dir/bench_table2_blocksize.cc.o"
+  "CMakeFiles/bench_table2_blocksize.dir/bench_table2_blocksize.cc.o.d"
+  "bench_table2_blocksize"
+  "bench_table2_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_management.dir/dataset_management.cpp.o"
+  "CMakeFiles/dataset_management.dir/dataset_management.cpp.o.d"
+  "dataset_management"
+  "dataset_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

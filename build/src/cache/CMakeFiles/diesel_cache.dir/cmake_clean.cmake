@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_cache.dir/registry.cc.o"
+  "CMakeFiles/diesel_cache.dir/registry.cc.o.d"
+  "CMakeFiles/diesel_cache.dir/task_cache.cc.o"
+  "CMakeFiles/diesel_cache.dir/task_cache.cc.o.d"
+  "libdiesel_cache.a"
+  "libdiesel_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_common.dir/base64lex.cc.o"
+  "CMakeFiles/diesel_common.dir/base64lex.cc.o.d"
+  "CMakeFiles/diesel_common.dir/crc32.cc.o"
+  "CMakeFiles/diesel_common.dir/crc32.cc.o.d"
+  "CMakeFiles/diesel_common.dir/histogram.cc.o"
+  "CMakeFiles/diesel_common.dir/histogram.cc.o.d"
+  "CMakeFiles/diesel_common.dir/log.cc.o"
+  "CMakeFiles/diesel_common.dir/log.cc.o.d"
+  "CMakeFiles/diesel_common.dir/rng.cc.o"
+  "CMakeFiles/diesel_common.dir/rng.cc.o.d"
+  "CMakeFiles/diesel_common.dir/status.cc.o"
+  "CMakeFiles/diesel_common.dir/status.cc.o.d"
+  "CMakeFiles/diesel_common.dir/thread_pool.cc.o"
+  "CMakeFiles/diesel_common.dir/thread_pool.cc.o.d"
+  "libdiesel_common.a"
+  "libdiesel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auth.cc" "src/core/CMakeFiles/diesel_core.dir/auth.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/auth.cc.o.d"
+  "/root/repo/src/core/chunk_format.cc" "src/core/CMakeFiles/diesel_core.dir/chunk_format.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/chunk_format.cc.o.d"
+  "/root/repo/src/core/chunk_id.cc" "src/core/CMakeFiles/diesel_core.dir/chunk_id.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/chunk_id.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/diesel_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/client.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/diesel_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/housekeeping.cc" "src/core/CMakeFiles/diesel_core.dir/housekeeping.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/housekeeping.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/core/CMakeFiles/diesel_core.dir/metadata.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/metadata.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/diesel_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/server.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/diesel_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/diesel_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/etcd/CMakeFiles/diesel_etcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/diesel_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ostore/CMakeFiles/diesel_ostore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diesel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diesel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diesel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

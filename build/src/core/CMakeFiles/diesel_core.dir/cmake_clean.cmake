@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_core.dir/auth.cc.o"
+  "CMakeFiles/diesel_core.dir/auth.cc.o.d"
+  "CMakeFiles/diesel_core.dir/chunk_format.cc.o"
+  "CMakeFiles/diesel_core.dir/chunk_format.cc.o.d"
+  "CMakeFiles/diesel_core.dir/chunk_id.cc.o"
+  "CMakeFiles/diesel_core.dir/chunk_id.cc.o.d"
+  "CMakeFiles/diesel_core.dir/client.cc.o"
+  "CMakeFiles/diesel_core.dir/client.cc.o.d"
+  "CMakeFiles/diesel_core.dir/deployment.cc.o"
+  "CMakeFiles/diesel_core.dir/deployment.cc.o.d"
+  "CMakeFiles/diesel_core.dir/housekeeping.cc.o"
+  "CMakeFiles/diesel_core.dir/housekeeping.cc.o.d"
+  "CMakeFiles/diesel_core.dir/metadata.cc.o"
+  "CMakeFiles/diesel_core.dir/metadata.cc.o.d"
+  "CMakeFiles/diesel_core.dir/server.cc.o"
+  "CMakeFiles/diesel_core.dir/server.cc.o.d"
+  "CMakeFiles/diesel_core.dir/snapshot.cc.o"
+  "CMakeFiles/diesel_core.dir/snapshot.cc.o.d"
+  "libdiesel_core.a"
+  "libdiesel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

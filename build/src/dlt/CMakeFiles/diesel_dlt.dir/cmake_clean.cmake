@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_dlt.dir/dataset_gen.cc.o"
+  "CMakeFiles/diesel_dlt.dir/dataset_gen.cc.o.d"
+  "CMakeFiles/diesel_dlt.dir/distributed_task.cc.o"
+  "CMakeFiles/diesel_dlt.dir/distributed_task.cc.o.d"
+  "CMakeFiles/diesel_dlt.dir/mlp.cc.o"
+  "CMakeFiles/diesel_dlt.dir/mlp.cc.o.d"
+  "CMakeFiles/diesel_dlt.dir/pipeline.cc.o"
+  "CMakeFiles/diesel_dlt.dir/pipeline.cc.o.d"
+  "CMakeFiles/diesel_dlt.dir/trainer.cc.o"
+  "CMakeFiles/diesel_dlt.dir/trainer.cc.o.d"
+  "libdiesel_dlt.a"
+  "libdiesel_dlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_dlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

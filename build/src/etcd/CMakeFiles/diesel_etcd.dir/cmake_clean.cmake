@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_etcd.dir/config_store.cc.o"
+  "CMakeFiles/diesel_etcd.dir/config_store.cc.o.d"
+  "libdiesel_etcd.a"
+  "libdiesel_etcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_etcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

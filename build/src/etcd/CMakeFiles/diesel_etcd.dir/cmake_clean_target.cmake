@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiesel_etcd.a"
+)

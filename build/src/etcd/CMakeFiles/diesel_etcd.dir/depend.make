@@ -1,0 +1,2 @@
+# Empty dependencies file for diesel_etcd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_fusefs.dir/fusefs.cc.o"
+  "CMakeFiles/diesel_fusefs.dir/fusefs.cc.o.d"
+  "CMakeFiles/diesel_fusefs.dir/localfs.cc.o"
+  "CMakeFiles/diesel_fusefs.dir/localfs.cc.o.d"
+  "CMakeFiles/diesel_fusefs.dir/mount_manager.cc.o"
+  "CMakeFiles/diesel_fusefs.dir/mount_manager.cc.o.d"
+  "CMakeFiles/diesel_fusefs.dir/walker.cc.o"
+  "CMakeFiles/diesel_fusefs.dir/walker.cc.o.d"
+  "libdiesel_fusefs.a"
+  "libdiesel_fusefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_fusefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

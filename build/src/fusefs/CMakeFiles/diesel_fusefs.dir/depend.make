@@ -1,0 +1,2 @@
+# Empty dependencies file for diesel_fusefs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_kv.dir/cluster.cc.o"
+  "CMakeFiles/diesel_kv.dir/cluster.cc.o.d"
+  "CMakeFiles/diesel_kv.dir/ring.cc.o"
+  "CMakeFiles/diesel_kv.dir/ring.cc.o.d"
+  "CMakeFiles/diesel_kv.dir/shard.cc.o"
+  "CMakeFiles/diesel_kv.dir/shard.cc.o.d"
+  "libdiesel_kv.a"
+  "libdiesel_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

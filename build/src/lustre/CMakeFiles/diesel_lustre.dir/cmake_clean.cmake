@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_lustre.dir/lustre.cc.o"
+  "CMakeFiles/diesel_lustre.dir/lustre.cc.o.d"
+  "libdiesel_lustre.a"
+  "libdiesel_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_memcache.dir/memcache.cc.o"
+  "CMakeFiles/diesel_memcache.dir/memcache.cc.o.d"
+  "libdiesel_memcache.a"
+  "libdiesel_memcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_memcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diesel_memcache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_net.dir/fabric.cc.o"
+  "CMakeFiles/diesel_net.dir/fabric.cc.o.d"
+  "libdiesel_net.a"
+  "libdiesel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

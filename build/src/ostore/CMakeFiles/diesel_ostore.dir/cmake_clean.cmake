@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_ostore.dir/dir_store.cc.o"
+  "CMakeFiles/diesel_ostore.dir/dir_store.cc.o.d"
+  "CMakeFiles/diesel_ostore.dir/mem_store.cc.o"
+  "CMakeFiles/diesel_ostore.dir/mem_store.cc.o.d"
+  "CMakeFiles/diesel_ostore.dir/modeled_store.cc.o"
+  "CMakeFiles/diesel_ostore.dir/modeled_store.cc.o.d"
+  "CMakeFiles/diesel_ostore.dir/striped_store.cc.o"
+  "CMakeFiles/diesel_ostore.dir/striped_store.cc.o.d"
+  "CMakeFiles/diesel_ostore.dir/tiered_store.cc.o"
+  "CMakeFiles/diesel_ostore.dir/tiered_store.cc.o.d"
+  "libdiesel_ostore.a"
+  "libdiesel_ostore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_ostore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_shuffle.dir/group_reader.cc.o"
+  "CMakeFiles/diesel_shuffle.dir/group_reader.cc.o.d"
+  "CMakeFiles/diesel_shuffle.dir/shuffle.cc.o"
+  "CMakeFiles/diesel_shuffle.dir/shuffle.cc.o.d"
+  "libdiesel_shuffle.a"
+  "libdiesel_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diesel_sim.dir/device.cc.o"
+  "CMakeFiles/diesel_sim.dir/device.cc.o.d"
+  "libdiesel_sim.a"
+  "libdiesel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diesel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

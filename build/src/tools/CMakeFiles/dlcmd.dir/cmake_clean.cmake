@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlcmd.dir/dlcmd.cc.o"
+  "CMakeFiles/dlcmd.dir/dlcmd.cc.o.d"
+  "dlcmd"
+  "dlcmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlcmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/registry_test.cc" "tests/CMakeFiles/cache_registry_test.dir/cache/registry_test.cc.o" "gcc" "tests/CMakeFiles/cache_registry_test.dir/cache/registry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dlt/CMakeFiles/diesel_dlt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusefs/CMakeFiles/diesel_fusefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/shuffle/CMakeFiles/diesel_shuffle.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/diesel_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diesel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/diesel_lustre.dir/DependInfo.cmake"
+  "/root/repo/build/src/ostore/CMakeFiles/diesel_ostore.dir/DependInfo.cmake"
+  "/root/repo/build/src/memcache/CMakeFiles/diesel_memcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/diesel_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/diesel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diesel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/diesel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/etcd/CMakeFiles/diesel_etcd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_base64lex_test.dir/common/base64lex_test.cc.o"
+  "CMakeFiles/common_base64lex_test.dir/common/base64lex_test.cc.o.d"
+  "common_base64lex_test"
+  "common_base64lex_test.pdb"
+  "common_base64lex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_base64lex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_flat_hash_map_test.dir/common/flat_hash_map_test.cc.o"
+  "CMakeFiles/common_flat_hash_map_test.dir/common/flat_hash_map_test.cc.o.d"
+  "common_flat_hash_map_test"
+  "common_flat_hash_map_test.pdb"
+  "common_flat_hash_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_flat_hash_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_parallel_clients_test.dir/concurrency/parallel_clients_test.cc.o"
+  "CMakeFiles/concurrency_parallel_clients_test.dir/concurrency/parallel_clients_test.cc.o.d"
+  "concurrency_parallel_clients_test"
+  "concurrency_parallel_clients_test.pdb"
+  "concurrency_parallel_clients_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_parallel_clients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_auth_test.dir/core/auth_test.cc.o"
+  "CMakeFiles/core_auth_test.dir/core/auth_test.cc.o.d"
+  "core_auth_test"
+  "core_auth_test.pdb"
+  "core_auth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_chunk_id_test.dir/core/chunk_id_test.cc.o"
+  "CMakeFiles/core_chunk_id_test.dir/core/chunk_id_test.cc.o.d"
+  "core_chunk_id_test"
+  "core_chunk_id_test.pdb"
+  "core_chunk_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_chunk_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

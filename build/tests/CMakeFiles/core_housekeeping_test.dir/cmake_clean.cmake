@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_housekeeping_test.dir/core/housekeeping_test.cc.o"
+  "CMakeFiles/core_housekeeping_test.dir/core/housekeeping_test.cc.o.d"
+  "core_housekeeping_test"
+  "core_housekeeping_test.pdb"
+  "core_housekeeping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_housekeeping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_metadata_test.dir/core/metadata_test.cc.o"
+  "CMakeFiles/core_metadata_test.dir/core/metadata_test.cc.o.d"
+  "core_metadata_test"
+  "core_metadata_test.pdb"
+  "core_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

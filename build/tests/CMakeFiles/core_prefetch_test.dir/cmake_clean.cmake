@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prefetch_test.dir/core/prefetch_test.cc.o"
+  "CMakeFiles/core_prefetch_test.dir/core/prefetch_test.cc.o.d"
+  "core_prefetch_test"
+  "core_prefetch_test.pdb"
+  "core_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

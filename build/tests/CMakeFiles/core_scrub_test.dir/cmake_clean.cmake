@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scrub_test.dir/core/scrub_test.cc.o"
+  "CMakeFiles/core_scrub_test.dir/core/scrub_test.cc.o.d"
+  "core_scrub_test"
+  "core_scrub_test.pdb"
+  "core_scrub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scrub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_dataset_gen_test.dir/dlt/dataset_gen_test.cc.o"
+  "CMakeFiles/dlt_dataset_gen_test.dir/dlt/dataset_gen_test.cc.o.d"
+  "dlt_dataset_gen_test"
+  "dlt_dataset_gen_test.pdb"
+  "dlt_dataset_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_dataset_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

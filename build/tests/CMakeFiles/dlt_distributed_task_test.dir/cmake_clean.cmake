@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_distributed_task_test.dir/dlt/distributed_task_test.cc.o"
+  "CMakeFiles/dlt_distributed_task_test.dir/dlt/distributed_task_test.cc.o.d"
+  "dlt_distributed_task_test"
+  "dlt_distributed_task_test.pdb"
+  "dlt_distributed_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_distributed_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlt_distributed_task_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_mlp_test.dir/dlt/mlp_test.cc.o"
+  "CMakeFiles/dlt_mlp_test.dir/dlt/mlp_test.cc.o.d"
+  "dlt_mlp_test"
+  "dlt_mlp_test.pdb"
+  "dlt_mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

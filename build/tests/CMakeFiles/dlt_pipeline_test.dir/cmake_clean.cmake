@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_pipeline_test.dir/dlt/pipeline_test.cc.o"
+  "CMakeFiles/dlt_pipeline_test.dir/dlt/pipeline_test.cc.o.d"
+  "dlt_pipeline_test"
+  "dlt_pipeline_test.pdb"
+  "dlt_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_trainer_test.dir/dlt/trainer_test.cc.o"
+  "CMakeFiles/dlt_trainer_test.dir/dlt/trainer_test.cc.o.d"
+  "dlt_trainer_test"
+  "dlt_trainer_test.pdb"
+  "dlt_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcd_config_store_test.dir/etcd/config_store_test.cc.o"
+  "CMakeFiles/etcd_config_store_test.dir/etcd/config_store_test.cc.o.d"
+  "etcd_config_store_test"
+  "etcd_config_store_test.pdb"
+  "etcd_config_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcd_config_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etcd_discovery_test.dir/etcd/discovery_test.cc.o"
+  "CMakeFiles/etcd_discovery_test.dir/etcd/discovery_test.cc.o.d"
+  "etcd_discovery_test"
+  "etcd_discovery_test.pdb"
+  "etcd_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etcd_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

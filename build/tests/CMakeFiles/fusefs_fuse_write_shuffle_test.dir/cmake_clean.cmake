@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusefs_fuse_write_shuffle_test.dir/fusefs/fuse_write_shuffle_test.cc.o"
+  "CMakeFiles/fusefs_fuse_write_shuffle_test.dir/fusefs/fuse_write_shuffle_test.cc.o.d"
+  "fusefs_fuse_write_shuffle_test"
+  "fusefs_fuse_write_shuffle_test.pdb"
+  "fusefs_fuse_write_shuffle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusefs_fuse_write_shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

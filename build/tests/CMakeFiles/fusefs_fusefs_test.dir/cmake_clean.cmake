@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusefs_fusefs_test.dir/fusefs/fusefs_test.cc.o"
+  "CMakeFiles/fusefs_fusefs_test.dir/fusefs/fusefs_test.cc.o.d"
+  "fusefs_fusefs_test"
+  "fusefs_fusefs_test.pdb"
+  "fusefs_fusefs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusefs_fusefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusefs_mount_manager_test.dir/fusefs/mount_manager_test.cc.o"
+  "CMakeFiles/fusefs_mount_manager_test.dir/fusefs/mount_manager_test.cc.o.d"
+  "fusefs_mount_manager_test"
+  "fusefs_mount_manager_test.pdb"
+  "fusefs_mount_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusefs_mount_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_persistence_test.dir/integration/persistence_test.cc.o"
+  "CMakeFiles/integration_persistence_test.dir/integration/persistence_test.cc.o.d"
+  "integration_persistence_test"
+  "integration_persistence_test.pdb"
+  "integration_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_shuffle_accuracy_test.dir/integration/shuffle_accuracy_test.cc.o"
+  "CMakeFiles/integration_shuffle_accuracy_test.dir/integration/shuffle_accuracy_test.cc.o.d"
+  "integration_shuffle_accuracy_test"
+  "integration_shuffle_accuracy_test.pdb"
+  "integration_shuffle_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_shuffle_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

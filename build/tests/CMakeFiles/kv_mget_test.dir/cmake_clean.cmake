@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_mget_test.dir/kv/mget_test.cc.o"
+  "CMakeFiles/kv_mget_test.dir/kv/mget_test.cc.o.d"
+  "kv_mget_test"
+  "kv_mget_test.pdb"
+  "kv_mget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_mget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_ring_test.dir/kv/ring_test.cc.o"
+  "CMakeFiles/kv_ring_test.dir/kv/ring_test.cc.o.d"
+  "kv_ring_test"
+  "kv_ring_test.pdb"
+  "kv_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_shard_test.dir/kv/shard_test.cc.o"
+  "CMakeFiles/kv_shard_test.dir/kv/shard_test.cc.o.d"
+  "kv_shard_test"
+  "kv_shard_test.pdb"
+  "kv_shard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

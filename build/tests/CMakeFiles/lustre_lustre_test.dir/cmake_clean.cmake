@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lustre_lustre_test.dir/lustre/lustre_test.cc.o"
+  "CMakeFiles/lustre_lustre_test.dir/lustre/lustre_test.cc.o.d"
+  "lustre_lustre_test"
+  "lustre_lustre_test.pdb"
+  "lustre_lustre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lustre_lustre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostore_striped_store_test.dir/ostore/striped_store_test.cc.o"
+  "CMakeFiles/ostore_striped_store_test.dir/ostore/striped_store_test.cc.o.d"
+  "ostore_striped_store_test"
+  "ostore_striped_store_test.pdb"
+  "ostore_striped_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostore_striped_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostore_tiered_store_test.dir/ostore/tiered_store_test.cc.o"
+  "CMakeFiles/ostore_tiered_store_test.dir/ostore/tiered_store_test.cc.o.d"
+  "ostore_tiered_store_test"
+  "ostore_tiered_store_test.pdb"
+  "ostore_tiered_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostore_tiered_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_shuffle_param_test.dir/property/shuffle_param_test.cc.o"
+  "CMakeFiles/property_shuffle_param_test.dir/property/shuffle_param_test.cc.o.d"
+  "property_shuffle_param_test"
+  "property_shuffle_param_test.pdb"
+  "property_shuffle_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_shuffle_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

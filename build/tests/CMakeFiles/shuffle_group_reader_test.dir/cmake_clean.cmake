@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_group_reader_test.dir/shuffle/group_reader_test.cc.o"
+  "CMakeFiles/shuffle_group_reader_test.dir/shuffle/group_reader_test.cc.o.d"
+  "shuffle_group_reader_test"
+  "shuffle_group_reader_test.pdb"
+  "shuffle_group_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_group_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

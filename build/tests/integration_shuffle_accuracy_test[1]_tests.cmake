@@ -1,0 +1,3 @@
+add_test([=[ShuffleAccuracyTest.ChunkWiseMatchesDatasetShuffle]=]  /root/repo/build/tests/integration_shuffle_accuracy_test [==[--gtest_filter=ShuffleAccuracyTest.ChunkWiseMatchesDatasetShuffle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ShuffleAccuracyTest.ChunkWiseMatchesDatasetShuffle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_shuffle_accuracy_test_TESTS ShuffleAccuracyTest.ChunkWiseMatchesDatasetShuffle)
