@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
 #include "core/chunk_format.h"
+#include "net/fault_injector.h"
 #include "sim/calibration.h"
 
 namespace diesel::cache {
@@ -46,8 +48,15 @@ Result<Bytes> TaskCache::SliceFile(const CachedChunk& chunk,
   if (begin + meta.length > chunk.blob.size())
     return Status::Corruption("file range past cached chunk end: " +
                               meta.full_name);
-  return Bytes(chunk.blob.begin() + static_cast<ptrdiff_t>(begin),
-               chunk.blob.begin() + static_cast<ptrdiff_t>(begin + meta.length));
+  Bytes content(chunk.blob.begin() + static_cast<ptrdiff_t>(begin),
+                chunk.blob.begin() + static_cast<ptrdiff_t>(begin + meta.length));
+  // End-to-end integrity: the chunk builder stamped each file's CRC32C into
+  // the metadata; a cached copy that no longer matches is treated as a miss
+  // (metas built by hand in tests carry crc 0 and skip the check).
+  if (meta.crc != 0 && Crc32c(content) != meta.crc)
+    return Status::Corruption("cached file checksum mismatch: " +
+                              meta.full_name);
+  return content;
 }
 
 void TaskCache::InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
@@ -78,6 +87,27 @@ void TaskCache::InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
   stats_.bytes_cached += size;
 }
 
+Result<Bytes> TaskCache::FetchChunkBlob(sim::VirtualClock& clock,
+                                        sim::NodeId reader, size_t chunk_index,
+                                        uint32_t* header_len) {
+  const core::ChunkId& id = snapshot_.chunks().at(chunk_index);
+  DIESEL_ASSIGN_OR_RETURN(
+      Bytes blob,
+      options_.retry.RunResult<Bytes>(clock, [&]() -> Result<Bytes> {
+        return server_.ReadChunk(clock, reader, snapshot_.dataset(), id);
+      }));
+  DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
+  *header_len = view.header_len();
+  // The fabric never sees payloads, so scheduled corruption events land
+  // here, on the chunk-fetch path; detection is CRC-driven in SliceFile.
+  if (net::FaultInjector* inj = fabric_.fault_injector()) {
+    if (inj->ConsumeChunkCorruption(chunk_index)) {
+      inj->CorruptPayload(blob, *header_len, chunk_index);
+    }
+  }
+  return blob;
+}
+
 Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
                                size_t chunk_index) {
   NodePartition& part = *partitions_.at(owner);
@@ -86,11 +116,9 @@ Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
     if (part.chunks.count(chunk_index) > 0) return Status::Ok();
   }
   // Miss: pull the whole chunk from the server (on-demand policy / recovery).
-  const core::ChunkId& id = snapshot_.chunks().at(chunk_index);
-  DIESEL_ASSIGN_OR_RETURN(
-      Bytes blob, server_.ReadChunk(clock, owner, snapshot_.dataset(), id));
-  DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
-  uint32_t header_len = view.header_len();
+  uint32_t header_len = 0;
+  DIESEL_ASSIGN_OR_RETURN(Bytes blob,
+                          FetchChunkBlob(clock, owner, chunk_index, &header_len));
   {
     std::lock_guard<std::mutex> slock(stats_mutex_);
     ++stats_.chunk_loads;
@@ -107,22 +135,65 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
   {
     std::lock_guard<std::mutex> lock(part.mutex);
     auto it = part.chunks.find(chunk_index);
-    if (it != part.chunks.end()) return SliceFile(it->second, meta);
+    if (it != part.chunks.end()) {
+      Result<Bytes> sliced = SliceFile(it->second, meta);
+      if (!sliced.status().IsCorruption()) return sliced;
+      // Cached copy failed its checksum: evict it and fall through to a
+      // fresh fetch below.
+      part.bytes -= it->second.blob.size();
+      part.fifo.erase(std::remove(part.fifo.begin(), part.fifo.end(),
+                                  chunk_index),
+                      part.fifo.end());
+      part.chunks.erase(it);
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.corruptions_detected;
+    }
   }
   // Miss: fetch the chunk, slice from the local copy (immune to concurrent
-  // eviction), then install it for subsequent readers.
-  const core::ChunkId& id = snapshot_.chunks().at(chunk_index);
-  DIESEL_ASSIGN_OR_RETURN(
-      Bytes blob, server_.ReadChunk(clock, owner, snapshot_.dataset(), id));
-  DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
-  CachedChunk local{std::move(blob), view.header_len()};
-  DIESEL_ASSIGN_OR_RETURN(Bytes content, SliceFile(local, meta));
-  {
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    ++stats_.chunk_loads;
+  // eviction), then install it for subsequent readers. A corrupted fetch is
+  // detected by the slice CRC and re-fetched once (injected corruption is
+  // one-shot, so the second copy is clean; a persistently corrupt chunk
+  // still surfaces Corruption).
+  for (int fetch = 0;; ++fetch) {
+    uint32_t header_len = 0;
+    DIESEL_ASSIGN_OR_RETURN(
+        Bytes blob, FetchChunkBlob(clock, owner, chunk_index, &header_len));
+    CachedChunk local{std::move(blob), header_len};
+    Result<Bytes> content = SliceFile(local, meta);
+    if (content.status().IsCorruption() && fetch == 0) {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.corruptions_detected;
+      continue;
+    }
+    DIESEL_RETURN_IF_ERROR(content.status());
+    {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.chunk_loads;
+    }
+    InsertChunk(owner, chunk_index, std::move(local.blob), local.header_len);
+    return content;
   }
-  InsertChunk(owner, chunk_index, std::move(local.blob), local.header_len);
-  return content;
+}
+
+Result<Nanos> TaskCache::PreloadPartition(sim::NodeId node, Nanos start) {
+  const size_t streams = std::max<uint32_t>(1, options_.preload_streams);
+  std::vector<size_t> mine;
+  for (size_t ci = 0; ci < snapshot_.chunks().size(); ++ci) {
+    DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(ci));
+    if (owner == node) mine.push_back(ci);
+  }
+  std::vector<sim::VirtualClock> clocks(streams, sim::VirtualClock(start));
+  for (size_t next = 0; next < mine.size(); ++next) {
+    // Earliest-clock stream fetches the next chunk (closed loop).
+    size_t s = 0;
+    for (size_t k = 1; k < streams; ++k) {
+      if (clocks[k].now() < clocks[s].now()) s = k;
+    }
+    DIESEL_RETURN_IF_ERROR(EnsureLoaded(clocks[s], node, mine[next]));
+  }
+  Nanos finish = start;
+  for (const auto& c : clocks) finish = std::max(finish, c.now());
+  return finish;
 }
 
 Result<Nanos> TaskCache::Preload(Nanos start) {
@@ -130,23 +201,9 @@ Result<Nanos> TaskCache::Preload(Nanos start) {
   // fetch streams; nodes work in parallel so the makespan is the slowest
   // node's finish time.
   Nanos makespan = start;
-  const size_t streams = std::max<uint32_t>(1, options_.preload_streams);
   for (sim::NodeId node : owner_nodes_) {
-    std::vector<size_t> mine;
-    for (size_t ci = 0; ci < snapshot_.chunks().size(); ++ci) {
-      DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(ci));
-      if (owner == node) mine.push_back(ci);
-    }
-    std::vector<sim::VirtualClock> clocks(streams, sim::VirtualClock(start));
-    for (size_t next = 0; next < mine.size(); ++next) {
-      // Earliest-clock stream fetches the next chunk (closed loop).
-      size_t s = 0;
-      for (size_t k = 1; k < streams; ++k) {
-        if (clocks[k].now() < clocks[s].now()) s = k;
-      }
-      DIESEL_RETURN_IF_ERROR(EnsureLoaded(clocks[s], node, mine[next]));
-    }
-    for (const auto& c : clocks) makespan = std::max(makespan, c.now());
+    DIESEL_ASSIGN_OR_RETURN(Nanos finish, PreloadPartition(node, start));
+    makespan = std::max(makespan, finish);
   }
   return makespan;
 }
@@ -173,23 +230,102 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
     return content;
   }
 
-  // One-hop fetch from the owner's master client.
-  Result<Bytes> content = Status::Internal("unset");
-  DIESEL_RETURN_IF_ERROR(fabric_.Call(
-      clock, requester.node, owner, kPeerRequestBytes, meta.length,
-      [&](Nanos arrival) {
-        sim::VirtualClock peer(arrival);
-        content = ReadFromPartition(peer, owner, chunk_index, meta);
-        Nanos t = fabric_.cluster().node(owner).membus().Serve(peer.now(),
-                                                               meta.length);
-        peer.AdvanceTo(t);
-        return peer.now();
-      }));
-  if (content.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.peer_hits;
+  // One-hop fetch from the owner's master client. The owner sits behind a
+  // per-node circuit breaker: transient failures retry with backoff; an
+  // unreachable owner opens the breaker (its in-RAM partition is presumed
+  // lost) and the read degrades to a direct server fetch.
+  CircuitBreaker& breaker = BreakerFor(owner);
+  const RetryPolicy& retry = options_.retry;
+  const uint32_t max_attempts = std::max<uint32_t>(1, retry.max_attempts);
+  const Nanos start = clock.now();
+  Status last = Status::Unavailable("peer fetch not attempted");
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (!breaker.AllowRequest(clock.now())) {
+      last = Status::Unavailable("circuit open: owner node " +
+                                 std::to_string(owner));
+      break;
+    }
+    Result<Bytes> content = Status::Internal("unset");
+    Status call = fabric_.Call(
+        clock, requester.node, owner, kPeerRequestBytes, meta.length,
+        [&](Nanos arrival) {
+          sim::VirtualClock peer(arrival);
+          content = ReadFromPartition(peer, owner, chunk_index, meta);
+          Nanos t = fabric_.cluster().node(owner).membus().Serve(peer.now(),
+                                                                 meta.length);
+          peer.AdvanceTo(t);
+          return peer.now();
+        });
+    if (call.ok() && !content.status().IsUnavailable()) {
+      if (breaker.OnSuccess(clock.now()) ==
+          CircuitBreaker::Transition::kRecovered) {
+        OnOwnerRecovered(owner, clock.now());
+      }
+      if (content.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.peer_hits;
+      }
+      return content;
+    }
+    last = call.ok() ? content.status() : call;
+    // A flap of the requester's own node also fails the call; that says
+    // nothing about the owner, so only remote failures charge its breaker
+    // (a held half-open probe slot must still report its outcome).
+    if (fabric_.NodeAvailable(requester.node, clock.now()) ||
+        breaker.state() == CircuitBreaker::State::kHalfOpen) {
+      if (breaker.OnFailure(clock.now()) ==
+          CircuitBreaker::Transition::kOpened) {
+        // Owner presumed crashed: what it cached in RAM is gone.
+        DropNode(owner);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.breaker_opens;
+      }
+    }
+    if (attempt >= max_attempts) break;
+    Nanos wait = retry.BackoffBefore(attempt);
+    if (retry.deadline_budget != 0 &&
+        clock.now() - start + wait > retry.deadline_budget) {
+      break;
+    }
+    clock.Advance(wait);
   }
-  return content;
+  if (!options_.degraded_reads) return last;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failovers;
+  }
+  return DegradedRead(clock, requester, meta);
+}
+
+CircuitBreaker& TaskCache::BreakerFor(sim::NodeId node) {
+  std::lock_guard<std::mutex> lock(breakers_mutex_);
+  auto it = breakers_.find(node);
+  if (it == breakers_.end())
+    it = breakers_.try_emplace(node, options_.breaker).first;
+  return it->second;
+}
+
+Result<Bytes> TaskCache::DegradedRead(sim::VirtualClock& clock,
+                                      net::EndpointId requester,
+                                      const core::FileMeta& meta) {
+  return options_.retry.RunResult<Bytes>(clock, [&]() -> Result<Bytes> {
+    return server_.ReadFile(clock, requester.node, snapshot_.dataset(),
+                            meta.full_name);
+  });
+}
+
+void TaskCache::OnOwnerRecovered(sim::NodeId owner, Nanos now) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.node_recoveries;
+  }
+  if (options_.policy == CachePolicy::kOneshot) {
+    // Chunk-granular re-own: repopulate the recovered node's partition on a
+    // detached clock — the reload overlaps the requesters' continued reads,
+    // which keep being served (degraded) until chunks come back.
+    Result<Nanos> reload = PreloadPartition(owner, now);
+    (void)reload;
+  }
 }
 
 double TaskCache::HitRatio() const {

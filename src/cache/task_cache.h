@@ -14,12 +14,15 @@
 //               is slower and later epochs are fully cached.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/registry.h"
+#include "common/circuit_breaker.h"
+#include "common/retry.h"
 #include "core/client.h"
 #include "core/server.h"
 #include "core/snapshot.h"
@@ -36,6 +39,15 @@ struct TaskCacheOptions {
   /// Concurrent chunk-fetch streams per node during Preload/Reload (the
   /// oneshot policy pulls with multiple I/O workers).
   uint32_t preload_streams = 8;
+  /// Retry policy for peer and backend RPCs (rides out flaps/drops).
+  RetryPolicy retry;
+  /// Per-owner-node circuit breaker: after `failure_threshold` consecutive
+  /// peer failures the node is declared down (partition dropped) and reads
+  /// fail over without paying the detection timeout each time.
+  CircuitBreakerConfig breaker;
+  /// When a peer master is unreachable, fall back to reading the file
+  /// directly from the server instead of failing the Get.
+  bool degraded_reads = true;
 };
 
 struct TaskCacheStats {
@@ -44,6 +56,10 @@ struct TaskCacheStats {
   uint64_t chunk_loads = 0;     // backend chunk fetches (misses)
   uint64_t evictions = 0;
   uint64_t bytes_cached = 0;
+  uint64_t failovers = 0;            // peer reads degraded to server reads
+  uint64_t breaker_opens = 0;        // owner nodes declared down
+  uint64_t node_recoveries = 0;      // owner nodes that came back
+  uint64_t corruptions_detected = 0; // CRC mismatches caught and re-fetched
 };
 
 class TaskCache {
@@ -108,8 +124,30 @@ class TaskCache {
   };
 
   /// Slice a file out of a cached chunk (offsets are payload-relative).
+  /// Verifies the file's CRC32C when the metadata carries one; a mismatch
+  /// returns Corruption so callers evict and re-fetch.
   static Result<Bytes> SliceFile(const CachedChunk& chunk,
                                  const core::FileMeta& meta);
+
+  /// Fetch one chunk blob from the server (with retry), applying any
+  /// scheduled payload corruption from the fabric's fault injector.
+  Result<Bytes> FetchChunkBlob(sim::VirtualClock& clock, sim::NodeId reader,
+                               size_t chunk_index, uint32_t* header_len);
+
+  CircuitBreaker& BreakerFor(sim::NodeId node);
+
+  /// Peer-path fallback when the owner is unreachable: read the file range
+  /// straight from the server (degraded but correct).
+  Result<Bytes> DegradedRead(sim::VirtualClock& clock, net::EndpointId requester,
+                             const core::FileMeta& meta);
+
+  /// Owner came back from a flap: count it and, under the oneshot policy,
+  /// re-own its partition chunk-by-chunk (charged to a detached clock — the
+  /// reload overlaps the requester's work).
+  void OnOwnerRecovered(sim::NodeId owner, Nanos now);
+
+  /// Preload the partition of a single node; returns its finish time.
+  Result<Nanos> PreloadPartition(sim::NodeId node, Nanos start);
 
   /// Make `chunk_index` resident on `owner`, loading from the server on a
   /// miss (charges `clock`). No-op when already resident.
@@ -135,6 +173,9 @@ class TaskCache {
   std::unordered_map<sim::NodeId, std::unique_ptr<NodePartition>> partitions_;
   mutable std::mutex stats_mutex_;
   TaskCacheStats stats_;
+  /// One breaker per owner node (std::map: stable references under insert).
+  std::mutex breakers_mutex_;
+  std::map<sim::NodeId, CircuitBreaker> breakers_;
   size_t connections_opened_ = 0;
 };
 

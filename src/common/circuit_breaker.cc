@@ -1,0 +1,63 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace diesel {
+
+bool CircuitBreaker::AllowRequest(Nanos now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < open_until_) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+CircuitBreaker::Transition CircuitBreaker::OnSuccess(Nanos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  if (state_ == State::kClosed) return Transition::kNone;
+  state_ = State::kClosed;
+  return Transition::kRecovered;
+}
+
+CircuitBreaker::Transition CircuitBreaker::OnFailure(Nanos now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to open for another cooldown.
+    state_ = State::kOpen;
+    open_until_ = now + config_.cooldown;
+    return Transition::kNone;
+  }
+  if (state_ == State::kOpen) return Transition::kNone;
+  ++consecutive_failures_;
+  if (consecutive_failures_ < std::max<uint32_t>(1, config_.failure_threshold))
+    return Transition::kNone;
+  state_ = State::kOpen;
+  open_until_ = now + config_.cooldown;
+  ++times_opened_;
+  return Transition::kOpened;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_opened_;
+}
+
+}  // namespace diesel

@@ -1,0 +1,58 @@
+// Per-target circuit breaker over virtual time.
+//
+// Wraps calls to one remote target (a peer master node, a server): after
+// `failure_threshold` consecutive failures the breaker opens and callers
+// fail over immediately instead of paying the fault-detection timeout on
+// every request. After `cooldown` of virtual time one half-open probe is let
+// through; its outcome closes the breaker (target recovered) or re-opens it
+// for another cooldown. All timing is virtual — state changes are driven by
+// the timestamps callers pass in, never by wall-clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/units.h"
+
+namespace diesel {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that open the breaker.
+  uint32_t failure_threshold = 3;
+  /// Virtual time the breaker stays open before allowing a half-open probe.
+  Nanos cooldown = Millis(50);
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// State-change reported back to the caller so it can run side effects
+  /// (drop a lost partition on kOpened, trigger reload on kRecovered).
+  enum class Transition : uint8_t { kNone, kOpened, kRecovered };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  /// May a request be sent at virtual time `now`? Closed: always. Open:
+  /// only once the cooldown has elapsed, and then exactly one caller wins
+  /// the half-open probe slot until its outcome is reported.
+  bool AllowRequest(Nanos now);
+
+  Transition OnSuccess(Nanos now);
+  Transition OnFailure(Nanos now);
+
+  State state() const;
+  uint64_t times_opened() const;
+
+ private:
+  CircuitBreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  Nanos open_until_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t times_opened_ = 0;
+};
+
+}  // namespace diesel

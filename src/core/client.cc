@@ -23,7 +23,20 @@ DieselClient::DieselClient(net::Fabric& fabric,
 }
 
 DieselServer* DieselClient::PickServer() {
-  DieselServer* s = servers_[next_server_ % servers_.size()];
+  // Round-robin over servers whose node is currently reachable; when every
+  // server looks up this degenerates to the plain rotation. If all look
+  // down, return the next in rotation anyway and let the RPC fail (the
+  // retry policy may ride out a flap).
+  const size_t n = servers_.size();
+  for (size_t i = 0; i < n; ++i) {
+    DieselServer* s = servers_[(next_server_ + i) % n];
+    if (fabric_.NodeAvailable(s->node(), clock_.now())) {
+      if (i > 0) ++stats_.server_failovers;
+      next_server_ += i + 1;
+      return s;
+    }
+  }
+  DieselServer* s = servers_[next_server_ % n];
   ++next_server_;
   return s;
 }
@@ -36,8 +49,9 @@ Status DieselClient::Put(const std::string& path, BytesView content) {
 }
 
 Status DieselClient::Replace(const std::string& path, BytesView content) {
-  Status st = PickServer()->DeleteFile(clock_, options_.node, options_.dataset,
-                                       path);
+  Status st = WithServerRetryStatus([&](DieselServer& s) {
+    return s.DeleteFile(clock_, options_.node, options_.dataset, path);
+  });
   if (!st.ok() && !st.IsNotFound()) return st;
   if (st.ok() && snapshot_) snapshot_.reset();  // dataset moved on
   DIESEL_RETURN_IF_ERROR(Put(path, content));
@@ -55,9 +69,10 @@ Status DieselClient::Flush() {
   // Write-behind: DL_flush returns once the local buffer is on the wire;
   // durability time is tracked for callers that need the write makespan.
   DIESEL_ASSIGN_OR_RETURN(
-      Nanos durable,
-      PickServer()->IngestChunkAsync(clock_, options_.node, options_.dataset,
-                                     chunk));
+      Nanos durable, WithServerRetry<Nanos>([&](DieselServer& s) {
+        return s.IngestChunkAsync(clock_, options_.node, options_.dataset,
+                                  chunk);
+      }));
   stats_.last_ingest_durable_ns =
       std::max(stats_.last_ingest_durable_ns, durable);
   return Status::Ok();
@@ -72,7 +87,9 @@ Result<FileMeta> DieselClient::ResolveMeta(const std::string& path) {
     return *fm;
   }
   ++stats_.server_metadata_ops;
-  return PickServer()->StatFile(clock_, options_.node, options_.dataset, path);
+  return WithServerRetry<FileMeta>([&](DieselServer& s) {
+    return s.StatFile(clock_, options_.node, options_.dataset, path);
+  });
 }
 
 Result<Bytes> DieselClient::Get(const std::string& path) {
@@ -83,9 +100,11 @@ Result<Bytes> DieselClient::Get(const std::string& path) {
     stats_.bytes_read += content.size();
     return content;
   }
-  DIESEL_ASSIGN_OR_RETURN(
-      Bytes content,
-      PickServer()->ReadFile(clock_, options_.node, options_.dataset, path));
+  DIESEL_ASSIGN_OR_RETURN(Bytes content,
+                          WithServerRetry<Bytes>([&](DieselServer& s) {
+                            return s.ReadFile(clock_, options_.node,
+                                              options_.dataset, path);
+                          }));
   ++stats_.files_read;
   stats_.bytes_read += content.size();
   return content;
@@ -102,9 +121,11 @@ Result<std::vector<Bytes>> DieselClient::GetBatch(
     }
     return out;
   }
-  DIESEL_ASSIGN_OR_RETURN(std::vector<Bytes> out,
-                          PickServer()->ReadFiles(clock_, options_.node,
-                                                  options_.dataset, paths));
+  DIESEL_ASSIGN_OR_RETURN(
+      std::vector<Bytes> out,
+      WithServerRetry<std::vector<Bytes>>([&](DieselServer& s) {
+        return s.ReadFiles(clock_, options_.node, options_.dataset, paths);
+      }));
   for (const Bytes& b : out) {
     ++stats_.files_read;
     stats_.bytes_read += b.size();
@@ -123,14 +144,16 @@ Result<std::vector<DirEntry>> DieselClient::List(const std::string& dir_path) {
     return snapshot_->ListDir(dir_path);
   }
   ++stats_.server_metadata_ops;
-  return PickServer()->ListDir(clock_, options_.node, options_.dataset,
-                               dir_path);
+  return WithServerRetry<std::vector<DirEntry>>([&](DieselServer& s) {
+    return s.ListDir(clock_, options_.node, options_.dataset, dir_path);
+  });
 }
 
 Status DieselClient::Delete(const std::string& path) {
   // Deletion invalidates any loaded snapshot (dataset timestamp moves).
-  Status st = PickServer()->DeleteFile(clock_, options_.node, options_.dataset,
-                                       path);
+  Status st = WithServerRetryStatus([&](DieselServer& s) {
+    return s.DeleteFile(clock_, options_.node, options_.dataset, path);
+  });
   if (st.ok() && snapshot_) snapshot_.reset();
   return st;
 }
@@ -138,7 +161,9 @@ Status DieselClient::Delete(const std::string& path) {
 Status DieselClient::FetchSnapshot() {
   DIESEL_ASSIGN_OR_RETURN(
       MetadataSnapshot snap,
-      PickServer()->BuildSnapshot(clock_, options_.node, options_.dataset));
+      WithServerRetry<MetadataSnapshot>([&](DieselServer& s) {
+        return s.BuildSnapshot(clock_, options_.node, options_.dataset);
+      }));
   snapshot_ = std::move(snap);
   return Status::Ok();
 }
@@ -163,7 +188,9 @@ Status DieselClient::LoadMeta(ostore::ObjectStore& local_disk,
   // Freshness check against the KV record (§4.1.3).
   DIESEL_ASSIGN_OR_RETURN(
       DatasetMeta current,
-      PickServer()->GetDatasetMeta(clock_, options_.node, options_.dataset));
+      WithServerRetry<DatasetMeta>([&](DieselServer& s) {
+        return s.GetDatasetMeta(clock_, options_.node, options_.dataset);
+      }));
   if (!snap.IsUpToDate(current))
     return Status::Stale("snapshot timestamp does not match dataset; "
                          "download a new snapshot");

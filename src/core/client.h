@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "core/chunk_format.h"
 #include "core/server.h"
 #include "core/snapshot.h"
@@ -46,6 +47,9 @@ struct ClientOptions {
   sim::NodeId node = 0;
   uint32_t client_index = 0;  // endpoint index on the node (rank tiebreak)
   uint64_t chunk_target_bytes = kDefaultChunkTarget;
+  /// Retry policy for server RPCs; every attempt re-picks a server, so a
+  /// flapped server fails over to its peers instead of failing the op.
+  RetryPolicy retry;
 };
 
 struct ClientStats {
@@ -55,6 +59,8 @@ struct ClientStats {
   uint64_t chunks_flushed = 0;
   uint64_t files_read = 0;
   uint64_t bytes_read = 0;
+  /// Requests steered away from a server whose node looked down.
+  uint64_t server_failovers = 0;
   /// Virtual time at which the last flushed chunk became durable server-side
   /// (write-behind: the client clock does not wait for this).
   Nanos last_ingest_durable_ns = 0;
@@ -139,6 +145,19 @@ class DieselClient {
 
  private:
   Result<FileMeta> ResolveMeta(const std::string& path);
+
+  /// Drive `fn(server)` under the retry policy, re-picking the server on
+  /// every attempt so transient faults fail over across the server set.
+  template <typename T, typename Fn>
+  Result<T> WithServerRetry(Fn&& fn) {
+    return options_.retry.RunResult<T>(
+        clock_, [&]() -> Result<T> { return fn(*PickServer()); });
+  }
+  template <typename Fn>
+  Status WithServerRetryStatus(Fn&& fn) {
+    return options_.retry.Run(clock_,
+                              [&]() -> Status { return fn(*PickServer()); });
+  }
 
   net::Fabric& fabric_;
   std::vector<DieselServer*> servers_;

@@ -38,50 +38,58 @@ Status KvCluster::CheckShardUp(uint32_t s) const {
 Status KvCluster::Put(sim::VirtualClock& clock, sim::NodeId client,
                       std::string key, std::string value) {
   uint32_t s = OwnerShard(key);
-  DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
   Shard& shard = *shards_[s];
   uint64_t req = key.size() + value.size() + kOpOverheadBytes;
-  Status op_status;
-  DIESEL_RETURN_IF_ERROR(fabric_.Call(
-      clock, client, shard_node_[s], req, kOpOverheadBytes,
-      [&](Nanos arrival) {
-        op_status = shard.Put(std::move(key), std::move(value));
-        return shard.service().Serve(arrival, req);
-      }));
-  return op_status;
+  return options_.retry.Run(clock, [&]() -> Status {
+    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+    Status op_status;
+    // Copy (not move) into the shard so a dropped-then-retried RPC still
+    // carries the full payload.
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, shard_node_[s], req, kOpOverheadBytes,
+        [&](Nanos arrival) {
+          op_status = shard.Put(key, value);
+          return shard.service().Serve(arrival, req);
+        }));
+    return op_status;
+  });
 }
 
 Result<std::string> KvCluster::Get(sim::VirtualClock& clock, sim::NodeId client,
                                    const std::string& key) {
   uint32_t s = OwnerShard(key);
-  DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
   Shard& shard = *shards_[s];
-  Result<std::string> result = Status::Internal("unset");
   uint64_t req = key.size() + kOpOverheadBytes;
-  DIESEL_RETURN_IF_ERROR(fabric_.Call(
-      clock, client, shard_node_[s], req, /*resp guess=*/256,
-      [&](Nanos arrival) {
-        result = shard.Get(key);
-        uint64_t resp = result.ok() ? result.value().size() : 0;
-        return shard.service().Serve(arrival, req + resp);
-      }));
-  return result;
+  return options_.retry.RunResult<std::string>(clock, [&]() -> Result<std::string> {
+    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+    Result<std::string> result = Status::Internal("unset");
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, shard_node_[s], req, /*resp guess=*/256,
+        [&](Nanos arrival) {
+          result = shard.Get(key);
+          uint64_t resp = result.ok() ? result.value().size() : 0;
+          return shard.service().Serve(arrival, req + resp);
+        }));
+    return result;
+  });
 }
 
 Status KvCluster::Delete(sim::VirtualClock& clock, sim::NodeId client,
                          const std::string& key) {
   uint32_t s = OwnerShard(key);
-  DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
   Shard& shard = *shards_[s];
-  Status op_status;
   uint64_t req = key.size() + kOpOverheadBytes;
-  DIESEL_RETURN_IF_ERROR(fabric_.Call(
-      clock, client, shard_node_[s], req, kOpOverheadBytes,
-      [&](Nanos arrival) {
-        op_status = shard.Delete(key);
-        return shard.service().Serve(arrival, req);
-      }));
-  return op_status;
+  return options_.retry.Run(clock, [&]() -> Status {
+    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+    Status op_status;
+    DIESEL_RETURN_IF_ERROR(fabric_.Call(
+        clock, client, shard_node_[s], req, kOpOverheadBytes,
+        [&](Nanos arrival) {
+          op_status = shard.Delete(key);
+          return shard.service().Serve(arrival, req);
+        }));
+    return op_status;
+  });
 }
 
 Status KvCluster::BatchPut(
@@ -96,26 +104,31 @@ Status KvCluster::BatchPut(
   for (uint32_t s = 0; s < per_shard.size(); ++s) {
     auto& batch = per_shard[s];
     if (batch.empty()) continue;
-    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
     Shard& shard = *shards_[s];
     uint64_t req = 0;
     for (const auto& [k, v] : batch) {
       req += k.size() + v.size() + kOpOverheadBytes;
     }
-    Status op_status;
-    DIESEL_RETURN_IF_ERROR(fabric_.Call(
-        clock, client, shard_node_[s], req, kOpOverheadBytes,
-        [&](Nanos arrival) {
-          // Pipelined batch: the shard pays its per-command latency once and
-          // a marginal per-entry cost for the rest (Redis pipelining).
-          for (auto& [k, v] : batch) {
-            Status st = shard.Put(std::move(k), std::move(v));
-            if (!st.ok()) op_status = st;
-          }
-          return shard.service().Serve(
-              arrival, req, sim::kKvBatchEntryCost * (batch.size() - 1));
-        }));
-    if (!op_status.ok()) return op_status;
+    Status shard_status = options_.retry.Run(clock, [&]() -> Status {
+      DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+      Status op_status;
+      DIESEL_RETURN_IF_ERROR(fabric_.Call(
+          clock, client, shard_node_[s], req, kOpOverheadBytes,
+          [&](Nanos arrival) {
+            // Pipelined batch: the shard pays its per-command latency once
+            // and a marginal per-entry cost for the rest (Redis pipelining).
+            // Entries are copied, not moved, so a dropped RPC can be
+            // redriven with the batch intact.
+            for (const auto& [k, v] : batch) {
+              Status st = shard.Put(k, v);
+              if (!st.ok()) op_status = st;
+            }
+            return shard.service().Serve(
+                arrival, req, sim::kKvBatchEntryCost * (batch.size() - 1));
+          }));
+      return op_status;
+    });
+    if (!shard_status.ok()) return shard_status;
   }
   return Status::Ok();
 }
@@ -132,25 +145,27 @@ Result<std::vector<std::optional<std::string>>> KvCluster::MGet(
   for (uint32_t s = 0; s < per_shard.size(); ++s) {
     const auto& indices = per_shard[s];
     if (indices.empty()) continue;
-    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
     Shard& shard = *shards_[s];
     uint64_t req = kOpOverheadBytes;
     for (size_t i : indices) req += keys[i].size();
-    DIESEL_RETURN_IF_ERROR(fabric_.Call(
-        clock, client, shard_node_[s], req, kOpOverheadBytes,
-        [&](Nanos arrival) {
-          uint64_t resp = 0;
-          for (size_t i : indices) {
-            Result<std::string> v = shard.Get(keys[i]);
-            if (v.ok()) {
-              resp += v.value().size();
-              out[i] = std::move(v).value();
+    DIESEL_RETURN_IF_ERROR(options_.retry.Run(clock, [&]() -> Status {
+      DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+      return fabric_.Call(
+          clock, client, shard_node_[s], req, kOpOverheadBytes,
+          [&](Nanos arrival) {
+            uint64_t resp = 0;
+            for (size_t i : indices) {
+              Result<std::string> v = shard.Get(keys[i]);
+              if (v.ok()) {
+                resp += v.value().size();
+                out[i] = std::move(v).value();
+              }
             }
-          }
-          return shard.service().Serve(
-              arrival, req + resp,
-              sim::kKvBatchEntryCost * (indices.size() - 1));
-        }));
+            return shard.service().Serve(
+                arrival, req + resp,
+                sim::kKvBatchEntryCost * (indices.size() - 1));
+          });
+    }));
   }
   return out;
 }
@@ -161,21 +176,23 @@ Result<std::vector<ScanEntry>> KvCluster::PScan(sim::VirtualClock& clock,
                                                 size_t limit) {
   std::vector<ScanEntry> merged;
   for (uint32_t s = 0; s < shards_.size(); ++s) {
-    DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
     Shard& shard = *shards_[s];
     Result<std::vector<ScanEntry>> part = Status::Internal("unset");
-    DIESEL_RETURN_IF_ERROR(fabric_.Call(
-        clock, client, shard_node_[s], prefix.size() + kOpOverheadBytes,
-        /*resp guess=*/1024,
-        [&](Nanos arrival) {
-          part = shard.Scan(prefix, limit);
-          uint64_t resp = 0;
-          if (part.ok()) {
-            for (const auto& e : part.value())
-              resp += e.key.size() + e.value.size();
-          }
-          return shard.service().Serve(arrival, resp + kOpOverheadBytes);
-        }));
+    DIESEL_RETURN_IF_ERROR(options_.retry.Run(clock, [&]() -> Status {
+      DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
+      return fabric_.Call(
+          clock, client, shard_node_[s], prefix.size() + kOpOverheadBytes,
+          /*resp guess=*/1024,
+          [&](Nanos arrival) {
+            part = shard.Scan(prefix, limit);
+            uint64_t resp = 0;
+            if (part.ok()) {
+              for (const auto& e : part.value())
+                resp += e.key.size() + e.value.size();
+            }
+            return shard.service().Serve(arrival, resp + kOpOverheadBytes);
+          });
+    }));
     DIESEL_RETURN_IF_ERROR(part.status());
     auto& items = part.value();
     merged.insert(merged.end(), std::make_move_iterator(items.begin()),
@@ -190,6 +207,12 @@ Result<std::vector<ScanEntry>> KvCluster::PScan(sim::VirtualClock& clock,
 void KvCluster::FailShardsOnNode(sim::NodeId node) {
   for (uint32_t s = 0; s < shards_.size(); ++s) {
     if (shard_node_[s] == node) shards_[s]->Fail();
+  }
+}
+
+void KvCluster::RestartShardsOnNode(sim::NodeId node) {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shard_node_[s] == node) shards_[s]->Restart();
   }
 }
 

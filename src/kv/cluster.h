@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "kv/ring.h"
 #include "kv/shard.h"
@@ -27,6 +28,10 @@ struct KvClusterOptions {
   std::vector<sim::NodeId> nodes;
   uint32_t shards_per_node = 4;
   uint32_t ring_vnodes = 64;
+  /// Per-operation retry around shard flaps and injected RPC drops. The
+  /// default budget rides out short outages; permanently-down shards still
+  /// surface Unavailable once the policy is exhausted.
+  RetryPolicy retry;
 };
 
 class KvCluster {
@@ -69,6 +74,9 @@ class KvCluster {
   void RestartShard(uint32_t i) { shards_.at(i)->Restart(); }
   /// Fail every shard hosted on `node` (machine crash).
   void FailShardsOnNode(sim::NodeId node);
+  /// Restart every shard hosted on `node` (machine back up; shards come back
+  /// empty — callers redrive metadata via DieselServer::RecoverMetadata).
+  void RestartShardsOnNode(sim::NodeId node);
 
   size_t TotalKeys() const;
 

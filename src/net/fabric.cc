@@ -1,5 +1,7 @@
 #include "net/fabric.h"
 
+#include "net/fault_injector.h"
+
 namespace diesel::net {
 
 bool ConnectionTable::Connect(EndpointId a, EndpointId b) {
@@ -31,9 +33,71 @@ size_t ConnectionTable::ConnectionsOf(EndpointId e) const {
   return n;
 }
 
+size_t ConnectionTable::DisconnectAll(EndpointId e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t removed = 0;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->first == e || it->second == e) {
+      it = connections_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t ConnectionTable::DisconnectNode(sim::NodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t removed = 0;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->first.node == node || it->second.node == node) {
+      it = connections_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void ConnectionTable::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   connections_.clear();
+}
+
+bool Fabric::NodeAvailable(sim::NodeId node, Nanos now) const {
+  if (!cluster_.node(node).up()) return false;
+  if (injector_ != nullptr && injector_->NodeDown(node, now)) return false;
+  return true;
+}
+
+Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
+                                   sim::NodeId dst, Nanos* extra_latency) {
+  *extra_latency = 0;
+  if (injector_ == nullptr) return Status::Ok();
+
+  Nanos now = clock.now();
+  injector_->FireFlaps(now, [this](sim::NodeId n) {
+    connections_.DisconnectNode(n);
+  });
+
+  if (injector_->NodeDown(src, now) || injector_->NodeDown(dst, now)) {
+    // Flapped endpoint: the caller pays the connect timeout discovering it.
+    injector_->CountDownNodeRejection();
+    clock.Advance(injector_->plan().fault_detect_timeout);
+    sim::NodeId down = injector_->NodeDown(src, now) ? src : dst;
+    return Status::Unavailable("injected flap: node down: " +
+                               cluster_.node(down).name());
+  }
+  if (src != dst && injector_->ShouldDropRpc(src, dst, now)) {
+    clock.Advance(injector_->plan().fault_detect_timeout);
+    return Status::Unavailable("injected rpc drop: " +
+                               cluster_.node(src).name() + " -> " +
+                               cluster_.node(dst).name());
+  }
+  *extra_latency = injector_->ExtraLatency(now);
+  return Status::Ok();
 }
 
 Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
@@ -43,6 +107,8 @@ Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
     return Status::Unavailable("source node down: " + cluster_.node(src).name());
   if (!cluster_.node(dst).up())
     return Status::Unavailable("target node down: " + cluster_.node(dst).name());
+  Nanos spike = 0;
+  DIESEL_RETURN_IF_ERROR(ApplyInjectedFaults(clock, src, dst, &spike));
 
   rpcs_.fetch_add(1, std::memory_order_relaxed);
 
@@ -56,13 +122,14 @@ Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
 
   sim::SimNode& s = cluster_.node(src);
   sim::SimNode& d = cluster_.node(dst);
+  Nanos wire = wire_latency_ + spike;
 
   Nanos t = s.nic().Serve(clock.now(), req_bytes, sim::kRpcCpuOverhead);
-  t += wire_latency_;
+  t += wire;
   t = d.nic().Serve(t, req_bytes, sim::kRpcCpuOverhead);
   Nanos done = handler(t);
   t = d.nic().Serve(done, resp_bytes, sim::kRpcCpuOverhead);
-  t += wire_latency_;
+  t += wire;
   t = s.nic().Serve(t, resp_bytes, sim::kRpcCpuOverhead);
   clock.AdvanceTo(t);
   return Status::Ok();
@@ -74,6 +141,8 @@ Status Fabric::Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
     return Status::Unavailable("source node down");
   if (!cluster_.node(dst).up())
     return Status::Unavailable("target node down");
+  Nanos spike = 0;
+  DIESEL_RETURN_IF_ERROR(ApplyInjectedFaults(clock, src, dst, &spike));
 
   rpcs_.fetch_add(1, std::memory_order_relaxed);
 
@@ -87,7 +156,7 @@ Status Fabric::Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
   sim::SimNode& d = cluster_.node(dst);
   Nanos t = s.nic().Serve(clock.now(), bytes, sim::kRpcCpuOverhead);
   clock.AdvanceTo(t);  // sender is free once bytes are on the wire
-  t += wire_latency_;
+  t += wire_latency_ + spike;
   t = d.nic().Serve(t, bytes, sim::kRpcCpuOverhead);
   deliver(t);
   return Status::Ok();

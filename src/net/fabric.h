@@ -44,6 +44,12 @@ class ConnectionTable {
   size_t TotalConnections() const;
   /// Connections with `e` as either side.
   size_t ConnectionsOf(EndpointId e) const;
+  /// Drop every connection with `e` as either side (endpoint failed).
+  /// Returns the number of connections removed.
+  size_t DisconnectAll(EndpointId e);
+  /// Drop every connection touching any endpoint on `node` (node failed) so
+  /// topology counts stay truthful after failures. Returns removals.
+  size_t DisconnectNode(sim::NodeId node);
   void Clear();
 
  private:
@@ -56,6 +62,8 @@ class ConnectionTable {
   std::set<Pair> connections_;
 };
 
+class FaultInjector;
+
 class Fabric {
  public:
   explicit Fabric(sim::Cluster& cluster, Nanos wire_latency = sim::kWireLatency)
@@ -63,6 +71,17 @@ class Fabric {
 
   sim::Cluster& cluster() { return cluster_; }
   ConnectionTable& connections() { return connections_; }
+
+  /// Attach a deterministic fault-injection plan (nullptr detaches). With no
+  /// injector attached, the fabric behaves exactly as before — the fault
+  /// plane is pay-for-what-you-use.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
+  /// Is `node` able to serve at virtual time `now`? Combines the cluster's
+  /// availability flag with any active injected flap window. Callers use
+  /// this to skip/fail over across down nodes before paying an RPC.
+  bool NodeAvailable(sim::NodeId node, Nanos now) const;
 
   /// One RPC round trip. `handler(arrival) -> Nanos` runs the server-side
   /// work and returns its completion time (it may charge further devices).
@@ -79,9 +98,16 @@ class Fabric {
   uint64_t rpcs_issued() const { return rpcs_.load(std::memory_order_relaxed); }
 
  private:
+  /// Injector gate shared by Call/Send: fires due flap teardowns, refuses
+  /// calls touching flapped nodes, rolls drop dice, and returns the extra
+  /// wire latency for this exchange. OK status means the call may proceed.
+  Status ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
+                             sim::NodeId dst, Nanos* extra_latency);
+
   sim::Cluster& cluster_;
   Nanos wire_latency_;
   ConnectionTable connections_;
+  FaultInjector* injector_ = nullptr;
   std::atomic<uint64_t> rpcs_{0};
 };
 

@@ -27,6 +27,12 @@ inline DeviceSpec NicSpec(std::string name) {
 /// Per-RPC software overhead on each endpoint (Thrift serialize + syscall).
 constexpr Nanos kRpcCpuOverhead = Micros(8);
 
+/// Time a caller spends detecting a lost RPC or a flapped node before the
+/// call fails Unavailable (connect timeout; the Thrift clients fail much
+/// faster than libMemcached's kMcDeadInstanceCost below because DIESEL
+/// tasks keep long-lived connections and see resets promptly).
+constexpr Nanos kFaultDetectTimeout = Millis(5);
+
 // ---------------------------------------------------------------------------
 // Storage cluster (6 machines x 6 NVMe, Table 4; sweep shape from Table 2)
 // ---------------------------------------------------------------------------

@@ -44,9 +44,16 @@ struct Cli {
   sim::VirtualClock clock;
 
   explicit Cli(const fs::path& root)
-      : kv(fabric, {.nodes = {1}, .shards_per_node = 4}),
+      : kv(fabric, KvOpts()),
         store(root),
         server(fabric, kv, store, {.node = 1}) {}
+
+  static kv::KvClusterOptions KvOpts() {
+    kv::KvClusterOptions opts;
+    opts.nodes = {1};
+    opts.shards_per_node = 4;
+    return opts;
+  }
 
   /// Rebuild the (per-invocation, in-memory) metadata from chunk headers.
   Status Bootstrap(const std::string& dataset) {

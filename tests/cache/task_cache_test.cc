@@ -37,6 +37,12 @@ class TaskCacheTest : public ::testing::Test {
     snapshot_ = clients_[0]->snapshot();
   }
 
+  static TaskCacheOptions Oneshot() {
+    TaskCacheOptions opts;
+    opts.policy = CachePolicy::kOneshot;
+    return opts;
+  }
+
   TaskCache MakeCache(TaskCacheOptions opts = {}) {
     return TaskCache(deployment_->fabric(), deployment_->server(0),
                      *snapshot_, registry_, opts);
@@ -74,7 +80,7 @@ TEST_F(TaskCacheTest, ChunkOwnersCoverAllNodes) {
 }
 
 TEST_F(TaskCacheTest, PreloadPopulatesEverything) {
-  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  TaskCache cache = MakeCache(Oneshot());
   auto end = cache.Preload(0);
   ASSERT_TRUE(end.ok());
   EXPECT_GT(end.value(), 0u);
@@ -107,7 +113,7 @@ TEST_F(TaskCacheTest, SecondReadIsCachedAndCheaper) {
 }
 
 TEST_F(TaskCacheTest, AllClientsReadAllFilesCorrectly) {
-  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  TaskCache cache = MakeCache(Oneshot());
   ASSERT_TRUE(cache.Preload(0).ok());
   sim::VirtualClock clock;
   for (size_t i = 0; i < spec_.total_files(); ++i) {
@@ -124,7 +130,7 @@ TEST_F(TaskCacheTest, AllClientsReadAllFilesCorrectly) {
 }
 
 TEST_F(TaskCacheTest, PeerFetchCostsMoreThanLocal) {
-  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  TaskCache cache = MakeCache(Oneshot());
   ASSERT_TRUE(cache.Preload(0).ok());
   // Find one local and one remote file for client 0 (node 0).
   const core::FileMeta *local = nullptr, *remote = nullptr;
@@ -144,7 +150,7 @@ TEST_F(TaskCacheTest, PeerFetchCostsMoreThanLocal) {
 }
 
 TEST_F(TaskCacheTest, DropNodeLosesOnlyItsPartition) {
-  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  TaskCache cache = MakeCache(Oneshot());
   ASSERT_TRUE(cache.Preload(0).ok());
   cache.DropNode(2);
   double ratio = cache.HitRatio();
@@ -153,7 +159,7 @@ TEST_F(TaskCacheTest, DropNodeLosesOnlyItsPartition) {
 }
 
 TEST_F(TaskCacheTest, ReloadRestoresFullCache) {
-  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+  TaskCache cache = MakeCache(Oneshot());
   ASSERT_TRUE(cache.Preload(0).ok());
   cache.DropAll();
   EXPECT_DOUBLE_EQ(cache.HitRatio(), 0.0);
@@ -164,7 +170,9 @@ TEST_F(TaskCacheTest, ReloadRestoresFullCache) {
 
 TEST_F(TaskCacheTest, CapacityBoundEvicts) {
   // Partition capacity below the per-node share forces evictions.
-  TaskCache cache = MakeCache({.per_node_capacity_bytes = 40 * 1024});
+  TaskCacheOptions opts;
+  opts.per_node_capacity_bytes = 40 * 1024;
+  TaskCache cache = MakeCache(opts);
   sim::VirtualClock clock;
   for (size_t i = 0; i < spec_.total_files(); ++i) {
     const core::FileMeta* meta = snapshot_->Lookup(dlt::FilePath(spec_, i));
@@ -176,12 +184,13 @@ TEST_F(TaskCacheTest, CapacityBoundEvicts) {
   EXPECT_LT(cache.HitRatio(), 1.0);
 }
 
-TEST_F(TaskCacheTest, DownOwnerNodeMakesPeerFetchFail) {
-  TaskCache cache = MakeCache({.policy = CachePolicy::kOneshot});
+TEST_F(TaskCacheTest, DownOwnerNodeFailsOverToServer) {
+  TaskCache cache = MakeCache(Oneshot());
   ASSERT_TRUE(cache.Preload(0).ok());
   deployment_->cluster().FailNode(1);
-  // A file owned by node 1, requested from node 0, must fail (containment:
-  // this task is broken, but the failure is visible and immediate).
+  // A file owned by node 1, requested from node 0: the peer path fails, the
+  // owner's breaker eventually opens, and the read degrades to a direct
+  // server fetch instead of failing the task.
   const core::FileMeta* victim = nullptr;
   for (size_t i = 0; i < spec_.total_files(); ++i) {
     const core::FileMeta* m = snapshot_->Lookup(dlt::FilePath(spec_, i));
@@ -192,8 +201,53 @@ TEST_F(TaskCacheTest, DownOwnerNodeMakesPeerFetchFail) {
   }
   ASSERT_NE(victim, nullptr);
   sim::VirtualClock clock;
-  EXPECT_TRUE(cache.GetFile(clock, clients_[0]->endpoint(), *victim)
+  auto content = cache.GetFile(clock, clients_[0]->endpoint(), *victim);
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_GT(cache.stats().failovers, 0u);
+  // Degraded reads are opt-out: with them disabled the old containment
+  // behavior (visible, immediate failure) is preserved.
+  TaskCacheOptions strict;
+  strict.policy = CachePolicy::kOneshot;
+  strict.degraded_reads = false;
+  TaskCache contained = MakeCache(strict);
+  sim::VirtualClock clock2;
+  EXPECT_TRUE(contained.GetFile(clock2, clients_[0]->endpoint(), *victim)
                   .status().IsUnavailable());
+}
+
+TEST_F(TaskCacheTest, RepeatedPeerFailuresOpenBreaker) {
+  TaskCache cache = MakeCache(Oneshot());
+  ASSERT_TRUE(cache.Preload(0).ok());
+  deployment_->cluster().FailNode(1);
+  sim::VirtualClock clock;
+  size_t reads = 0;
+  for (size_t i = 0; i < spec_.total_files(); ++i) {
+    const core::FileMeta* m = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    if (cache.OwnerNodeOfChunk(snapshot_->ChunkIndex(m->chunk)).value() != 1)
+      continue;
+    auto content = cache.GetFile(clock, clients_[0]->endpoint(), *m);
+    ASSERT_TRUE(content.ok()) << content.status().ToString();
+    ASSERT_TRUE(dlt::VerifyContent(spec_, i, content.value()));
+    if (++reads >= 8) break;
+  }
+  ASSERT_GE(reads, 4u);
+  auto stats = cache.stats();
+  EXPECT_GE(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.failovers, reads);
+  // Once open, reads skip the RPC timeout entirely: the fast-failing read
+  // must be much cheaper than the first (which burned retries + timeouts).
+  sim::VirtualClock probe;
+  const core::FileMeta* m = nullptr;
+  for (size_t i = 0; i < spec_.total_files(); ++i) {
+    const core::FileMeta* c = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    if (cache.OwnerNodeOfChunk(snapshot_->ChunkIndex(c->chunk)).value() == 1) {
+      m = c;
+      break;
+    }
+  }
+  ASSERT_NE(m, nullptr);
+  ASSERT_TRUE(cache.GetFile(probe, clients_[0]->endpoint(), *m).ok());
+  EXPECT_LT(probe.now(), Millis(5));  // no fault-detect timeout paid
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel {
+namespace {
+
+using State = CircuitBreaker::State;
+using Transition = CircuitBreaker::Transition;
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsRequests) {
+  CircuitBreaker br;
+  EXPECT_EQ(br.state(), State::kClosed);
+  EXPECT_TRUE(br.AllowRequest(0));
+  EXPECT_TRUE(br.AllowRequest(Millis(1)));
+}
+
+TEST(CircuitBreakerTest, OpensAfterThresholdConsecutiveFailures) {
+  CircuitBreaker br({.failure_threshold = 3, .cooldown = Millis(10)});
+  EXPECT_EQ(br.OnFailure(0), Transition::kNone);
+  EXPECT_EQ(br.OnFailure(0), Transition::kNone);
+  EXPECT_EQ(br.state(), State::kClosed);
+  EXPECT_EQ(br.OnFailure(0), Transition::kOpened);
+  EXPECT_EQ(br.state(), State::kOpen);
+  EXPECT_EQ(br.times_opened(), 1u);
+  EXPECT_FALSE(br.AllowRequest(Millis(5)));  // cooldown not elapsed
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureCount) {
+  CircuitBreaker br({.failure_threshold = 3, .cooldown = Millis(10)});
+  br.OnFailure(0);
+  br.OnFailure(0);
+  EXPECT_EQ(br.OnSuccess(0), Transition::kNone);
+  br.OnFailure(0);
+  br.OnFailure(0);
+  EXPECT_EQ(br.state(), State::kClosed);  // never reached 3 in a row
+}
+
+TEST(CircuitBreakerTest, HalfOpenAllowsSingleProbeAfterCooldown) {
+  CircuitBreaker br({.failure_threshold = 1, .cooldown = Millis(10)});
+  EXPECT_EQ(br.OnFailure(0), Transition::kOpened);
+  EXPECT_FALSE(br.AllowRequest(Millis(9)));
+  EXPECT_TRUE(br.AllowRequest(Millis(10)));   // the probe slot
+  EXPECT_EQ(br.state(), State::kHalfOpen);
+  EXPECT_FALSE(br.AllowRequest(Millis(10)));  // second caller is refused
+  EXPECT_FALSE(br.AllowRequest(Millis(11)));
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesAndReportsRecovery) {
+  CircuitBreaker br({.failure_threshold = 1, .cooldown = Millis(10)});
+  br.OnFailure(0);
+  ASSERT_TRUE(br.AllowRequest(Millis(10)));
+  EXPECT_EQ(br.OnSuccess(Millis(11)), Transition::kRecovered);
+  EXPECT_EQ(br.state(), State::kClosed);
+  EXPECT_TRUE(br.AllowRequest(Millis(11)));
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  CircuitBreaker br({.failure_threshold = 1, .cooldown = Millis(10)});
+  br.OnFailure(0);
+  ASSERT_TRUE(br.AllowRequest(Millis(10)));
+  EXPECT_EQ(br.OnFailure(Millis(10)), Transition::kNone);  // still down
+  EXPECT_EQ(br.state(), State::kOpen);
+  EXPECT_FALSE(br.AllowRequest(Millis(19)));
+  EXPECT_TRUE(br.AllowRequest(Millis(20)));  // next probe window
+}
+
+TEST(CircuitBreakerTest, RecoveryAfterReopenCycle) {
+  CircuitBreaker br({.failure_threshold = 2, .cooldown = Millis(5)});
+  br.OnFailure(0);
+  br.OnFailure(0);
+  EXPECT_EQ(br.state(), State::kOpen);
+  ASSERT_TRUE(br.AllowRequest(Millis(5)));
+  br.OnFailure(Millis(5));  // probe fails -> reopen
+  ASSERT_TRUE(br.AllowRequest(Millis(10)));
+  EXPECT_EQ(br.OnSuccess(Millis(10)), Transition::kRecovered);
+  EXPECT_EQ(br.state(), State::kClosed);
+  EXPECT_EQ(br.times_opened(), 1u);  // reopen of a probe is not a new open
+}
+
+}  // namespace
+}  // namespace diesel

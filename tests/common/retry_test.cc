@@ -1,0 +1,131 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel {
+namespace {
+
+TEST(RetryPolicyTest, SucceedsFirstTryWithoutWaiting) {
+  RetryPolicy p;
+  sim::VirtualClock clock;
+  int calls = 0;
+  Status st = p.Run(clock, [&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(RetryPolicyTest, RetriesOnlyUnavailable) {
+  RetryPolicy p;
+  sim::VirtualClock clock;
+  int calls = 0;
+  Status st = p.Run(clock, [&] {
+    ++calls;
+    return Status::NotFound("gone");
+  });
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(calls, 1);  // semantic answer, not a transient fault
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(RetryPolicyTest, ExhaustsAttemptsAndChargesVirtualTime) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  sim::VirtualClock clock;
+  int calls = 0;
+  Status st = p.Run(clock, [&] {
+    ++calls;
+    return Status::Unavailable("flap");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+  // Two backoffs were charged to the caller's virtual clock.
+  EXPECT_GE(clock.now(), p.BackoffBefore(1) + p.BackoffBefore(2));
+}
+
+TEST(RetryPolicyTest, EventualSuccessAfterTransientFailures) {
+  RetryPolicy p;
+  sim::VirtualClock clock;
+  int calls = 0;
+  Result<int> r = p.RunResult<int>(clock, [&]() -> Result<int> {
+    if (++calls < 3) return Status::Unavailable("flap");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_GT(clock.now(), 0u);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.initial_backoff = Micros(100);
+  p.backoff_multiplier = 2.0;
+  p.max_backoff = Micros(350);
+  p.jitter_frac = 0.0;  // exact values
+  EXPECT_EQ(p.BackoffBefore(1), Micros(100));
+  EXPECT_EQ(p.BackoffBefore(2), Micros(200));
+  EXPECT_EQ(p.BackoffBefore(3), Micros(350));  // capped, not 400
+  EXPECT_EQ(p.BackoffBefore(4), Micros(350));
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy a, b;
+  a.jitter_frac = b.jitter_frac = 0.25;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    Nanos wa = a.BackoffBefore(attempt);
+    EXPECT_EQ(wa, b.BackoffBefore(attempt));  // same seed, same wait
+    RetryPolicy plain = a;
+    plain.jitter_frac = 0.0;
+    Nanos base = plain.BackoffBefore(attempt);
+    EXPECT_GE(wa, static_cast<Nanos>(static_cast<double>(base) * 0.75) - 1);
+    EXPECT_LE(wa, static_cast<Nanos>(static_cast<double>(base) * 1.25) + 1);
+  }
+  RetryPolicy other;
+  other.jitter_seed = 1234567;
+  bool any_different = false;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    if (other.BackoffBefore(attempt) != a.BackoffBefore(attempt))
+      any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryPolicyTest, DeadlineBudgetStopsRetrying) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.initial_backoff = Millis(1);
+  p.backoff_multiplier = 1.0;
+  p.jitter_frac = 0.0;
+  p.deadline_budget = Millis(3);
+  sim::VirtualClock clock;
+  int calls = 0;
+  Status st = p.Run(clock, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  // 1ms backoffs against a 3ms budget: attempts at t=0,1,2,3 then stop.
+  EXPECT_EQ(calls, 4);
+  EXPECT_LE(clock.now(), Millis(3));
+}
+
+TEST(RetryPolicyTest, SingleAttemptDisablesRetry) {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  sim::VirtualClock clock;
+  int calls = 0;
+  Status st = p.Run(clock, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+}  // namespace
+}  // namespace diesel

@@ -116,8 +116,10 @@ TEST_F(ParallelClientsTest, ConcurrentCapacityBoundedCacheStaysSafe) {
   ASSERT_TRUE(clients[0]->FetchSnapshot().ok());
   const core::MetadataSnapshot& snap = *clients[0]->snapshot();
   // Tiny partitions force constant eviction under concurrency.
+  cache::TaskCacheOptions copts;
+  copts.per_node_capacity_bytes = 48 * 1024;
   cache::TaskCache cache(deployment_->fabric(), deployment_->server(0), snap,
-                         registry, {.per_node_capacity_bytes = 48 * 1024});
+                         registry, copts);
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
@@ -137,6 +139,108 @@ TEST_F(ParallelClientsTest, ConcurrentCapacityBoundedCacheStaysSafe) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// A node's partition is dropped and reloaded while reader threads keep
+// hammering GetFile: every read must stay bit-exact (misses refetch, peer
+// failures degrade to server reads) and the cache must end fully resident.
+TEST_F(ParallelClientsTest, ConcurrentReadsSurviveDropNodeAndReload) {
+  constexpr int kThreads = 8;
+  std::vector<std::unique_ptr<core::DieselClient>> clients;
+  cache::TaskRegistry registry;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.push_back(deployment_->MakeClient(
+        t % 4, static_cast<uint32_t>(80 + t), spec_.name));
+    registry.Register(clients.back()->endpoint());
+  }
+  ASSERT_TRUE(clients[0]->FetchSnapshot().ok());
+  const core::MetadataSnapshot& snap = *clients[0]->snapshot();
+  cache::TaskCacheOptions copts;
+  copts.policy = cache::CachePolicy::kOneshot;
+  cache::TaskCache cache(deployment_->fabric(), deployment_->server(0), snap,
+                         registry, copts);
+  ASSERT_TRUE(cache.Preload(0).ok());
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sim::VirtualClock clock;
+      Rng rng(400 + t);
+      for (int i = 0; i < 300; ++i) {
+        size_t f = rng.Uniform(spec_.total_files());
+        const core::FileMeta* fm = snap.Lookup(dlt::FilePath(spec_, f));
+        auto content = cache.GetFile(clock, clients[t]->endpoint(), *fm);
+        if (!content.ok() || !dlt::VerifyContent(spec_, f, content.value())) {
+          failures.fetch_add(1);
+        }
+      }
+      stop.store(true);
+    });
+  }
+  // Chaos thread: repeatedly drop one node's partition and reload it while
+  // the readers run.
+  std::thread chaos([&] {
+    int round = 0;
+    while (!stop.load()) {
+      cache.DropNode(static_cast<sim::NodeId>(round++ % 4));
+      ASSERT_TRUE(cache.Reload(0).ok());
+    }
+  });
+  for (auto& t : threads) t.join();
+  chaos.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(cache.Reload(0).ok());
+  EXPECT_DOUBLE_EQ(cache.HitRatio(), 1.0);
+}
+
+// KV shards on one node fail and recover while client threads keep issuing
+// metadata-bearing operations. In-flight ops may surface Unavailable (the
+// shard is genuinely down) or NotFound (its keys were lost), but nothing
+// may crash, corrupt, or wedge; after recovery every op must succeed.
+TEST_F(ParallelClientsTest, ConcurrentKvOpsSurviveShardFailureAndRecovery) {
+  kv::KvCluster& kv = deployment_->kv();
+  const sim::NodeId victim = deployment_->kv_node(0);
+  constexpr int kThreads = 6;
+  std::atomic<int> unexpected{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sim::VirtualClock clock;
+      for (int i = 0; i < 300; ++i) {
+        std::string key = "ck" + std::to_string(t) + "_" + std::to_string(i);
+        Status put = kv.Put(clock, static_cast<sim::NodeId>(t % 4), key, "v");
+        if (!put.ok() && !put.IsUnavailable()) unexpected.fetch_add(1);
+        auto got = kv.Get(clock, static_cast<sim::NodeId>(t % 4), key);
+        if (got.ok()) {
+          if (*got != "v") unexpected.fetch_add(1);
+        } else if (!got.status().IsUnavailable() &&
+                   !got.status().IsNotFound()) {
+          unexpected.fetch_add(1);
+        }
+      }
+      stop.store(true);
+    });
+  }
+  std::thread chaos([&] {
+    while (!stop.load()) {
+      kv.FailShardsOnNode(victim);
+      kv.RestartShardsOnNode(victim);
+    }
+  });
+  for (auto& t : threads) t.join();
+  chaos.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  // Fully recovered: every shard is up and all ops succeed again.
+  for (uint32_t s = 0; s < kv.NumShards(); ++s) EXPECT_TRUE(kv.shard(s).up());
+  sim::VirtualClock clock;
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "post" + std::to_string(i);
+    ASSERT_TRUE(kv.Put(clock, 0, key, "w").ok());
+    EXPECT_EQ(kv.Get(clock, 0, key).value(), "w");
+  }
 }
 
 TEST_F(ParallelClientsTest, ConcurrentWritersToDistinctDatasets) {

@@ -2,6 +2,8 @@
 // (typed tests), plus implementation-specific checks.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <memory>
 
@@ -25,9 +27,12 @@ struct MemFactory {
 
 struct DirFactory {
   static std::unique_ptr<ObjectStore> Make() {
+    // ctest runs each test in its own process, often in parallel; the
+    // directory name must be unique across processes, not just within one.
     static int counter = 0;
     auto dir = std::filesystem::temp_directory_path() /
-               ("diesel_dirstore_test_" + std::to_string(counter++));
+               ("diesel_dirstore_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
     std::filesystem::remove_all(dir);
     return std::make_unique<DirStore>(dir);
   }
