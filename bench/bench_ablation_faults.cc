@@ -28,6 +28,9 @@ struct FaultRun {
   uint64_t failovers = 0;
   uint64_t breaker_opens = 0;
   bool all_reads_ok = true;
+  double hit_rate = 0;        // hand-computed from TaskCacheStats
+  double reg_hit_rate = 0;    // same quantity, from the metrics registry
+  bool registry_consistent = true;
 };
 
 FaultRun RunSchedule(double drop_prob, bool with_flap,
@@ -81,6 +84,10 @@ FaultRun RunSchedule(double drop_prob, bool with_flap,
   net::FaultInjector inj(plan);
   dep.fabric().set_fault_injector(&inj);
 
+  // Snapshot the registry at read-phase start; the delta after the run must
+  // agree with the hand-kept TaskCacheStats / injector counters.
+  obs::MetricsSnapshot before = obs::Metrics().Snapshot();
+
   FaultRun run;
   Rng rng(5);
   Nanos train_start = 0;
@@ -111,6 +118,23 @@ FaultRun RunSchedule(double drop_prob, bool with_flap,
   run.rejections = fstats.down_node_rejections;
   run.failovers = cache.stats().failovers;
   run.breaker_opens = cache.stats().breaker_opens;
+
+  auto cstats = cache.stats();
+  uint64_t reads = kEpochs * static_cast<uint64_t>(snap.num_files());
+  uint64_t hits = cstats.local_hits + cstats.peer_hits;
+  run.hit_rate = reads == 0 ? 0 : static_cast<double>(hits) / reads;
+
+  obs::MetricsSnapshot delta = obs::Metrics().Snapshot().DeltaSince(before);
+  uint64_t reg_hits = delta.SumCounters("cache.local_hits") +
+                      delta.SumCounters("cache.peer_hits");
+  run.reg_hit_rate = reads == 0 ? 0 : static_cast<double>(reg_hits) / reads;
+  run.registry_consistent =
+      reg_hits == hits &&
+      delta.SumCounters("cache.failovers") == cstats.failovers &&
+      delta.SumCounters("cache.breaker_opens") == cstats.breaker_opens &&
+      delta.SumCounters("net.rpc.drops") == fstats.rpc_drops &&
+      delta.SumCounters("net.rpc.flap_rejects") == fstats.down_node_rejections;
+
   dep.fabric().set_fault_injector(nullptr);
   return run;
 }
@@ -125,7 +149,8 @@ void Run() {
   spec.fixed_size = true;
 
   bench::Table table({"drop prob", "flap", "epoch 1 (s)", "epoch 2 (s)",
-                      "drops", "rejects", "failovers", "breaker", "ok"});
+                      "drops", "rejects", "failovers", "breaker", "hit rate",
+                      "reg hit rate", "reg ok", "ok"});
   for (double drop : {0.0, 0.001, 0.01, 0.05}) {
     for (bool flap : {false, true}) {
       FaultRun r = RunSchedule(drop, flap, spec);
@@ -136,6 +161,9 @@ void Run() {
                     std::to_string(r.rejections),
                     std::to_string(r.failovers),
                     std::to_string(r.breaker_opens),
+                    bench::Fmt("%.3f", r.hit_rate),
+                    bench::Fmt("%.3f", r.reg_hit_rate),
+                    r.registry_consistent ? "yes" : "NO",
                     r.all_reads_ok ? "yes" : "NO"});
     }
   }
@@ -143,7 +171,9 @@ void Run() {
   std::printf("\nEvery row must read correct bytes; faults only move time. "
               "Drops charge the detection timeout and retry; a flapped node "
               "trips its circuit breaker and reads degrade to the server "
-              "until recovery re-owns the partition.\n");
+              "until recovery re-owns the partition. The 'reg' columns are "
+              "recomputed from the process-wide metrics registry and must "
+              "match the hand-kept stats exactly.\n");
 }
 
 }  // namespace
@@ -151,5 +181,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("ablation_faults");
   return 0;
 }

@@ -91,5 +91,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("fig10a_metadata_servers");
   return 0;
 }

@@ -102,5 +102,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("fig10c_ls");
   return 0;
 }

@@ -195,5 +195,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("fig11a_read4k");
   return 0;
 }

@@ -143,5 +143,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("fig11b_recovery");
   return 0;
 }

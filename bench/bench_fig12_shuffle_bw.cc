@@ -168,5 +168,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("fig12_shuffle_bw");
   return 0;
 }

@@ -135,5 +135,6 @@ void Run() {
 
 int main() {
   diesel::Run();
+  diesel::bench::DumpMetricsJson("fig9_write");
   return 0;
 }

@@ -8,11 +8,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/clock.h"
 
 namespace diesel::bench {
@@ -129,6 +132,26 @@ inline std::string FmtCount(double v) {
 
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Dump the process-wide metrics registry as JSON next to the bench output:
+/// `$DIESEL_METRICS_DIR/<bench_name>.metrics.json` (cwd when the variable is
+/// unset). Call once at the end of main; returns the path written, or ""
+/// on I/O failure (the bench result itself is unaffected).
+inline std::string DumpMetricsJson(const std::string& bench_name) {
+  const char* dir = std::getenv("DIESEL_METRICS_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/" + bench_name + ".metrics.json"
+                         : bench_name + ".metrics.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write metrics to %s\n", path.c_str());
+    return "";
+  }
+  out << obs::Metrics().Json() << "\n";
+  out.close();
+  std::printf("metrics: %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace diesel::bench

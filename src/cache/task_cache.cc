@@ -5,12 +5,51 @@
 #include "common/crc32.h"
 #include "core/chunk_format.h"
 #include "net/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/calibration.h"
 
 namespace diesel::cache {
 namespace {
 
 constexpr uint64_t kPeerRequestBytes = 96;
+
+/// Registry mirrors of TaskCacheStats, resolved once. The struct duplicates
+/// the stats_ fields rather than replacing them so existing callers of
+/// stats() keep exact per-instance numbers while the registry aggregates
+/// process-wide.
+struct CacheCounters {
+  obs::Counter& local_hits;
+  obs::Counter& peer_hits;
+  obs::Counter& chunk_loads;
+  obs::Counter& evictions;
+  obs::Counter& failovers;
+  obs::Counter& breaker_opens;
+  obs::Counter& node_recoveries;
+  obs::Counter& corruptions;
+  obs::Gauge& bytes_cached;
+};
+
+CacheCounters& Counters() {
+  static CacheCounters c{
+      obs::Metrics().GetCounter("cache.local_hits"),
+      obs::Metrics().GetCounter("cache.peer_hits"),
+      obs::Metrics().GetCounter("cache.chunk_loads"),
+      obs::Metrics().GetCounter("cache.evictions"),
+      obs::Metrics().GetCounter("cache.failovers"),
+      obs::Metrics().GetCounter("cache.breaker_opens"),
+      obs::Metrics().GetCounter("cache.node_recoveries"),
+      obs::Metrics().GetCounter("cache.corruptions_detected"),
+      obs::Metrics().GetGauge("cache.bytes_cached"),
+  };
+  return c;
+}
+
+/// 1 while the node's breaker is open, 0 once it has recovered.
+obs::Gauge& BreakerGauge(sim::NodeId node) {
+  return obs::Metrics().GetGauge("cache.breaker.state",
+                                 {{"node", "n" + std::to_string(node)}});
+}
 
 }  // namespace
 
@@ -72,6 +111,9 @@ void TaskCache::InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
       part.fifo.erase(part.fifo.begin());
       auto it = part.chunks.find(victim);
       if (it != part.chunks.end()) {
+        Counters().evictions.Inc();
+        Counters().bytes_cached.Add(
+            -static_cast<double>(it->second.blob.size()));
         part.bytes -= it->second.blob.size();
         part.chunks.erase(it);
         std::lock_guard<std::mutex> slock(stats_mutex_);
@@ -83,6 +125,7 @@ void TaskCache::InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
   part.chunks.emplace(chunk_index, CachedChunk{std::move(blob), header_len});
   part.fifo.push_back(chunk_index);
   part.bytes += size;
+  Counters().bytes_cached.Add(static_cast<double>(size));
   std::lock_guard<std::mutex> slock(stats_mutex_);
   stats_.bytes_cached += size;
 }
@@ -103,6 +146,9 @@ Result<Bytes> TaskCache::FetchChunkBlob(sim::VirtualClock& clock,
   if (net::FaultInjector* inj = fabric_.fault_injector()) {
     if (inj->ConsumeChunkCorruption(chunk_index)) {
       inj->CorruptPayload(blob, *header_len, chunk_index);
+      obs::ScopedSpan::NoteCurrent(
+          fabric_.tracer(), clock.now(),
+          "fault.corrupt chunk=" + std::to_string(chunk_index));
     }
   }
   return blob;
@@ -119,6 +165,7 @@ Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
   uint32_t header_len = 0;
   DIESEL_ASSIGN_OR_RETURN(Bytes blob,
                           FetchChunkBlob(clock, owner, chunk_index, &header_len));
+  Counters().chunk_loads.Inc();
   {
     std::lock_guard<std::mutex> slock(stats_mutex_);
     ++stats_.chunk_loads;
@@ -145,6 +192,7 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
                                   chunk_index),
                       part.fifo.end());
       part.chunks.erase(it);
+      Counters().corruptions.Inc();
       std::lock_guard<std::mutex> slock(stats_mutex_);
       ++stats_.corruptions_detected;
     }
@@ -161,11 +209,13 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
     CachedChunk local{std::move(blob), header_len};
     Result<Bytes> content = SliceFile(local, meta);
     if (content.status().IsCorruption() && fetch == 0) {
+      Counters().corruptions.Inc();
       std::lock_guard<std::mutex> slock(stats_mutex_);
       ++stats_.corruptions_detected;
       continue;
     }
     DIESEL_RETURN_IF_ERROR(content.status());
+    Counters().chunk_loads.Inc();
     {
       std::lock_guard<std::mutex> slock(stats_mutex_);
       ++stats_.chunk_loads;
@@ -211,6 +261,8 @@ Result<Nanos> TaskCache::Preload(Nanos start) {
 Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
                                  net::EndpointId requester,
                                  const core::FileMeta& meta) {
+  obs::ScopedSpan span(fabric_.tracer(), "cache.get_file", clock,
+                       requester.node);
   size_t chunk_index = snapshot_.ChunkIndex(meta.chunk);
   if (chunk_index == static_cast<size_t>(-1))
     return Status::NotFound("chunk not in snapshot: " + meta.chunk.Encoded());
@@ -223,6 +275,8 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
     Nanos t = fabric_.cluster().node(owner).membus().Serve(clock.now(),
                                                            meta.length);
     clock.AdvanceTo(t);
+    Counters().local_hits.Inc();
+    span.Note("cache.local_hit");
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.local_hits;
@@ -259,9 +313,12 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
     if (call.ok() && !content.status().IsUnavailable()) {
       if (breaker.OnSuccess(clock.now()) ==
           CircuitBreaker::Transition::kRecovered) {
+        span.Note("breaker.recovered node=" + std::to_string(owner));
         OnOwnerRecovered(owner, clock.now());
       }
       if (content.ok()) {
+        Counters().peer_hits.Inc();
+        span.Note("cache.peer_hit");
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.peer_hits;
       }
@@ -277,6 +334,9 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
           CircuitBreaker::Transition::kOpened) {
         // Owner presumed crashed: what it cached in RAM is gone.
         DropNode(owner);
+        Counters().breaker_opens.Inc();
+        BreakerGauge(owner).Set(1.0);
+        span.Note("breaker.open node=" + std::to_string(owner));
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.breaker_opens;
       }
@@ -290,6 +350,8 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
     clock.Advance(wait);
   }
   if (!options_.degraded_reads) return last;
+  Counters().failovers.Inc();
+  span.Note("cache.degraded_read");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.failovers;
@@ -315,6 +377,8 @@ Result<Bytes> TaskCache::DegradedRead(sim::VirtualClock& clock,
 }
 
 void TaskCache::OnOwnerRecovered(sim::NodeId owner, Nanos now) {
+  Counters().node_recoveries.Inc();
+  BreakerGauge(owner).Set(0.0);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.node_recoveries;
@@ -323,8 +387,26 @@ void TaskCache::OnOwnerRecovered(sim::NodeId owner, Nanos now) {
     // Chunk-granular re-own: repopulate the recovered node's partition on a
     // detached clock — the reload overlaps the requesters' continued reads,
     // which keep being served (degraded) until chunks come back.
+    size_t before = 0;
+    {
+      NodePartition& part = *partitions_.at(owner);
+      std::lock_guard<std::mutex> lock(part.mutex);
+      before = part.chunks.size();
+    }
     Result<Nanos> reload = PreloadPartition(owner, now);
     (void)reload;
+    size_t after = 0;
+    {
+      NodePartition& part = *partitions_.at(owner);
+      std::lock_guard<std::mutex> lock(part.mutex);
+      after = part.chunks.size();
+    }
+    if (after > before) {
+      obs::Metrics()
+          .GetCounter("cache.reown_chunks",
+                      {{"node", "n" + std::to_string(owner)}})
+          .Inc(after - before);
+    }
   }
 }
 

@@ -69,7 +69,10 @@ void Histogram::Reset() {
 
 double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // Hand-rolled clamp: std::clamp(NaN, ...) is unspecified, and an
+  // unclamped q would index past the bucket array below.
+  if (!(q >= 0.0)) q = 0.0;  // negative or NaN
+  if (q > 1.0) q = 1.0;
   uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
@@ -86,6 +89,41 @@ double Histogram::Quantile(double q) const {
     seen += buckets_[i];
   }
   return max_;
+}
+
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  if (earlier.count_ == 0) return *this;
+  Histogram delta;
+  if (count_ <= earlier.count_) return delta;  // empty interval
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  size_t first = buckets_.size(), last = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t base = std::min(buckets_[i], earlier.buckets_[i]);
+    delta.buckets_[i] = buckets_[i] - base;
+    if (delta.buckets_[i] > 0) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  // Exact min/max of the interval are gone; bound them by the surviving
+  // buckets, tightened by the lifetime extremes.
+  delta.min_ = std::max(BucketLow(first), min_);
+  delta.max_ = last + 1 < buckets_.size() ? std::min(BucketLow(last + 1), max_)
+                                          : max_;
+  if (delta.max_ < delta.min_) delta.max_ = delta.min_;
+  return delta;
+}
+
+std::string Histogram::SummaryJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"sum\": %.6g, \"min\": %.6g, "
+                "\"max\": %.6g, \"mean\": %.6g, \"p50\": %.6g, "
+                "\"p90\": %.6g, \"p99\": %.6g}",
+                static_cast<unsigned long long>(count_), sum_, min(), max(),
+                Mean(), Median(), Quantile(0.9), P99());
+  return buf;
 }
 
 std::string Histogram::Summary() const {

@@ -24,13 +24,24 @@ class Histogram {
   double max() const { return count_ ? max_ : 0.0; }
   double Mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
 
-  /// Quantile in [0,1]; linear interpolation inside the winning bucket.
+  /// Quantile; linear interpolation inside the winning bucket. `q` is
+  /// clamped into [0,1] (NaN counts as 0), never used to index out of range.
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
   double P99() const { return Quantile(0.99); }
 
   /// One-line summary "count=.. mean=.. p50=.. p99=.. max=..".
   std::string Summary() const;
+
+  /// JSON object {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+  /// "p50":..,"p90":..,"p99":..} with deterministic %.6g doubles.
+  std::string SummaryJson() const;
+
+  /// Interval view: the histogram of values added after `earlier` was
+  /// captured, assuming `earlier` is a prefix of this stream (bucket counts
+  /// subtract; mismatches clamp to zero). min/max of the interval are
+  /// approximated from the surviving buckets' bounds.
+  Histogram DeltaSince(const Histogram& earlier) const;
 
  private:
   static size_t BucketFor(double v);

@@ -1,14 +1,25 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
 namespace diesel {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
 std::mutex g_write_mutex;
+
+// Shared_ptr behind a mutex so a concurrent SetLogTimeSource/SetLogSink
+// cannot destroy a callable mid-invocation.
+std::mutex g_hooks_mutex;
+std::shared_ptr<std::function<Nanos()>> g_time_source;
+std::shared_ptr<std::function<void(const std::string&)>> g_sink;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,25 +36,96 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+bool ParseLevel(const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (text[0] >= '0' && text[0] <= '3' && text[1] == '\0') {
+    *out = text[0] - '0';
+    return true;
+  }
+  struct { const char* name; LogLevel level; } names[] = {
+      {"debug", LogLevel::kDebug}, {"info", LogLevel::kInfo},
+      {"warn", LogLevel::kWarn},   {"error", LogLevel::kError}};
+  for (const auto& [name, level] : names) {
+    const char* a = text;
+    const char* b = name;
+    while (*a && *b && (std::tolower(static_cast<unsigned char>(*a)) == *b)) {
+      ++a; ++b;
+    }
+    if (*a == '\0' && *b == '\0') {
+      *out = static_cast<int>(level);
+      return true;
+    }
+  }
+  return false;
+}
+
+void EnsureEnvApplied() {
+  std::call_once(g_env_once, [] { InitLogLevelFromEnv(); });
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) {
+  EnsureEnvApplied();  // an explicit Set must win over a later lazy init
+  g_level.store(static_cast<int>(level));
+}
+
+LogLevel GetLogLevel() {
+  EnsureEnvApplied();
+  return static_cast<LogLevel>(g_level.load());
+}
+
+bool InitLogLevelFromEnv() {
+  int level;
+  if (!ParseLevel(std::getenv("DIESEL_LOG_LEVEL"), &level)) return false;
+  g_level.store(level);
+  return true;
+}
+
+void SetLogTimeSource(std::function<Nanos()> source) {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_time_source = source ? std::make_shared<std::function<Nanos()>>(
+                               std::move(source))
+                         : nullptr;
+}
+
+void SetLogSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_sink = sink ? std::make_shared<std::function<void(const std::string&)>>(
+                      std::move(sink))
+                : nullptr;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_level.load(std::memory_order_relaxed)),
-      level_(level) {
-  if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    : enabled_(false), level_(level) {
+  EnsureEnvApplied();
+  enabled_ =
+      static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+  if (!enabled_) return;
+  stream_ << "[" << LevelName(level);
+  std::shared_ptr<std::function<Nanos()>> source;
+  {
+    std::lock_guard<std::mutex> lock(g_hooks_mutex);
+    source = g_time_source;
   }
+  if (source != nullptr) stream_ << " @" << (*source)() << "ns";
+  stream_ << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
   std::string msg = stream_.str();
+  std::shared_ptr<std::function<void(const std::string&)>> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_hooks_mutex);
+    sink = g_sink;
+  }
+  if (sink != nullptr) {
+    (*sink)(msg);
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fputs(msg.c_str(), stderr);
   std::fputc('\n', stderr);

@@ -2,11 +2,20 @@
 //
 // Logging is off by default at DEBUG level so benchmarks stay quiet; tests
 // may raise verbosity. Use DIESEL_LOG(INFO) << ... streaming syntax.
+//
+// The initial level can be set through the DIESEL_LOG_LEVEL environment
+// variable ("debug"/"info"/"warn"/"error" or 0..3); SetLogLevel overrides
+// it. When a virtual-time source is registered (SetLogTimeSource), each
+// line carries the current virtual timestamp ("@1234ns") so log output can
+// be lined up against trace dumps.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string_view>
+
+#include "common/units.h"
 
 namespace diesel {
 
@@ -15,6 +24,20 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global minimum level; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Re-read DIESEL_LOG_LEVEL and apply it. Returns false (leaving the level
+/// unchanged) when the variable is unset or unparsable. Called implicitly
+/// before the first message; exposed for tests and long-lived tools.
+bool InitLogLevelFromEnv();
+
+/// Register a virtual-time source (e.g. [&clock] { return clock.now(); }).
+/// Pass nullptr to detach. The source is read outside the write lock, so it
+/// must be safe to call from any logging thread.
+void SetLogTimeSource(std::function<Nanos()> source);
+
+/// Redirect formatted lines (without trailing newline) to `sink` instead of
+/// stderr; nullptr restores stderr. For tests capturing log output.
+void SetLogSink(std::function<void(const std::string&)> sink);
 
 namespace internal {
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "sim/calibration.h"
 
 namespace diesel::core {
@@ -31,7 +32,12 @@ DieselServer* DieselClient::PickServer() {
   for (size_t i = 0; i < n; ++i) {
     DieselServer* s = servers_[(next_server_ + i) % n];
     if (fabric_.NodeAvailable(s->node(), clock_.now())) {
-      if (i > 0) ++stats_.server_failovers;
+      if (i > 0) {
+        static obs::Counter& failovers =
+            obs::Metrics().GetCounter("core.client.failovers");
+        failovers.Inc();
+        ++stats_.server_failovers;
+      }
       next_server_ += i + 1;
       return s;
     }

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "core/chunk_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/calibration.h"
 
 namespace diesel::core {
@@ -37,13 +39,25 @@ DieselServer::DieselServer(net::Fabric& fabric, kv::KvCluster& kvstore,
 
 Nanos DieselServer::IngestChunkAt(Nanos arrival, const std::string& dataset,
                                   BytesView chunk, Status& out_status) {
+  static obs::Counter& ingests =
+      obs::Metrics().GetCounter("core.chunk.ingests");
+  static obs::Counter& ingest_bytes =
+      obs::Metrics().GetCounter("core.chunk.ingest_bytes");
+  static obs::Counter& parse_failures =
+      obs::Metrics().GetCounter("core.chunk.parse_failures");
   sim::VirtualClock srv(service_.Serve(arrival, chunk.size()));
+  obs::ScopedSpan span(fabric_.tracer(), "server.ingest_chunk", srv,
+                       options_.node);
 
   Result<ChunkView> view = ChunkView::Parse(chunk);
   if (!view.ok()) {
+    parse_failures.Inc();
+    span.Note("chunk.parse_failed: " + view.status().message());
     out_status = view.status();
     return srv.now();
   }
+  ingests.Inc();
+  ingest_bytes.Inc(chunk.size());
 
   // Blob to object storage.
   std::string key = ChunkObjectKey(dataset, view->id());
@@ -128,6 +142,10 @@ Result<Bytes> DieselServer::ReadFile(sim::VirtualClock& clock,
 Result<std::vector<Bytes>> DieselServer::ReadFiles(
     sim::VirtualClock& clock, sim::NodeId client, const std::string& dataset,
     std::span<const std::string> paths) {
+  static obs::Counter& file_reads =
+      obs::Metrics().GetCounter("core.file.reads");
+  static obs::Counter& file_read_bytes =
+      obs::Metrics().GetCounter("core.file.read_bytes");
   Result<std::vector<Bytes>> result = Status::Internal("unset");
   uint64_t req_bytes = kRpcOverheadBytes;
   for (const auto& p : paths) req_bytes += p.size();
@@ -138,6 +156,9 @@ Result<std::vector<Bytes>> DieselServer::ReadFiles(
         sim::VirtualClock srv(
             service_.Serve(arrival, 0,
                            sim::kServerExecutorCost * paths.size()));
+        obs::ScopedSpan span(fabric_.tracer(), "server.read_files", srv,
+                             options_.node);
+        span.Note("files=" + std::to_string(paths.size()));
 
         // 1. Metadata lookups, batched per KV shard (pipelined MGET).
         std::vector<std::string> keys;
@@ -214,6 +235,10 @@ Result<std::vector<Bytes>> DieselServer::ReadFiles(
           }
           i = j;
         }
+        file_reads.Inc(paths.size());
+        uint64_t total = 0;
+        for (const Bytes& b : contents) total += b.size();
+        file_read_bytes.Inc(total);
         result = std::move(contents);
         return srv.now();
       }));
@@ -233,13 +258,21 @@ Result<Bytes> DieselServer::ReadChunk(sim::VirtualClock& clock,
                                       sim::NodeId client,
                                       const std::string& dataset,
                                       const ChunkId& id) {
+  static obs::Counter& chunk_reads =
+      obs::Metrics().GetCounter("core.chunk.reads");
+  static obs::Counter& chunk_read_bytes =
+      obs::Metrics().GetCounter("core.chunk.read_bytes");
   Result<Bytes> result = Status::Internal("unset");
   DIESEL_RETURN_IF_ERROR(fabric_.Call(
       clock, client, options_.node, kRpcOverheadBytes, kRpcOverheadBytes,
       [&](Nanos arrival) {
         sim::VirtualClock srv(service_.Serve(arrival, 0));
+        obs::ScopedSpan span(fabric_.tracer(), "server.read_chunk", srv,
+                             options_.node);
         result = store_.Get(srv, options_.node, ChunkObjectKey(dataset, id));
         if (result.ok()) {
+          chunk_reads.Inc();
+          chunk_read_bytes.Inc(result.value().size());
           // Response chunk crosses both NICs; approximate with a charge on
           // the server NIC here; the client-side charge happens in Call's
           // response leg via resp_bytes=0 (kept small) so add it explicitly.

@@ -49,6 +49,7 @@ class DieselServer {
                ostore::ObjectStore& store, ServerOptions options);
 
   sim::NodeId node() const { return options_.node; }
+  net::Fabric& fabric() { return fabric_; }
   MetadataService& metadata() { return meta_; }
   ostore::ObjectStore& store() { return store_; }
   sim::Device& service() { return service_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/calibration.h"
 
 namespace diesel::kv {
@@ -10,6 +12,35 @@ namespace {
 
 // Wire framing overhead per KV op (command name, lengths).
 constexpr uint64_t kOpOverheadBytes = 16;
+
+/// Per-op registry handles (op mix, retry count, terminal failures),
+/// resolved once per op kind.
+struct OpMetrics {
+  obs::Counter& ops;
+  obs::Counter& retries;
+  obs::Counter& failures;
+
+  explicit OpMetrics(const char* op)
+      : ops(obs::Metrics().GetCounter("kv.ops", {{"op", op}})),
+        retries(obs::Metrics().GetCounter("kv.retries", {{"op", op}})),
+        failures(obs::Metrics().GetCounter("kv.failures", {{"op", op}})) {}
+
+  /// Fold one finished operation in: `attempts` lambda invocations beyond
+  /// the first are retries; a bad terminal status is a failure. Retries are
+  /// also noted on `span` so fault runs read off the trace directly.
+  void Record(uint32_t attempts, const Status& final_status,
+              obs::ScopedSpan& span) {
+    ops.Inc();
+    if (attempts > 1) {
+      retries.Inc(attempts - 1);
+      span.Note("kv.retries=" + std::to_string(attempts - 1));
+    }
+    if (!final_status.ok()) {
+      failures.Inc();
+      span.Note("kv.failed: " + final_status.message());
+    }
+  }
+};
 
 }  // namespace
 
@@ -37,10 +68,14 @@ Status KvCluster::CheckShardUp(uint32_t s) const {
 
 Status KvCluster::Put(sim::VirtualClock& clock, sim::NodeId client,
                       std::string key, std::string value) {
+  static OpMetrics metrics("put");
+  obs::ScopedSpan span(fabric_.tracer(), "kv.put", clock, client);
   uint32_t s = OwnerShard(key);
   Shard& shard = *shards_[s];
   uint64_t req = key.size() + value.size() + kOpOverheadBytes;
-  return options_.retry.Run(clock, [&]() -> Status {
+  uint32_t attempts = 0;
+  Status final_status = options_.retry.Run(clock, [&]() -> Status {
+    ++attempts;
     DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
     Status op_status;
     // Copy (not move) into the shard so a dropped-then-retried RPC still
@@ -53,14 +88,21 @@ Status KvCluster::Put(sim::VirtualClock& clock, sim::NodeId client,
         }));
     return op_status;
   });
+  metrics.Record(attempts, final_status, span);
+  return final_status;
 }
 
 Result<std::string> KvCluster::Get(sim::VirtualClock& clock, sim::NodeId client,
                                    const std::string& key) {
+  static OpMetrics metrics("get");
+  obs::ScopedSpan span(fabric_.tracer(), "kv.get", clock, client);
   uint32_t s = OwnerShard(key);
   Shard& shard = *shards_[s];
   uint64_t req = key.size() + kOpOverheadBytes;
-  return options_.retry.RunResult<std::string>(clock, [&]() -> Result<std::string> {
+  uint32_t attempts = 0;
+  Result<std::string> final_result =
+      options_.retry.RunResult<std::string>(clock, [&]() -> Result<std::string> {
+    ++attempts;
     DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
     Result<std::string> result = Status::Internal("unset");
     DIESEL_RETURN_IF_ERROR(fabric_.Call(
@@ -72,14 +114,24 @@ Result<std::string> KvCluster::Get(sim::VirtualClock& clock, sim::NodeId client,
         }));
     return result;
   });
+  // A NotFound Get is a semantic answer, not a failed op.
+  metrics.Record(attempts,
+                 final_result.status().IsNotFound() ? Status::Ok()
+                                                    : final_result.status(),
+                 span);
+  return final_result;
 }
 
 Status KvCluster::Delete(sim::VirtualClock& clock, sim::NodeId client,
                          const std::string& key) {
+  static OpMetrics metrics("delete");
+  obs::ScopedSpan span(fabric_.tracer(), "kv.delete", clock, client);
   uint32_t s = OwnerShard(key);
   Shard& shard = *shards_[s];
   uint64_t req = key.size() + kOpOverheadBytes;
-  return options_.retry.Run(clock, [&]() -> Status {
+  uint32_t attempts = 0;
+  Status final_status = options_.retry.Run(clock, [&]() -> Status {
+    ++attempts;
     DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
     Status op_status;
     DIESEL_RETURN_IF_ERROR(fabric_.Call(
@@ -90,11 +142,15 @@ Status KvCluster::Delete(sim::VirtualClock& clock, sim::NodeId client,
         }));
     return op_status;
   });
+  metrics.Record(attempts, final_status, span);
+  return final_status;
 }
 
 Status KvCluster::BatchPut(
     sim::VirtualClock& clock, sim::NodeId client,
     std::vector<std::pair<std::string, std::string>> entries) {
+  static OpMetrics metrics("batch_put");
+  obs::ScopedSpan span(fabric_.tracer(), "kv.batch_put", clock, client);
   // Group per owning shard, one pipelined RPC per shard.
   std::vector<std::vector<std::pair<std::string, std::string>>> per_shard(
       shards_.size());
@@ -109,7 +165,9 @@ Status KvCluster::BatchPut(
     for (const auto& [k, v] : batch) {
       req += k.size() + v.size() + kOpOverheadBytes;
     }
+    uint32_t attempts = 0;
     Status shard_status = options_.retry.Run(clock, [&]() -> Status {
+      ++attempts;
       DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
       Status op_status;
       DIESEL_RETURN_IF_ERROR(fabric_.Call(
@@ -128,6 +186,7 @@ Status KvCluster::BatchPut(
           }));
       return op_status;
     });
+    metrics.Record(attempts, shard_status, span);
     if (!shard_status.ok()) return shard_status;
   }
   return Status::Ok();
@@ -136,6 +195,8 @@ Status KvCluster::BatchPut(
 Result<std::vector<std::optional<std::string>>> KvCluster::MGet(
     sim::VirtualClock& clock, sim::NodeId client,
     const std::vector<std::string>& keys) {
+  static OpMetrics metrics("mget");
+  obs::ScopedSpan span(fabric_.tracer(), "kv.mget", clock, client);
   std::vector<std::optional<std::string>> out(keys.size());
   // Group request indices per owning shard.
   std::vector<std::vector<size_t>> per_shard(shards_.size());
@@ -148,7 +209,9 @@ Result<std::vector<std::optional<std::string>>> KvCluster::MGet(
     Shard& shard = *shards_[s];
     uint64_t req = kOpOverheadBytes;
     for (size_t i : indices) req += keys[i].size();
-    DIESEL_RETURN_IF_ERROR(options_.retry.Run(clock, [&]() -> Status {
+    uint32_t attempts = 0;
+    Status shard_status = options_.retry.Run(clock, [&]() -> Status {
+      ++attempts;
       DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
       return fabric_.Call(
           clock, client, shard_node_[s], req, kOpOverheadBytes,
@@ -165,7 +228,9 @@ Result<std::vector<std::optional<std::string>>> KvCluster::MGet(
                 arrival, req + resp,
                 sim::kKvBatchEntryCost * (indices.size() - 1));
           });
-    }));
+    });
+    metrics.Record(attempts, shard_status, span);
+    DIESEL_RETURN_IF_ERROR(shard_status);
   }
   return out;
 }
@@ -174,11 +239,15 @@ Result<std::vector<ScanEntry>> KvCluster::PScan(sim::VirtualClock& clock,
                                                 sim::NodeId client,
                                                 const std::string& prefix,
                                                 size_t limit) {
+  static OpMetrics metrics("pscan");
+  obs::ScopedSpan span(fabric_.tracer(), "kv.pscan", clock, client);
   std::vector<ScanEntry> merged;
   for (uint32_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     Result<std::vector<ScanEntry>> part = Status::Internal("unset");
-    DIESEL_RETURN_IF_ERROR(options_.retry.Run(clock, [&]() -> Status {
+    uint32_t attempts = 0;
+    Status shard_status = options_.retry.Run(clock, [&]() -> Status {
+      ++attempts;
       DIESEL_RETURN_IF_ERROR(CheckShardUp(s));
       return fabric_.Call(
           clock, client, shard_node_[s], prefix.size() + kOpOverheadBytes,
@@ -192,7 +261,9 @@ Result<std::vector<ScanEntry>> KvCluster::PScan(sim::VirtualClock& clock,
             }
             return shard.service().Serve(arrival, resp + kOpOverheadBytes);
           });
-    }));
+    });
+    metrics.Record(attempts, shard_status, span);
+    DIESEL_RETURN_IF_ERROR(shard_status);
     DIESEL_RETURN_IF_ERROR(part.status());
     auto& items = part.value();
     merged.insert(merged.end(), std::make_move_iterator(items.begin()),

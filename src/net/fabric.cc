@@ -72,8 +72,36 @@ bool Fabric::NodeAvailable(sim::NodeId node, Nanos now) const {
   return true;
 }
 
+Fabric::LinkMetrics& Fabric::LinkMetricsFor(sim::NodeId src, sim::NodeId dst) {
+  uint64_t key = (static_cast<uint64_t>(src) << 32) | dst;
+  std::lock_guard<std::mutex> lock(link_metrics_mutex_);
+  auto it = link_metrics_.find(key);
+  if (it == link_metrics_.end()) {
+    obs::Labels link{{"link", "n" + std::to_string(src) + "->n" +
+                                  std::to_string(dst)}};
+    obs::MetricsRegistry& reg = obs::Metrics();
+    LinkMetrics lm;
+    lm.calls = &reg.GetCounter("net.rpc.calls", link);
+    lm.sends = &reg.GetCounter("net.rpc.sends", link);
+    lm.req_bytes = &reg.GetCounter("net.rpc.req_bytes", link);
+    lm.resp_bytes = &reg.GetCounter("net.rpc.resp_bytes", link);
+    lm.drops = &reg.GetCounter("net.rpc.drops", link);
+    lm.flap_rejects = &reg.GetCounter("net.rpc.flap_rejects", link);
+    lm.latency_ns = &reg.GetHistogram("net.rpc.latency_ns", link);
+    it = link_metrics_.emplace(key, lm).first;
+  }
+  return it->second;
+}
+
+std::string Fabric::SpanName(const char* kind, sim::NodeId src,
+                             sim::NodeId dst) {
+  return std::string(kind) + ":" + cluster_.node(src).name() + "->" +
+         cluster_.node(dst).name();
+}
+
 Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
-                                   sim::NodeId dst, Nanos* extra_latency) {
+                                   sim::NodeId dst, Nanos* extra_latency,
+                                   obs::ScopedSpan& span, LinkMetrics& link) {
   *extra_latency = 0;
   if (injector_ == nullptr) return Status::Ok();
 
@@ -85,38 +113,60 @@ Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
   if (injector_->NodeDown(src, now) || injector_->NodeDown(dst, now)) {
     // Flapped endpoint: the caller pays the connect timeout discovering it.
     injector_->CountDownNodeRejection();
+    link.flap_rejects->Inc();
     clock.Advance(injector_->plan().fault_detect_timeout);
     sim::NodeId down = injector_->NodeDown(src, now) ? src : dst;
+    span.Note("fault.flap node=" + cluster_.node(down).name());
     return Status::Unavailable("injected flap: node down: " +
                                cluster_.node(down).name());
   }
   if (src != dst && injector_->ShouldDropRpc(src, dst, now)) {
+    link.drops->Inc();
     clock.Advance(injector_->plan().fault_detect_timeout);
+    span.Note("fault.drop");
     return Status::Unavailable("injected rpc drop: " +
                                cluster_.node(src).name() + " -> " +
                                cluster_.node(dst).name());
   }
   *extra_latency = injector_->ExtraLatency(now);
+  if (*extra_latency > 0) {
+    span.Note("fault.latency_spike extra=" + std::to_string(*extra_latency) +
+              "ns");
+  }
   return Status::Ok();
 }
 
 Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
                     uint64_t req_bytes, uint64_t resp_bytes,
                     const std::function<Nanos(Nanos)>& handler) {
-  if (!cluster_.node(src).up())
+  LinkMetrics& link = LinkMetricsFor(src, dst);
+  obs::ScopedSpan span(tracer_,
+                       tracer_ ? SpanName("rpc", src, dst) : std::string(),
+                       clock, src);
+  if (!cluster_.node(src).up()) {
+    span.Note("unavailable: source down");
     return Status::Unavailable("source node down: " + cluster_.node(src).name());
-  if (!cluster_.node(dst).up())
+  }
+  if (!cluster_.node(dst).up()) {
+    span.Note("unavailable: target down");
     return Status::Unavailable("target node down: " + cluster_.node(dst).name());
+  }
   Nanos spike = 0;
-  DIESEL_RETURN_IF_ERROR(ApplyInjectedFaults(clock, src, dst, &spike));
+  DIESEL_RETURN_IF_ERROR(
+      ApplyInjectedFaults(clock, src, dst, &spike, span, link));
 
   rpcs_.fetch_add(1, std::memory_order_relaxed);
+  link.calls->Inc();
+  link.req_bytes->Inc(req_bytes);
+  link.resp_bytes->Inc(resp_bytes);
+  const Nanos issued = clock.now();
 
   if (src == dst) {
     // Loopback: no NIC traversal, just serialization overhead + handler.
     Nanos arrival = clock.now() + sim::kRpcCpuOverhead;
     Nanos done = handler(arrival);
     clock.AdvanceTo(done + sim::kRpcCpuOverhead);
+    link.latency_ns->Observe(static_cast<double>(clock.now() - issued));
     return Status::Ok();
   }
 
@@ -132,19 +182,31 @@ Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
   t += wire;
   t = s.nic().Serve(t, resp_bytes, sim::kRpcCpuOverhead);
   clock.AdvanceTo(t);
+  link.latency_ns->Observe(static_cast<double>(clock.now() - issued));
   return Status::Ok();
 }
 
 Status Fabric::Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
                     uint64_t bytes, const std::function<void(Nanos)>& deliver) {
-  if (!cluster_.node(src).up())
+  LinkMetrics& link = LinkMetricsFor(src, dst);
+  obs::ScopedSpan span(tracer_,
+                       tracer_ ? SpanName("send", src, dst) : std::string(),
+                       clock, src);
+  if (!cluster_.node(src).up()) {
+    span.Note("unavailable: source down");
     return Status::Unavailable("source node down");
-  if (!cluster_.node(dst).up())
+  }
+  if (!cluster_.node(dst).up()) {
+    span.Note("unavailable: target down");
     return Status::Unavailable("target node down");
+  }
   Nanos spike = 0;
-  DIESEL_RETURN_IF_ERROR(ApplyInjectedFaults(clock, src, dst, &spike));
+  DIESEL_RETURN_IF_ERROR(
+      ApplyInjectedFaults(clock, src, dst, &spike, span, link));
 
   rpcs_.fetch_add(1, std::memory_order_relaxed);
+  link.sends->Inc();
+  link.req_bytes->Inc(bytes);
 
   if (src == dst) {
     deliver(clock.now() + sim::kRpcCpuOverhead);

@@ -16,10 +16,13 @@
 #include <functional>
 #include <mutex>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/calibration.h"
 #include "sim/clock.h"
 #include "sim/node.h"
@@ -78,6 +81,13 @@ class Fabric {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() { return injector_; }
 
+  /// Attach a span tracer (nullptr detaches). Every Call/Send then records
+  /// a span; handler-side spans nest under it via the thread-local context,
+  /// and injected faults surface as span annotations. Like the injector,
+  /// detached tracing costs nothing.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
   /// Is `node` able to serve at virtual time `now`? Combines the cluster's
   /// availability flag with any active injected flap window. Callers use
   /// this to skip/fail over across down nodes before paying an RPC.
@@ -98,17 +108,37 @@ class Fabric {
   uint64_t rpcs_issued() const { return rpcs_.load(std::memory_order_relaxed); }
 
  private:
+  /// Per-link registry handles, resolved once per (src, dst) pair so the
+  /// per-RPC cost is a few relaxed atomic increments.
+  struct LinkMetrics {
+    obs::Counter* calls;
+    obs::Counter* sends;
+    obs::Counter* req_bytes;
+    obs::Counter* resp_bytes;
+    obs::Counter* drops;
+    obs::Counter* flap_rejects;
+    obs::Histo* latency_ns;
+  };
+
   /// Injector gate shared by Call/Send: fires due flap teardowns, refuses
   /// calls touching flapped nodes, rolls drop dice, and returns the extra
   /// wire latency for this exchange. OK status means the call may proceed.
+  /// Fault hits are annotated onto `span` and counted on `link`.
   Status ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
-                             sim::NodeId dst, Nanos* extra_latency);
+                             sim::NodeId dst, Nanos* extra_latency,
+                             obs::ScopedSpan& span, LinkMetrics& link);
+
+  LinkMetrics& LinkMetricsFor(sim::NodeId src, sim::NodeId dst);
+  std::string SpanName(const char* kind, sim::NodeId src, sim::NodeId dst);
 
   sim::Cluster& cluster_;
   Nanos wire_latency_;
   ConnectionTable connections_;
   FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::atomic<uint64_t> rpcs_{0};
+  std::mutex link_metrics_mutex_;
+  std::unordered_map<uint64_t, LinkMetrics> link_metrics_;
 };
 
 }  // namespace diesel::net

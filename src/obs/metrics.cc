@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace diesel::obs {
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Metric keys are built from identifiers we control, but quote/backslash
+/// still must not break the JSON framing.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::Set(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ = v;
+}
+
+void Gauge::Add(double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ += delta;
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_;
+}
+
+void Gauge::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  value_ = 0.0;
+}
+
+void Histo::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hist_.Add(v);
+}
+
+Histogram Histo::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_;
+}
+
+void Histo::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hist_.Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked singleton: subsystems cache references into it, and static
+  // destruction order must never invalidate them.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ",";
+    key += sorted[i].first + "=" + sorted[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histo& MetricsRegistry::GetHistogram(const std::string& name,
+                                     const Labels& labels) {
+  std::string key = Key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histo>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, c] : counters_) snap.counters[key] = c->value();
+  for (const auto& [key, g] : gauges_) snap.gauges[key] = g->value();
+  for (const auto& [key, h] : histograms_) snap.histograms[key] = h->Snapshot();
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, c] : counters_) c->Reset();
+  for (auto& [key, g] : gauges_) g->Reset();
+  for (auto& [key, h] : histograms_) h->Reset();
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [key, v] : counters) {
+    auto it = earlier.counters.find(key);
+    uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    delta.counters[key] = v >= base ? v - base : 0;
+  }
+  for (const auto& [key, v] : gauges) {
+    auto it = earlier.gauges.find(key);
+    delta.gauges[key] = it == earlier.gauges.end() ? v : v - it->second;
+  }
+  for (const auto& [key, h] : histograms) {
+    auto it = earlier.histograms.find(key);
+    delta.histograms[key] =
+        it == earlier.histograms.end() ? h : h.DeltaSince(it->second);
+  }
+  return delta;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [key, v] : other.counters) counters[key] += v;
+  for (const auto& [key, v] : other.gauges) gauges[key] += v;
+  for (const auto& [key, h] : other.histograms) histograms[key].Merge(h);
+}
+
+uint64_t MetricsSnapshot::SumCounters(const std::string& prefix) const {
+  uint64_t sum = 0;
+  for (auto it = counters.lower_bound(prefix);
+       it != counters.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::string MetricsSnapshot::Text() const {
+  std::string out;
+  for (const auto& [key, v] : counters) {
+    out += key + " = " + std::to_string(v) + "\n";
+  }
+  for (const auto& [key, v] : gauges) {
+    out += key + " = " + FmtDouble(v) + "\n";
+  }
+  for (const auto& [key, h] : histograms) {
+    out += key + " : " + h.Summary() + "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::Json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(key) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [key, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(key) + "\": " + FmtDouble(v);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [key, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(key) + "\": " + h.SummaryJson();
+    first = false;
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+}  // namespace diesel::obs

@@ -1,0 +1,125 @@
+// Process-wide metrics plane (counters, gauges, log-bucketed histograms).
+//
+// Every subsystem publishes named metrics into a thread-safe registry:
+// names are dot-separated by subsystem ("net.rpc.calls", "cache.peer_hits"),
+// optional labels qualify an instance ("net.rpc.calls{link=n0->n1}"). The
+// registry hands out stable references, so hot paths cache a pointer once
+// (function-local static or per-object field) and pay one relaxed atomic
+// increment per event. Snapshots are immutable copies supporting delta
+// (interval metrics around one bench repetition) and merge (aggregating
+// across workers), with deterministic text and JSON export — virtual-time
+// workloads therefore produce byte-identical dumps for the same seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace diesel::obs {
+
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v);
+  void Add(double delta);
+  double value() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+/// Thread-safe wrapper promoting common::Histogram into the registry.
+class Histo {
+ public:
+  void Observe(double v);
+  Histogram Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram hist_;
+};
+
+/// Label set; canonicalized (sorted by key) when building the metric key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Point-in-time copy of every metric, keyed by "name{labels}".
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Interval view: counters/histograms subtract (earlier must be a prefix
+  /// of this stream), gauges report the difference. Metrics absent from
+  /// `earlier` are taken whole.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// Aggregate `other` into this snapshot (counters/gauges add, histograms
+  /// merge) — combining per-worker registries into one report.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Sum of every counter whose key starts with `prefix` (label part
+  /// included in the match, so "net.rpc.drops" sums all links).
+  uint64_t SumCounters(const std::string& prefix) const;
+
+  /// Deterministic exports: keys sorted, doubles printed with %.6g.
+  std::string Text() const;
+  std::string Json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& Default();
+
+  /// Lookup-or-create; references stay valid for the registry's lifetime
+  /// (ResetAll zeroes values in place, it never invalidates pointers).
+  Counter& GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {});
+  Histo& GetHistogram(const std::string& name, const Labels& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+  std::string Text() const { return Snapshot().Text(); }
+  std::string Json() const { return Snapshot().Json(); }
+
+  /// Zero every registered metric (fresh experiment repetition).
+  void ResetAll();
+
+  /// Canonical key: name + "{k=v,...}" with labels sorted by key.
+  static std::string Key(const std::string& name, const Labels& labels);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histo>> histograms_;
+};
+
+/// Shorthand for the process-wide registry.
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Default(); }
+
+}  // namespace diesel::obs

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace diesel::shuffle {
+namespace {
+
+/// Registry mirrors of GroupReaderStats, resolved once.
+struct ShuffleCounters {
+  obs::Counter& epochs;
+  obs::Counter& groups_entered;
+  obs::Counter& chunk_fetches;
+  obs::Counter& chunk_bytes;
+  obs::Counter& files_read;
+  obs::Counter& bytes_read;
+};
+
+ShuffleCounters& Counters() {
+  static ShuffleCounters c{
+      obs::Metrics().GetCounter("shuffle.epochs"),
+      obs::Metrics().GetCounter("shuffle.groups_entered"),
+      obs::Metrics().GetCounter("shuffle.chunk_fetches"),
+      obs::Metrics().GetCounter("shuffle.chunk_bytes"),
+      obs::Metrics().GetCounter("shuffle.files_read"),
+      obs::Metrics().GetCounter("shuffle.bytes_read"),
+  };
+  return c;
+}
+
+}  // namespace
 
 GroupWindowReader::GroupWindowReader(core::DieselServer& server,
                                      const core::MetadataSnapshot& snapshot,
@@ -11,6 +39,7 @@ GroupWindowReader::GroupWindowReader(core::DieselServer& server,
       fetch_streams_(std::max<size_t>(1, fetch_streams)) {}
 
 void GroupWindowReader::StartEpoch(ShufflePlan plan) {
+  Counters().epochs.Inc();
   plan_ = std::move(plan);
   pos_ = 0;
   current_group_ = static_cast<size_t>(-1);
@@ -40,6 +69,8 @@ Result<Nanos> GroupWindowReader::FetchGroup(Nanos start, size_t group,
         Bytes blob,
         server_.ReadChunk(streams[s], node_, snapshot_.dataset(), id));
     DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
+    Counters().chunk_fetches.Inc();
+    Counters().chunk_bytes.Inc(blob.size());
     stats_.chunk_bytes_fetched += blob.size();
     ++stats_.chunk_fetches;
     out.emplace(ci, WindowChunk{std::move(blob), view.header_len()});
@@ -50,6 +81,10 @@ Result<Nanos> GroupWindowReader::FetchGroup(Nanos start, size_t group,
 }
 
 Status GroupWindowReader::LoadGroup(sim::VirtualClock& clock, size_t group) {
+  obs::ScopedSpan span(server_.fabric().tracer(), "shuffle.load_group", clock,
+                       node_);
+  span.Note("group=" + std::to_string(group) + " chunks=" +
+            std::to_string(plan_.group_chunks.at(group).size()));
   FreeWindow();
   if (prefetch_next_ && group == prefetch_group_) {
     // The background fetch started when the previous group was entered;
@@ -80,6 +115,7 @@ Status GroupWindowReader::LoadGroup(sim::VirtualClock& clock, size_t group) {
         stats_.peak_window_bytes, window_bytes_ + prefetched_bytes);
   }
   stats_.peak_window_bytes = std::max(stats_.peak_window_bytes, window_bytes_);
+  Counters().groups_entered.Inc();
   ++stats_.groups_entered;
   current_group_ = group;
   return Status::Ok();
@@ -107,6 +143,8 @@ Result<Bytes> GroupWindowReader::Next(sim::VirtualClock& clock) {
   if (begin + meta.length > wc.blob.size())
     return Status::Corruption("file range past chunk end: " + meta.full_name);
   ++pos_;
+  Counters().files_read.Inc();
+  Counters().bytes_read.Inc(meta.length);
   ++stats_.files_read;
   stats_.bytes_read += meta.length;
   return Bytes(wc.blob.begin() + static_cast<ptrdiff_t>(begin),

@@ -12,6 +12,12 @@
 //   dlcmd --root DIR purge <dataset>
 //   dlcmd --root DIR save-meta <dataset> <local-file>
 //   dlcmd --root DIR recover <dataset>
+//   dlcmd --root DIR stats <dataset>
+//   dlcmd --root DIR trace <dataset> <diesel-path>
+//
+// `stats` runs a small metadata workload (recover + list) and prints the
+// process-wide metrics registry; `trace` reads one file with the span
+// tracer attached and prints the resulting virtual-time span tree.
 //
 // The KV metadata tier is in-memory per invocation; `recover` rebuilds it
 // from the persisted self-contained chunks (which is also what every other
@@ -28,6 +34,8 @@
 #include "core/server.h"
 #include "kv/cluster.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ostore/dir_store.h"
 
 namespace diesel::tools {
@@ -85,7 +93,8 @@ Status WriteLocalFile(const std::string& path, BytesView data) {
 int Usage() {
   std::fprintf(stderr,
                "usage: dlcmd --root DIR "
-               "{put|put-tree|get|ls|stat|del|purge|save-meta|recover} ...\n");
+               "{put|put-tree|get|ls|stat|del|purge|save-meta|recover|"
+               "stats|trace} ...\n");
   return 2;
 }
 
@@ -222,6 +231,31 @@ int Main(int argc, char** argv) {
     if (Status st = WriteLocalFile(args[1], blob); !st.ok()) return fail(st);
     std::printf("snapshot: %zu files, %zu bytes -> %s\n",
                 client.snapshot()->num_files(), blob.size(), args[1].c_str());
+    return 0;
+  }
+
+  if (cmd == "stats" && args.size() == 1) {
+    // Run a representative metadata workload (header-scan recovery, snapshot
+    // fetch, a root listing) and show what the registry collected.
+    if (Status st = cli.Bootstrap(args[0]); !st.ok()) return fail(st);
+    core::DieselClient client = MakeClient(cli, args[0]);
+    if (Status st = client.FetchSnapshot(); !st.ok()) return fail(st);
+    auto entries = client.List("/");
+    if (!entries.ok()) return fail(entries.status());
+    std::printf("%s", obs::Metrics().Text().c_str());
+    return 0;
+  }
+
+  if (cmd == "trace" && args.size() == 2) {
+    obs::Tracer tracer;
+    cli.fabric.set_tracer(&tracer);
+    if (Status st = cli.Bootstrap(args[0]); !st.ok()) return fail(st);
+    core::DieselClient client = MakeClient(cli, args[0]);
+    auto data = client.Get(args[1]);
+    if (!data.ok()) return fail(data.status());
+    std::printf("%s", tracer.TextDump().c_str());
+    std::printf("%zu spans, %zu bytes read\n", tracer.size(), data->size());
+    cli.fabric.set_tracer(nullptr);
     return 0;
   }
 

@@ -1,5 +1,7 @@
 #include "common/histogram.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -78,6 +80,92 @@ TEST(HistogramTest, SummaryMentionsCount) {
   h.Add(1.0);
   h.Add(2.0);
   EXPECT_NE(h.Summary().find("count=2"), std::string::npos);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeArguments) {
+  Histogram h;
+  for (double v : {10.0, 20.0, 30.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), h.Quantile(1.0));
+  // NaN counts as 0, never indexes out of range.
+  EXPECT_DOUBLE_EQ(h.Quantile(std::numeric_limits<double>::quiet_NaN()),
+                   h.Quantile(0.0));
+}
+
+TEST(HistogramTest, SummaryJsonIsWellFormedAndDeterministic) {
+  Histogram h;
+  h.Add(100.0);
+  h.Add(300.0);
+  std::string json = h.SummaryJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 400"), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 300"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 200"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json, h.SummaryJson());
+
+  Histogram empty;
+  std::string ejson = empty.SummaryJson();
+  EXPECT_NE(ejson.find("\"count\": 0"), std::string::npos);
+}
+
+TEST(HistogramTest, MergeDisjointBucketRanges) {
+  Histogram low, high;
+  for (double v : {1.0, 2.0, 3.0}) low.Add(v);
+  for (double v : {1e6, 2e6, 3e6}) high.Add(v);
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 6u);
+  EXPECT_DOUBLE_EQ(low.min(), 1.0);
+  EXPECT_DOUBLE_EQ(low.max(), 3e6);
+  EXPECT_DOUBLE_EQ(low.sum(), 6.0 + 6e6);
+  // Median sits between the two populations.
+  EXPECT_GT(low.Quantile(0.9), 1e5);
+  EXPECT_LT(low.Quantile(0.1), 10.0);
+}
+
+TEST(HistogramTest, ResetAfterMergeClearsEverything) {
+  Histogram a, b;
+  a.Add(5.0);
+  b.Add(7e9);
+  a.Merge(b);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  // Re-usable after the reset: new values define fresh extremes.
+  a.Add(2.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
+TEST(HistogramTest, DeltaSinceSubtractsPrefix) {
+  Histogram h;
+  h.Add(10.0);
+  h.Add(20.0);
+  Histogram earlier = h;  // checkpoint
+  h.Add(40.0);
+  h.Add(80.0);
+  Histogram delta = h.DeltaSince(earlier);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_DOUBLE_EQ(delta.sum(), 120.0);
+  // Interval extremes are bucket-approximate but bounded by the lifetime.
+  EXPECT_GE(delta.min(), h.min());
+  EXPECT_LE(delta.max(), h.max());
+
+  // Empty checkpoint: delta is the whole stream.
+  Histogram none;
+  Histogram all = h.DeltaSince(none);
+  EXPECT_EQ(all.count(), h.count());
+  // No growth since checkpoint: empty interval.
+  Histogram zero = h.DeltaSince(h);
+  EXPECT_EQ(zero.count(), 0u);
 }
 
 }  // namespace

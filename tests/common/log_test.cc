@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,64 @@ TEST(LogTest, ConcurrentLoggingDoesNotCrash) {
     });
   }
   for (auto& th : threads) th.join();
+}
+
+TEST(LogTest, EnvVarSetsLevelByNameAndNumber) {
+  LogLevelGuard guard;
+  ::setenv("DIESEL_LOG_LEVEL", "debug", 1);
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  ::setenv("DIESEL_LOG_LEVEL", "ERROR", 1);  // case-insensitive
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  ::setenv("DIESEL_LOG_LEVEL", "1", 1);  // numeric form
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+
+  ::unsetenv("DIESEL_LOG_LEVEL");
+}
+
+TEST(LogTest, InvalidEnvValueLeavesLevelUnchanged) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  ::setenv("DIESEL_LOG_LEVEL", "verbose", 1);
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+
+  ::setenv("DIESEL_LOG_LEVEL", "9", 1);
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+
+  ::unsetenv("DIESEL_LOG_LEVEL");
+  EXPECT_FALSE(InitLogLevelFromEnv());
+}
+
+TEST(LogTest, SinkCapturesLinesAndTimeSourceStampsVirtualTime) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  SetLogSink([&lines](const std::string& line) { lines.push_back(line); });
+
+  DIESEL_LOG(Info) << "plain line";
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("plain line"), std::string::npos);
+  EXPECT_EQ(lines[0].find("@"), std::string::npos);  // no clock registered
+
+  SetLogTimeSource([] { return Nanos{12345}; });
+  DIESEL_LOG(Warn) << "stamped line";
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("@12345ns"), std::string::npos);
+  EXPECT_NE(lines[1].find("stamped line"), std::string::npos);
+  EXPECT_NE(lines[1].find("[W"), std::string::npos);
+
+  // Detach both hooks; later lines go back to stderr, not our vector.
+  SetLogTimeSource(nullptr);
+  SetLogSink(nullptr);
+  SetLogLevel(LogLevel::kError);
+  DIESEL_LOG(Warn) << "suppressed";
+  EXPECT_EQ(lines.size(), 2u);
 }
 
 }  // namespace

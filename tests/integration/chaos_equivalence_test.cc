@@ -14,6 +14,8 @@
 #include "core/deployment.h"
 #include "dlt/dataset_gen.h"
 #include "net/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace diesel {
 namespace {
@@ -39,6 +41,10 @@ struct RunOutput {
   std::vector<Nanos> epoch_end;
   cache::TaskCacheStats cache_stats;
   net::FaultInjectorStats fault_stats;
+  /// Span-tree dump of the traced read phase (fault runs only).
+  std::string trace_dump;
+  /// Registry delta across the whole run (this run's metrics only).
+  obs::MetricsSnapshot metrics_delta;
 };
 
 /// Ingest the dataset, preload a oneshot task cache over 2 nodes x 2
@@ -48,6 +54,9 @@ struct RunOutput {
 /// 1 and 2.
 RunOutput RunWorkload(const net::FaultPlan* plan, bool kv_outage) {
   RunOutput out;
+  // The registry is process-global and accumulates across runs; this run's
+  // contribution is the delta from here.
+  obs::MetricsSnapshot reg_before = obs::Metrics().Snapshot();
   dlt::DatasetSpec spec = MakeSpec();
 
   core::DeploymentOptions dopts;
@@ -90,11 +99,14 @@ RunOutput RunWorkload(const net::FaultPlan* plan, bool kv_outage) {
     c->AttachCache(handles.back().get());
   }
 
-  // Faults start with the read phase (ingest + preload ran clean).
+  // Faults start with the read phase (ingest + preload ran clean). The
+  // tracer rides along so every injected fault lands as a span annotation.
   std::unique_ptr<net::FaultInjector> inj;
+  obs::Tracer tracer;
   if (plan != nullptr) {
     inj = std::make_unique<net::FaultInjector>(*plan);
     dep.fabric().set_fault_injector(inj.get());
+    dep.fabric().set_tracer(&tracer);
   }
 
   const size_t n = spec.total_files();
@@ -139,8 +151,11 @@ RunOutput RunWorkload(const net::FaultPlan* plan, bool kv_outage) {
   out.cache_stats = cache.stats();
   if (inj != nullptr) {
     out.fault_stats = inj->stats();
+    out.trace_dump = tracer.TextDump();
     dep.fabric().set_fault_injector(nullptr);
+    dep.fabric().set_tracer(nullptr);
   }
+  out.metrics_delta = obs::Metrics().Snapshot().DeltaSince(reg_before);
   return out;
 }
 
@@ -202,6 +217,34 @@ TEST(ChaosEquivalenceTest, FaultScheduleNeverChangesWhatIsRead) {
 
   // Faults cost virtual time, never correctness.
   EXPECT_GT(chaos.epoch_end.back(), baseline.epoch_end.back());
+
+  // Every injected fault category is visible in the span tree.
+  EXPECT_FALSE(chaos.trace_dump.empty());
+  EXPECT_NE(chaos.trace_dump.find("fault.drop"), std::string::npos);
+  EXPECT_NE(chaos.trace_dump.find("fault.flap"), std::string::npos);
+  EXPECT_NE(chaos.trace_dump.find("fault.latency_spike"), std::string::npos);
+  EXPECT_NE(chaos.trace_dump.find("fault.corrupt"), std::string::npos);
+
+  // The registry's process-wide counters agree with the hand-kept stats.
+  const obs::MetricsSnapshot& d = chaos.metrics_delta;
+  EXPECT_EQ(d.SumCounters("cache.local_hits"),
+            chaos.cache_stats.local_hits);
+  EXPECT_EQ(d.SumCounters("cache.peer_hits"), chaos.cache_stats.peer_hits);
+  EXPECT_EQ(d.SumCounters("cache.failovers"), chaos.cache_stats.failovers);
+  EXPECT_EQ(d.SumCounters("cache.breaker_opens"),
+            chaos.cache_stats.breaker_opens);
+  EXPECT_EQ(d.SumCounters("cache.node_recoveries"),
+            chaos.cache_stats.node_recoveries);
+  EXPECT_EQ(d.SumCounters("cache.corruptions_detected"),
+            chaos.cache_stats.corruptions_detected);
+  EXPECT_EQ(d.SumCounters("cache.chunk_loads"),
+            chaos.cache_stats.chunk_loads);
+  EXPECT_EQ(d.SumCounters("net.rpc.drops"), chaos.fault_stats.rpc_drops);
+  EXPECT_EQ(d.SumCounters("net.rpc.flap_rejects"),
+            chaos.fault_stats.down_node_rejections);
+  // The flapped node's re-own shows up as labeled progress.
+  EXPECT_GT(d.SumCounters("cache.reown_chunks"), 0u);
+  EXPECT_GT(d.SumCounters("kv.ops"), 0u);
 }
 
 TEST(ChaosEquivalenceTest, SameSeedReproducesChaosRunExactly) {
@@ -226,6 +269,15 @@ TEST(ChaosEquivalenceTest, SameSeedReproducesChaosRunExactly) {
   EXPECT_EQ(a.cache_stats.node_recoveries, b.cache_stats.node_recoveries);
   EXPECT_EQ(a.cache_stats.corruptions_detected,
             b.cache_stats.corruptions_detected);
+
+  // Same seed, same bytes: the traced span tree (timestamps, nesting and
+  // fault annotations included) reproduces exactly, and so do the interval
+  // metrics — including the KV retry counters the drops provoked.
+  EXPECT_FALSE(a.trace_dump.empty());
+  EXPECT_EQ(a.trace_dump, b.trace_dump);
+  EXPECT_EQ(a.metrics_delta.SumCounters("kv.retries"),
+            b.metrics_delta.SumCounters("kv.retries"));
+  EXPECT_EQ(a.metrics_delta.counters, b.metrics_delta.counters);
 
   // A different seed rolls different drops (the schedule is seed-driven,
   // not incidental).

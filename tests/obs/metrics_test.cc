@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace diesel::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterLookupIsStableIdentity) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("kv.ops");
+  Counter& b = reg.GetCounter("kv.ops");
+  EXPECT_EQ(&a, &b);
+  a.Inc();
+  a.Inc(4);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("net.rpc.calls", {{"b", "2"}, {"a", "1"}});
+  Counter& b = reg.GetCounter("net.rpc.calls", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(MetricsRegistry::Key("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::Key("m", {}), "m");
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddReset) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("cache.bytes_cached");
+  g.Set(10.0);
+  g.Add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 6.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramObserveAndSnapshot) {
+  MetricsRegistry reg;
+  Histo& h = reg.GetHistogram("net.rpc.latency_ns");
+  h.Observe(100.0);
+  h.Observe(200.0);
+  Histogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.sum(), 300.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotDeltaSince) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("kv.ops");
+  Gauge& g = reg.GetGauge("cache.bytes_cached");
+  Histo& h = reg.GetHistogram("lat");
+  c.Inc(10);
+  g.Set(5.0);
+  h.Observe(1.0);
+  MetricsSnapshot before = reg.Snapshot();
+
+  c.Inc(7);
+  g.Set(3.0);
+  h.Observe(2.0);
+  h.Observe(4.0);
+  reg.GetCounter("kv.retries").Inc(2);  // born after `before`
+  MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counters.at("kv.ops"), 7u);
+  EXPECT_EQ(delta.counters.at("kv.retries"), 2u);
+  EXPECT_DOUBLE_EQ(delta.gauges.at("cache.bytes_cached"), -2.0);
+  EXPECT_EQ(delta.histograms.at("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("lat").sum(), 6.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeAggregates) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("ops").Inc(3);
+  b.GetCounter("ops").Inc(4);
+  b.GetCounter("only_b").Inc(1);
+  a.GetGauge("g").Set(1.5);
+  b.GetGauge("g").Set(2.5);
+  a.GetHistogram("h").Observe(1.0);
+  b.GetHistogram("h").Observe(2.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.counters.at("ops"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 4.0);
+  EXPECT_EQ(merged.histograms.at("h").count(), 2u);
+}
+
+TEST(MetricsRegistryTest, SumCountersMatchesPrefix) {
+  MetricsRegistry reg;
+  reg.GetCounter("net.rpc.drops", {{"link", "n0->n1"}}).Inc(2);
+  reg.GetCounter("net.rpc.drops", {{"link", "n1->n0"}}).Inc(3);
+  reg.GetCounter("net.rpc.calls", {{"link", "n0->n1"}}).Inc(9);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.SumCounters("net.rpc.drops"), 5u);
+  EXPECT_EQ(snap.SumCounters("net.rpc."), 14u);
+  EXPECT_EQ(snap.SumCounters("kv."), 0u);
+}
+
+TEST(MetricsRegistryTest, TextAndJsonAreDeterministic) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.count").Inc(2);
+  reg.GetCounter("a.count").Inc(1);
+  reg.GetGauge("z.gauge").Set(1.25);
+  reg.GetHistogram("lat").Observe(10.0);
+
+  std::string text = reg.Text();
+  // Sorted keys: a.count before b.count.
+  EXPECT_LT(text.find("a.count = 1"), text.find("b.count = 2"));
+  EXPECT_NE(text.find("z.gauge = 1.25"), std::string::npos);
+
+  std::string json = reg.Json();
+  EXPECT_EQ(json, reg.Json());  // byte-stable across exports
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"z.gauge\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("ops");
+  Gauge& g = reg.GetGauge("g");
+  Histo& h = reg.GetHistogram("h");
+  c.Inc(5);
+  g.Set(2.0);
+  h.Observe(1.0);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.Snapshot().count(), 0u);
+  // Cached references still address the live metric.
+  c.Inc();
+  EXPECT_EQ(reg.GetCounter("ops").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("ops");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) reg.GetCounter("ops").Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &Metrics());
+}
+
+}  // namespace
+}  // namespace diesel::obs
