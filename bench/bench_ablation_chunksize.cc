@@ -66,6 +66,16 @@ void Run() {
                   bench::FmtCount(static_cast<double>(dep.kv().TotalKeys())),
                   bench::FmtCount(
                       static_cast<double>(snap->Serialize().size()) / 1024)});
+    std::string tag = std::to_string(chunk_kb) + "kb";
+    bench::Metric("write_files_per_sec." + tag, "files/s", write_rate,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("read_mb_per_sec." + tag, "MB/s", read_mb,
+                  obs::Direction::kHigherIsBetter);
+    bench::Info("kv_keys." + tag, "keys",
+                static_cast<double>(dep.kv().TotalKeys()));
+    bench::Info("snapshot_kb." + tag, "KB",
+                static_cast<double>(snap->Serialize().size()) / 1024);
+    bench::AddVirtualTime(write_end + clock.now());
   }
   table.Print();
   std::printf("\nExpected: throughput rises steeply until ~4MB chunks, then "
@@ -77,6 +87,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_chunksize", 3);
+  diesel::bench::Param("files", 8000.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

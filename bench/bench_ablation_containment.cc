@@ -148,6 +148,12 @@ void Run() {
     t.AddRow({"B", bench::FmtCount(b0), bench::FmtCount(b1),
               bench::Fmt("%.0f%%", 100 * (1 - b1 / b0))});
     t.Print();
+    bench::Metric("global.task_a_impact_pct", "%", 100 * (1 - a1 / a0),
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric("global.task_b_impact_pct", "%", 100 * (1 - b1 / b0),
+                  obs::Direction::kLowerIsBetter);
+    bench::Info("global.task_a_files_per_sec", "files/s", a0);
+    bench::Info("global.task_b_files_per_sec", "files/s", b0);
   }
 
   std::printf("\n--- task-grained caches (task A on nodes 0-3, task B on "
@@ -171,6 +177,12 @@ void Run() {
     t.AddRow({"B", bench::FmtCount(b0), bench::FmtCount(b1),
               bench::Fmt("%.0f%%", 100 * (1 - b1 / b0))});
     t.Print();
+    // Containment claim: task B is untouched by A's node death (impact 0).
+    bench::Metric("task_grained.task_b_impact_pct", "%",
+                  100 * (1 - b1 / b0), obs::Direction::kLowerIsBetter);
+    bench::Metric("task_grained.task_b_files_per_sec", "files/s", b1,
+                  obs::Direction::kHigherIsBetter);
+    bench::Info("task_grained.task_a_files_per_sec", "files/s", a0);
   }
   std::printf("\nWith the global cache, one node failure degrades EVERY task "
               "(Fig. 6). With task-grained caches, only the owning task is "
@@ -182,6 +194,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_containment", 0);
+  diesel::bench::Param("files_per_task", 4000.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -66,6 +66,14 @@ void Run() {
                                          snap->Serialize().size()) / 1024),
                   bench::FmtCount(ingest_rate),
                   bench::Fmt("%.0f", epoch_mb)});
+    std::string tag = p.spec.name;
+    bench::Metric("ingest_files_per_sec." + tag, "files/s", ingest_rate,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("epoch_mb_per_sec." + tag, "MB/s", epoch_mb,
+                  obs::Direction::kHigherIsBetter);
+    bench::Info("snapshot_kb." + tag, "KB",
+                static_cast<double>(snap->Serialize().size()) / 1024);
+    bench::AddVirtualTime(ingest_end + epoch.now());
   }
   table.Print();
   std::printf("\nSmaller files (Open Images) mean more metadata per byte; "
@@ -77,6 +85,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_datasets", 1);
+  diesel::bench::Param("files_per_preset", 8000.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -69,6 +69,13 @@ void Run() {
                     (no_merge_ref > 0 && batch_size == 256)
                         ? bench::Fmt("%.2fx", no_merge_ref / latency_ms)
                         : "-"});
+      std::string tag =
+          "g" + std::to_string(gap >> 10) + "kb.b" + std::to_string(batch_size);
+      bench::Metric("ops_per_batch." + tag, "ops", ops_per_batch,
+                    obs::Direction::kLowerIsBetter);
+      bench::Metric("batch_latency_ms." + tag, "ms", latency_ms,
+                    obs::Direction::kLowerIsBetter);
+      bench::AddVirtualTime(clock.now());
     }
   }
   table.Print();
@@ -82,6 +89,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_executor", 9);
+  diesel::bench::Param("batches", 20.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

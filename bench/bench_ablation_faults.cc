@@ -165,6 +165,25 @@ void Run() {
                     bench::Fmt("%.3f", r.reg_hit_rate),
                     r.registry_consistent ? "yes" : "NO",
                     r.all_reads_ok ? "yes" : "NO"});
+      std::string tag = "d" + bench::Fmt("%g", drop * 100) + "pct" +
+                        (flap ? ".flap" : "");
+      bench::Metric("epoch1_s." + tag, "s", r.epoch1_s,
+                    obs::Direction::kLowerIsBetter);
+      bench::Metric("epoch2_s." + tag, "s", r.epoch2_s,
+                    obs::Direction::kLowerIsBetter);
+      // Correctness gates: any drift from 1.0 is a regression (tolerance 0).
+      bench::Metric("all_reads_ok." + tag, "bool", r.all_reads_ok ? 1.0 : 0.0,
+                    obs::Direction::kHigherIsBetter, 0.0);
+      bench::Metric("registry_consistent." + tag, "bool",
+                    r.registry_consistent ? 1.0 : 0.0,
+                    obs::Direction::kHigherIsBetter, 0.0);
+      bench::Info("rpc_drops." + tag, "count",
+                  static_cast<double>(r.rpc_drops));
+      bench::Info("failovers." + tag, "count",
+                  static_cast<double>(r.failovers));
+      bench::Info("hit_rate." + tag, "frac", r.hit_rate);
+      bench::AddVirtualTime(
+          static_cast<Nanos>((r.epoch1_s + r.epoch2_s) * 1e9));
     }
   }
   table.Print();
@@ -180,7 +199,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_faults", 42);
+  diesel::bench::Param("epochs", 2.0);
   diesel::Run();
-  diesel::bench::DumpMetricsJson("ablation_faults");
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -110,7 +110,21 @@ void Run() {
          bench::Fmt("%.1f%%", 100.0 * rate / cached_files_per_sec),
          bench::FmtCount(static_cast<double>(window) / 1024) + "KB",
          bench::Fmt("%.4f", locality)});
+    std::string tag = "g" + std::to_string(g);
+    bench::Metric("files_per_sec." + tag, "files/s", rate,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("pct_of_cached." + tag, "%",
+                  100.0 * rate / cached_files_per_sec,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("peak_window_kb." + tag, "KB",
+                  static_cast<double>(window) / 1024,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric("adjacent_same_chunk." + tag, "frac", locality,
+                  obs::Direction::kLowerIsBetter);
+    bench::AddVirtualTime(end);
   }
+  bench::Metric("cached_files_per_sec", "files/s", cached_files_per_sec,
+                obs::Direction::kHigherIsBetter);
   table.Print();
   std::printf("\nfully-cached reference: %s files/s. Paper: chunk-wise "
               "shuffle reaches >=88%% of fully-cached speed with a window "
@@ -122,6 +136,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_groupsize", 6);
+  diesel::bench::Param("files", 20000.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

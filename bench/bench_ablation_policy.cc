@@ -111,6 +111,16 @@ void Run() {
            bench::Fmt("%.3f", t.first_epoch_s),
            bench::Fmt("%.3f", t.second_epoch_s),
            bench::Fmt("%.2fx", t.first_epoch_s / t.second_epoch_s)});
+      std::string tag =
+          std::string(policy == cache::CachePolicy::kOneshot ? "oneshot"
+                                                             : "ondemand") +
+          ".ckpt" + bench::Fmt("%.0f", ToSeconds(ckpt)) + "s";
+      bench::Metric("epoch1_s." + tag, "s", t.first_epoch_s,
+                    obs::Direction::kLowerIsBetter);
+      bench::Metric("epoch2_s." + tag, "s", t.second_epoch_s,
+                    obs::Direction::kLowerIsBetter);
+      bench::AddVirtualTime(
+          static_cast<Nanos>((t.first_epoch_s + t.second_epoch_s) * 1e9));
     }
   }
   table.Print();
@@ -123,6 +133,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_policy", 5);
+  diesel::bench::Param("client_nodes", 4.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -99,6 +99,18 @@ void Run() {
          bench::Fmt("%.1fx", ToSeconds(full_clock.now()) /
                                  ToSeconds(header_clock.now())),
          bench::Fmt("%.3f", ToSeconds(wm_clock.now()))});
+    std::string tag = "f" + std::to_string(files);
+    bench::Metric("header_only_s." + tag, "s", ToSeconds(header_clock.now()),
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric("watermark_s." + tag, "s", ToSeconds(wm_clock.now()),
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric("full_scan_speedup." + tag, "x",
+                  ToSeconds(full_clock.now()) / ToSeconds(header_clock.now()),
+                  obs::Direction::kHigherIsBetter);
+    bench::Info("header_bytes_read." + tag, "bytes",
+                static_cast<double>(header_stats->header_bytes_read));
+    bench::AddVirtualTime(header_clock.now() + full_clock.now() +
+                          wm_clock.now());
   }
   table.Print();
   std::printf("\nSelf-contained chunk headers let recovery read a few KB per "
@@ -111,6 +123,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_recovery", 0);
+  diesel::bench::Param("file_bytes", 32768.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

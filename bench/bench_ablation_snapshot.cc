@@ -69,6 +69,19 @@ void Run() {
                                 static_cast<double>(files)),
          bench::Fmt("%.2f", ms(t0, t1)), bench::Fmt("%.2f", ms(t1, t2)),
          bench::Fmt("%.1f", ms(t3, t4))});
+    // Snapshot size is deterministic and gated; the serialize/load/lookup
+    // timings are real wall-clock, so they are info-only (never gated).
+    std::string tag = "f" + std::to_string(files);
+    bench::Metric("snapshot_kb." + tag, "KB",
+                  static_cast<double>(blob.size()) / 1024,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric("bytes_per_file." + tag, "bytes",
+                  static_cast<double>(blob.size()) /
+                      static_cast<double>(files),
+                  obs::Direction::kLowerIsBetter);
+    bench::Info("serialize_ms." + tag, "ms", ms(t0, t1));
+    bench::Info("load_ms." + tag, "ms", ms(t1, t2));
+    bench::Info("lookup_1m_ms." + tag, "ms", ms(t3, t4));
   }
   table.Print();
   std::printf("\nExpected: size linear in file count at <80 bytes/file "
@@ -80,6 +93,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_snapshot", 9);
+  diesel::bench::Param("classes", 100.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

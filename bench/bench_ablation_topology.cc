@@ -94,6 +94,12 @@ void Run() {
   double master_qps = static_cast<double>(n * kOps) / ToSeconds(end);
   std::printf("\nmaster-topology cached read QPS: %s\n",
               bench::FmtCount(master_qps).c_str());
+  bench::Metric("master_qps", "ops/s", master_qps,
+                obs::Direction::kHigherIsBetter);
+  bench::Info("master_connections", "conns",
+              static_cast<double>(p * (n - 1)));
+  bench::Info("mesh_connections", "conns", static_cast<double>(n * (n - 1)));
+  bench::AddVirtualTime(end);
   std::printf("(one-hop access preserved: every chunk reachable through "
               "exactly one master; the full mesh buys no extra hops, only "
               "%zu more connections and their memory/teardown cost)\n",
@@ -104,6 +110,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("ablation_topology", 77);
+  diesel::bench::Param("client_nodes", 4.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -76,7 +76,11 @@ void Run() {
   for (size_t nodes = 1; nodes <= kMaxNodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes)};
     for (size_t servers : {1u, 3u, 5u}) {
-      row.push_back(bench::FmtCount(MeasureQps(servers, nodes, spec)));
+      double qps = MeasureQps(servers, nodes, spec);
+      row.push_back(bench::FmtCount(qps));
+      bench::Metric("qps.s" + std::to_string(servers) + ".n" +
+                        std::to_string(nodes),
+                    "qps", qps, obs::Direction::kHigherIsBetter);
     }
     table.AddRow(std::move(row));
   }
@@ -90,7 +94,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig10a_metadata_servers", 17);
+  diesel::bench::Param("threads_per_node", 16.0);
   diesel::Run();
-  diesel::bench::DumpMetricsJson("fig10a_metadata_servers");
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -61,6 +61,9 @@ void Run() {
                   bench::FmtCount(qps),
                   bench::FmtCount(qps / static_cast<double>(num_clients)),
                   bench::Fmt("%.0fx", qps / 68000.0)});
+    bench::Metric("qps.n" + std::to_string(nodes), "qps", qps,
+                  obs::Direction::kHigherIsBetter);
+    bench::AddVirtualTime(end);
   }
   table.Print();
   std::printf("\nPaper: ~8.83M QPS at 1 node, ~88.77M at 10 nodes (linear), "
@@ -71,6 +74,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig10b_metadata_snapshot", 23);
+  diesel::bench::Param("threads_per_node", 16.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -90,6 +90,12 @@ void Run() {
                   bench::Fmt("%.2f", ToSeconds(sized.now())),
                   bench::Fmt("%.1f", ToSeconds(plain.now()) * 10) + " / " +
                       bench::Fmt("%.1f", ToSeconds(sized.now()) * 10)});
+    std::string tag = sys.name;
+    bench::Metric("ls_r_s." + tag, "s", ToSeconds(plain.now()),
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric("ls_lr_s." + tag, "s", ToSeconds(sized.now()),
+                  obs::Direction::kLowerIsBetter);
+    bench::AddVirtualTime(plain.now() + sized.now());
   }
   table.Print();
   std::printf("\nPaper: Lustre and DIESEL-FUSE ~30-40s for ls -R; Lustre "
@@ -101,7 +107,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig10c_ls", 0);
+  diesel::bench::Param("files", 128000.0);
   diesel::Run();
-  diesel::bench::DumpMetricsJson("fig10c_ls");
-  return 0;
+  return diesel::bench::CloseReport();
 }

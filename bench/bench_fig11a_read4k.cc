@@ -179,11 +179,22 @@ void Run() {
   bench::Table table({"nodes", "DIESEL-API", "DIESEL-FUSE", "Memcached",
                       "Lustre"});
   for (size_t nodes : {1u, 2u, 4u, 6u, 8u, 10u}) {
-    table.AddRow({std::to_string(nodes),
-                  bench::FmtCount(DieselQps(rig, spec, nodes, false)),
-                  bench::FmtCount(DieselQps(rig, spec, nodes, true)),
-                  bench::FmtCount(MemcachedQps(spec, nodes)),
-                  bench::FmtCount(LustreQps(spec, nodes))});
+    double api = DieselQps(rig, spec, nodes, false);
+    double fuse = DieselQps(rig, spec, nodes, true);
+    double mc = MemcachedQps(spec, nodes);
+    double lustre = LustreQps(spec, nodes);
+    table.AddRow({std::to_string(nodes), bench::FmtCount(api),
+                  bench::FmtCount(fuse), bench::FmtCount(mc),
+                  bench::FmtCount(lustre)});
+    std::string tag = ".n" + std::to_string(nodes);
+    bench::Metric("qps.api" + tag, "qps", api,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("qps.fuse" + tag, "qps", fuse,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("qps.memcached" + tag, "qps", mc,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("qps.lustre" + tag, "qps", lustre,
+                  obs::Direction::kHigherIsBetter);
   }
   table.Print();
   std::printf("\nPaper at 10 nodes: DIESEL-API >1.2M QPS, DIESEL-FUSE ~800k "
@@ -194,7 +205,9 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig11a_read4k", 7);
+  diesel::bench::Param("threads_per_node", 16.0);
+  diesel::bench::Param("file_size", 4096.0);
   diesel::Run();
-  diesel::bench::DumpMetricsJson("fig11a_read4k");
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -155,6 +155,15 @@ void Run() {
                   bench::Fmt("%.1fx", row.diesel_fuse_mb / row.lustre_mb)});
     table.AddRow({cfg.label, "Lustre", bench::Fmt("%.1f", row.lustre_mb),
                   bench::FmtCount(row.lustre_files), "1.0x"});
+    std::string tag = cfg.label;
+    bench::Metric("mb_per_s.api." + tag, "MB/s", row.diesel_api_mb,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("mb_per_s.fuse." + tag, "MB/s", row.diesel_fuse_mb,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("mb_per_s.lustre." + tag, "MB/s", row.lustre_mb,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("files_per_s.api." + tag, "files/s", row.diesel_api_files,
+                  obs::Direction::kHigherIsBetter);
   }
   table.Print();
   std::printf("\nPaper: 4KB -> Lustre 60.2MB/s vs DIESEL-API 4317MB/s (71.7x)"
@@ -167,7 +176,9 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig12_shuffle_bw", 41);
+  diesel::bench::Param("nodes", 10.0);
+  diesel::bench::Param("threads_per_node", 16.0);
   diesel::Run();
-  diesel::bench::DumpMetricsJson("fig12_shuffle_bw");
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -29,6 +29,7 @@ struct Arm {
 
 struct Experiment {
   const char* title;
+  const char* tag;  // short metric prefix
   size_t train_samples;
   size_t eval_samples;
   size_t classes;
@@ -150,10 +151,17 @@ void RunExperiment(const Experiment& exp) {
   // Convergence-equivalence check: final accuracy of every chunk-wise arm
   // within a small margin of the dataset-shuffle baseline.
   double base = arms[0].top1.back();
+  // Accuracy is deterministic but sensitive to FP reduction order, so the
+  // gate uses a wider tolerance than throughput metrics.
+  bench::Metric(std::string(exp.tag) + ".final_top1.dataset_shuffle", "frac",
+                base, obs::Direction::kHigherIsBetter, 0.05);
   for (size_t a = 1; a < arms.size(); ++a) {
     double delta = arms[a].top1.back() - base;
     std::printf("%s final top-1 delta vs dataset shuffle: %+.4f\n",
                 arms[a].label.c_str(), delta);
+    bench::Metric(std::string(exp.tag) + ".final_top1.arm" + std::to_string(a),
+                  "frac", arms[a].top1.back(),
+                  obs::Direction::kHigherIsBetter, 0.05);
   }
 }
 
@@ -162,6 +170,7 @@ void Run() {
   // scaled to the paper's 100/500-of-~37k-chunks ratio.
   RunExperiment({.title = "Figure 13 (a,b): ImageNet-1K-like mixture, "
                           "softmax classifier",
+                 .tag = "imagenet",
                  .train_samples = 12000,
                  .eval_samples = 2000,
                  .classes = 20,
@@ -173,6 +182,7 @@ void Run() {
   // "CIFAR-10-like": small dataset, small groups (paper: 15/30).
   RunExperiment({.title = "Figure 13 (c,d): CIFAR-10-like mixture, softmax "
                           "classifier",
+                 .tag = "cifar",
                  .train_samples = 4000,
                  .eval_samples = 1000,
                  .classes = 10,
@@ -190,6 +200,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig13_accuracy", 1001);
+  diesel::bench::Param("epochs", 10.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -19,6 +19,7 @@ void Run() {
     bench::Table table({"epoch", "Lustre mean (ms)", "Lustre iter0 (ms)",
                         "DIESEL-FUSE mean (ms)", "DIESEL-FUSE iter0 (ms)",
                         "ratio"});
+    double lustre_mean_sum = 0, diesel_mean_sum = 0;
     for (size_t e = 0; e < trace.lustre_data_time.size(); ++e) {
       auto mean = [](const std::vector<double>& v) {
         double s = 0;
@@ -27,6 +28,8 @@ void Run() {
       };
       double lm = mean(trace.lustre_data_time[e]) * 1e3;
       double dm = mean(trace.diesel_data_time[e]) * 1e3;
+      lustre_mean_sum += lm;
+      diesel_mean_sum += dm;
       table.AddRow({std::to_string(e + 1), bench::Fmt("%.1f", lm),
                     bench::Fmt("%.1f", trace.lustre_data_time[e][0] * 1e3),
                     bench::Fmt("%.1f", dm),
@@ -34,6 +37,17 @@ void Run() {
                     dm > 0 ? bench::Fmt("%.2f", dm / lm) : "~0"});
     }
     table.Print();
+    size_t epochs = trace.lustre_data_time.size();
+    double lmean = lustre_mean_sum / static_cast<double>(epochs);
+    double dmean = diesel_mean_sum / static_cast<double>(epochs);
+    bench::Metric(std::string(model.name) + ".lustre_data_ms", "ms", lmean,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric(std::string(model.name) + ".diesel_data_ms", "ms", dmean,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric(std::string(model.name) + ".speedup", "x",
+                  dmean > 0 ? lmean / dmean : 0.0,
+                  obs::Direction::kHigherIsBetter);
+    bench::ReportTracePhases(trace);
   }
   std::printf("\nPaper shape: DIESEL-FUSE data access time is about half of "
               "Lustre's on all four models, with a spike at the first "
@@ -44,6 +58,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig14_access_time", 555);
+  diesel::bench::Param("epochs", 10.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -24,6 +24,39 @@ void Run() {
                   bench::Fmt("%.3f", norm),
                   bench::Fmt("%.0f%%", io_red * 100),
                   bench::Fmt("%.0f%%", (1.0 - norm) * 100)});
+    std::string tag = model.name;
+    bench::Metric(tag + ".lustre_total_s", "s", t.lustre_total_s,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric(tag + ".diesel_total_s", "s", t.diesel_total_s,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric(tag + ".normalized", "frac", norm,
+                  obs::Direction::kLowerIsBetter);
+    bench::Metric(tag + ".io_reduction", "frac", io_red,
+                  obs::Direction::kHigherIsBetter);
+    bench::ReportTracePhases(t);
+
+    // Print the stall attribution the report carries: where each arm's
+    // epoch time goes (aggregated across epochs).
+    auto decompose = [&](const char* arm,
+                         const std::vector<dlt::PhaseBreakdown>& phases) {
+      dlt::PhaseBreakdown sum;
+      for (const dlt::PhaseBreakdown& p : phases) {
+        sum.fetch += p.fetch;
+        sum.shuffle += p.shuffle;
+        sum.train += p.train;
+        sum.other += p.other;
+      }
+      double total = static_cast<double>(sum.Total());
+      if (total <= 0) return;
+      std::printf("  %s/%s phases: fetch %.1f%%, shuffle %.1f%%, "
+                  "train %.1f%%, other %.1f%%\n",
+                  model.name, arm, 100.0 * static_cast<double>(sum.fetch) / total,
+                  100.0 * static_cast<double>(sum.shuffle) / total,
+                  100.0 * static_cast<double>(sum.train) / total,
+                  100.0 * static_cast<double>(sum.other) / total);
+    };
+    decompose("lustre", t.lustre_phases);
+    decompose("diesel", t.diesel_phases);
   }
   table.Print();
   std::printf("\nPaper: DIESEL-FUSE reduces IO time by 51-58%% and total "
@@ -35,6 +68,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig15_training_time", 555);
+  diesel::bench::Param("epochs", 10.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -84,8 +84,15 @@ void Run() {
                     bench::Fmt("%.3f", hit_ratio),
                     bench::Fmt("%.1f", static_cast<double>(misses) / kClients)});
     }
+    // The three plateaus of the figure: full-hit, one instance down, two.
+    if (iter == 29 || iter == 69 || iter == 99) {
+      bench::Metric("files_per_sec.iter" + std::to_string(iter), "files/s",
+                    speed, obs::Direction::kHigherIsBetter);
+      bench::Info("hit_ratio.iter" + std::to_string(iter), "frac", hit_ratio);
+    }
     epoch_start = iter_end;
   }
+  bench::AddVirtualTime(epoch_start);
   table.Print();
   std::printf("\nPaper shape: full-hit speed collapses by ~90%% once ~5%% of "
               "lookups miss (one instance of twenty disabled), and drops "
@@ -96,6 +103,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig6_memcached_failure", 31);
+  diesel::bench::Param("mc_nodes", 20.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -124,6 +124,13 @@ void Run() {
     table.AddRow({c.label, bench::FmtCount(diesel), bench::FmtCount(mc),
                   bench::FmtCount(lustre), bench::Fmt("%.1fx", diesel / lustre),
                   bench::Fmt("%.1fx", diesel / mc)});
+    std::string tag = c.label;
+    bench::Metric("diesel_files_per_sec." + tag, "files/s", diesel,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("memcached_files_per_sec." + tag, "files/s", mc,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("lustre_files_per_sec." + tag, "files/s", lustre,
+                  obs::Direction::kHigherIsBetter);
   }
   table.Print();
   std::printf("\nPaper: 4KB DIESEL >2M files/s, 1.79x over Memcached, 366.7x "
@@ -134,7 +141,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("fig9_write", 0);
+  diesel::bench::Param("writers", 64.0);
   diesel::Run();
-  diesel::bench::DumpMetricsJson("fig9_write");
-  return 0;
+  return diesel::bench::CloseReport();
 }

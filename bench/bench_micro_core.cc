@@ -5,6 +5,7 @@
 
 #include <unordered_map>
 
+#include "bench/bench_util.h"
 #include "common/base64lex.h"
 #include "common/crc32.h"
 #include "common/flat_hash_map.h"
@@ -155,4 +156,16 @@ BENCHMARK(BM_Base64LexEncode);
 }  // namespace
 }  // namespace diesel
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): these timings are real
+// wall-clock, so the report carries them as non-gated info only — the
+// regression gate never judges machine-dependent numbers.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  diesel::bench::OpenReport("micro_core", 0);
+  diesel::bench::Param("timing", "wall-clock");
+  diesel::bench::Info("wall_clock_only", "bool", 1.0);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return diesel::bench::CloseReport();
+}

@@ -73,6 +73,13 @@ void Run() {
                   bench::Fmt("%.2f", files_per_sec),
                   bench::Fmt("%.2f", iops4k), bench::Fmt("%.2f", row.bw_mb),
                   bench::Fmt("%.2f", row.files_per_sec)});
+
+    std::string tag = std::to_string(row.size_kb) + "kb";
+    bench::Metric("bw_mb." + tag, "MB/s", bw_mb,
+                  obs::Direction::kHigherIsBetter);
+    bench::Metric("files_per_sec." + tag, "files/s", files_per_sec,
+                  obs::Direction::kHigherIsBetter);
+    bench::AddVirtualTime(makespan);
   }
   table.Print();
   std::printf("\nShape check: files/s flat for small sizes (per-op bound), "
@@ -83,6 +90,8 @@ void Run() {
 }  // namespace diesel
 
 int main() {
+  diesel::bench::OpenReport("table2_blocksize", 1234);
+  diesel::bench::Param("workers", 16.0);
   diesel::Run();
-  return 0;
+  return diesel::bench::CloseReport();
 }

@@ -9,13 +9,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/units.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "sim/clock.h"
 
 namespace diesel::bench {
@@ -134,24 +137,143 @@ inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+/// Resolve `<bench_name><suffix>` inside the directory named by `env_var`
+/// (cwd when unset), creating the directory if missing. Returns "" and
+/// prints to stderr when the directory cannot be created.
+inline std::string ResolveDumpPath(const std::string& bench_name,
+                                   const char* env_var, const char* suffix) {
+  const char* dir = std::getenv(env_var);
+  if (dir == nullptr || *dir == '\0') return bench_name + suffix;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create %s=%s: %s\n", env_var, dir,
+                 ec.message().c_str());
+    return "";
+  }
+  return std::string(dir) + "/" + bench_name + suffix;
+}
+
 /// Dump the process-wide metrics registry as JSON next to the bench output:
 /// `$DIESEL_METRICS_DIR/<bench_name>.metrics.json` (cwd when the variable is
-/// unset). Call once at the end of main; returns the path written, or ""
-/// on I/O failure (the bench result itself is unaffected).
+/// unset; the directory is created if missing). Call once at the end of
+/// main; returns the path written, or "" on I/O failure (reported on
+/// stderr — the bench result itself is unaffected).
 inline std::string DumpMetricsJson(const std::string& bench_name) {
-  const char* dir = std::getenv("DIESEL_METRICS_DIR");
-  std::string path = (dir != nullptr && *dir != '\0')
-                         ? std::string(dir) + "/" + bench_name + ".metrics.json"
-                         : bench_name + ".metrics.json";
+  std::string path =
+      ResolveDumpPath(bench_name, "DIESEL_METRICS_DIR", ".metrics.json");
+  if (path.empty()) return "";
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
-    std::fprintf(stderr, "warning: cannot write metrics to %s\n", path.c_str());
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
     return "";
   }
   out << obs::Metrics().Json() << "\n";
   out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+    return "";
+  }
   std::printf("metrics: %s\n", path.c_str());
   return path;
+}
+
+// ---------------------------------------------------------------------------
+// Perf-trajectory report harness.
+//
+// Every bench main wraps its run in OpenReport/CloseReport and records the
+// figures it prints as direction-aware metrics. CloseReport writes
+// `$DIESEL_BENCH_DIR/<bench>.report.json` (plus the legacy metrics dump)
+// and its return value is the bench's exit code, so lost artifacts fail
+// loudly instead of silently producing an empty suite.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+inline obs::BenchReport g_report;   // NOLINT(misc-definitions-in-headers)
+inline bool g_report_open = false;  // NOLINT(misc-definitions-in-headers)
+}  // namespace detail
+
+/// Begin the report for this bench run. `seed` is the master seed the run's
+/// results are a pure function of.
+inline void OpenReport(std::string bench_name, uint64_t seed) {
+  detail::g_report = obs::BenchReport{};
+  detail::g_report.bench = std::move(bench_name);
+  detail::g_report.seed = seed;
+  detail::g_report_open = true;
+}
+
+/// Record a configuration parameter that shaped the run.
+inline void Param(std::string key, std::string value) {
+  detail::g_report.params.emplace_back(std::move(key), std::move(value));
+}
+inline void Param(std::string key, double value) {
+  detail::g_report.params.emplace_back(std::move(key),
+                                       JsonNumberToString(value));
+}
+
+/// Record a gated, direction-aware result metric.
+inline void Metric(std::string name, std::string unit, double value,
+                   obs::Direction direction, double tolerance = 0.01) {
+  obs::BenchMetric m;
+  m.name = std::move(name);
+  m.unit = std::move(unit);
+  m.value = value;
+  m.direction = direction;
+  m.tolerance = tolerance;
+  detail::g_report.metrics.push_back(std::move(m));
+}
+
+/// Record an informational metric (never gates the perf diff) — use for
+/// wall-clock timings and raw counts.
+inline void Info(std::string name, std::string unit, double value) {
+  Metric(std::move(name), std::move(unit), value, obs::Direction::kInfo, 0.0);
+}
+
+/// Record one epoch's stall-attribution timeline row (Fig. 15
+/// decomposition). Values are virtual nanoseconds; they must sum to the
+/// epoch's virtual duration.
+inline void AddEpochPhases(std::string label, int64_t epoch, int64_t fetch_ns,
+                           int64_t shuffle_ns, int64_t train_ns,
+                           int64_t other_ns = 0) {
+  obs::EpochPhases e;
+  e.label = std::move(label);
+  e.epoch = epoch;
+  e.fetch_ns = fetch_ns;
+  e.shuffle_ns = shuffle_ns;
+  e.train_ns = train_ns;
+  e.other_ns = other_ns;
+  detail::g_report.epochs.push_back(std::move(e));
+}
+
+/// Accumulate simulated virtual time covered by the bench (informational).
+inline void AddVirtualTime(Nanos ns) { detail::g_report.virtual_ns += ns; }
+
+/// Finish the report: embed the final registry snapshot, write
+/// `$DIESEL_BENCH_DIR/<bench>.report.json` and the legacy metrics dump.
+/// Returns the bench's exit code: 0 on success, 1 when an artifact could
+/// not be written.
+inline int CloseReport() {
+  if (!detail::g_report_open) return 0;
+  detail::g_report_open = false;
+  bool ok = !DumpMetricsJson(detail::g_report.bench).empty();
+  auto registry = JsonValue::Parse(obs::Metrics().Json());
+  if (registry.ok()) detail::g_report.registry = std::move(registry).value();
+  std::string path = ResolveDumpPath(detail::g_report.bench, "DIESEL_BENCH_DIR",
+                                     ".report.json");
+  if (path.empty()) return 1;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << detail::g_report.Json();
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+    return 1;
+  }
+  std::printf("report: %s\n", path.c_str());
+  return ok ? 0 : 1;
 }
 
 }  // namespace diesel::bench

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/deployment.h"
 #include "dlt/dataset_gen.h"
 #include "dlt/pipeline.h"
@@ -32,6 +33,10 @@ struct ModelTrace {
   // data_time_s[epoch][iteration]
   std::vector<std::vector<double>> lustre_data_time;
   std::vector<std::vector<double>> diesel_data_time;
+  // Per-epoch stall attribution (Fig. 15 decomposition); phases sum to the
+  // epoch's virtual duration.
+  std::vector<dlt::PhaseBreakdown> lustre_phases;
+  std::vector<dlt::PhaseBreakdown> diesel_phases;
   double lustre_total_s = 0;
   double diesel_total_s = 0;
   double lustre_io_wait_s = 0;
@@ -95,6 +100,7 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
           });
       if (!result.ok()) std::abort();
       trace.lustre_data_time.push_back(result->data_time_s);
+      trace.lustre_phases.push_back(result->phases);
       trace.lustre_io_wait_s += result->total_data_wait_s;
       start = result->epoch_end;
     }
@@ -152,6 +158,7 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
           });
       if (!result.ok()) std::abort();
       trace.diesel_data_time.push_back(result->data_time_s);
+      trace.diesel_phases.push_back(result->phases);
       trace.diesel_io_wait_s += result->total_data_wait_s;
       start = result->epoch_end;
     }
@@ -162,5 +169,25 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
 
 inline const sim::ModelCompute kPaperModels[] = {
     sim::kAlexNet, sim::kVgg11, sim::kResNet18, sim::kResNet50};
+
+/// Record both arms' per-epoch stall-attribution timelines into the open
+/// bench report, labelled "<model>/lustre" and "<model>/diesel".
+inline void ReportTracePhases(const ModelTrace& trace) {
+  auto record = [&](const char* arm,
+                    const std::vector<dlt::PhaseBreakdown>& phases) {
+    std::string label = std::string(trace.model) + "/" + arm;
+    for (size_t e = 0; e < phases.size(); ++e) {
+      const dlt::PhaseBreakdown& p = phases[e];
+      AddEpochPhases(label, static_cast<int64_t>(e),
+                     static_cast<int64_t>(p.fetch),
+                     static_cast<int64_t>(p.shuffle),
+                     static_cast<int64_t>(p.train),
+                     static_cast<int64_t>(p.other));
+      AddVirtualTime(p.Total());
+    }
+  };
+  record("lustre", trace.lustre_phases);
+  record("diesel", trace.diesel_phases);
+}
 
 }  // namespace diesel::bench

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Run the deterministic bench suite and merge the per-bench reports into one
+# BENCH_RESULTS.json (schema diesel.bench.suite/v1).
+#
+# Usage: scripts/run_bench_suite.sh [-B build_dir] [-o out_dir] [bench ...]
+#
+#   -B build_dir   CMake build tree holding bench/ and src/tools/dlcmd
+#                  (default: build)
+#   -o out_dir     where per-bench *.report.json / *.metrics.json and the
+#                  merged BENCH_RESULTS.json land (default: bench_out)
+#   bench ...      bench binary names to run (default: every bench_* in
+#                  <build_dir>/bench)
+#
+# Every bench is virtual-time deterministic, so two runs of this script on
+# any machine produce byte-identical reports (bench_micro_core's wall-clock
+# numbers are carried as non-gated info metrics only).
+set -euo pipefail
+
+BUILD_DIR=build
+OUT_DIR=bench_out
+while getopts "B:o:h" opt; do
+  case "$opt" in
+    B) BUILD_DIR=$OPTARG ;;
+    o) OUT_DIR=$OPTARG ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+BENCH_DIR="$BUILD_DIR/bench"
+DLCMD="$BUILD_DIR/src/tools/dlcmd"
+[ -x "$DLCMD" ] || { echo "error: $DLCMD not built" >&2; exit 1; }
+
+if [ $# -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=()
+  for b in "$BENCH_DIR"/bench_*; do
+    [ -x "$b" ] && BENCHES+=("$(basename "$b")")
+  done
+fi
+[ ${#BENCHES[@]} -gt 0 ] || { echo "error: no benches found in $BENCH_DIR" >&2; exit 1; }
+
+mkdir -p "$OUT_DIR"
+export DIESEL_BENCH_DIR=$OUT_DIR
+export DIESEL_METRICS_DIR=$OUT_DIR
+
+for b in "${BENCHES[@]}"; do
+  echo "=== $b ==="
+  SECONDS=0
+  "$BENCH_DIR/$b" > "$OUT_DIR/$b.log"
+  echo "    done in ${SECONDS}s"
+done
+
+"$DLCMD" perf merge "$OUT_DIR" -o "$OUT_DIR/BENCH_RESULTS.json"
+echo "merged suite report: $OUT_DIR/BENCH_RESULTS.json"

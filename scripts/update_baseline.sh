@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the committed perf baseline (bench/baseline.json) from a full
+# deterministic suite run. Run this when a change intentionally moves a
+# gated metric, commit the refreshed baseline with the change, and mention
+# the delta in the commit message.
+#
+# Usage: scripts/update_baseline.sh [-B build_dir]
+set -euo pipefail
+
+BUILD_DIR=build
+while getopts "B:h" opt; do
+  case "$opt" in
+    B) BUILD_DIR=$OPTARG ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+OUT_DIR=$(mktemp -d)
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+"$ROOT/scripts/run_bench_suite.sh" -B "$BUILD_DIR" -o "$OUT_DIR"
+# The committed baseline strips the registry snapshots: the gate judges
+# metrics, and the full registries would bloat the diff of every refresh.
+"$BUILD_DIR/src/tools/dlcmd" perf merge "$OUT_DIR" --strip-registry \
+    -o "$ROOT/bench/baseline.json"
+echo "wrote $ROOT/bench/baseline.json"

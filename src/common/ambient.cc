@@ -1,0 +1,38 @@
+#include "common/ambient.h"
+
+namespace diesel {
+namespace {
+
+thread_local Ambient::Frames t_frames;
+
+}  // namespace
+
+void Ambient::Push(const void* domain, uint64_t value) {
+  t_frames.emplace_back(domain, value);
+}
+
+void Ambient::Pop(const void* domain, uint64_t value) {
+  for (auto it = t_frames.rbegin(); it != t_frames.rend(); ++it) {
+    if (it->first == domain && it->second == value) {
+      t_frames.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+uint64_t Ambient::Top(const void* domain, uint64_t fallback) {
+  for (auto it = t_frames.rbegin(); it != t_frames.rend(); ++it) {
+    if (it->first == domain) return it->second;
+  }
+  return fallback;
+}
+
+Ambient::Frames Ambient::Capture() { return t_frames; }
+
+Ambient::Scope::Scope(Frames frames) : saved_(std::move(t_frames)) {
+  t_frames = std::move(frames);
+}
+
+Ambient::Scope::~Scope() { t_frames = std::move(saved_); }
+
+}  // namespace diesel

@@ -1,0 +1,355 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace diesel {
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    JsonValue v;
+    Status st = ParseValue(v, 0);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(s);
+        if (!st.ok()) return st;
+        out = JsonValue(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          out = JsonValue(true);
+          return Status::Ok();
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          out = JsonValue(false);
+          return Status::Ok();
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          out = JsonValue();
+          return Status::Ok();
+        }
+        return Fail("bad literal");
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      Status st = ParseString(key);
+      if (!st.ok()) return st;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue v;
+      st = ParseValue(v, depth + 1);
+      if (!st.ok()) return st;
+      out.Set(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue v;
+      Status st = ParseValue(v, depth + 1);
+      if (!st.ok()) return st;
+      out.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) return Fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs re-emit as two escapes
+          // is not needed for our identifier-only strings).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    if (!digits) return Fail("expected value");
+    std::string raw(text_.substr(start, pos_ - start));
+    out = JsonValue(std::strtod(raw.c_str(), nullptr));
+    out.SetRawNumber(std::move(raw));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue::JsonValue(double v) : type_(Type::kNumber), number_(v) {}
+
+JsonValue::JsonValue(int64_t v)
+    : type_(Type::kNumber), number_(static_cast<double>(v)) {
+  number_raw_ = std::to_string(v);
+}
+
+JsonValue::JsonValue(uint64_t v)
+    : type_(Type::kNumber), number_(static_cast<double>(v)) {
+  number_raw_ = std::to_string(v);
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value() : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value() : fallback;
+}
+
+void JsonValue::Append(JsonValue v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  assert(type_ == Type::kArray);
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  assert(type_ == Type::kObject);
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string JsonEscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumberToString(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";  // JSON has no inf/nan
+  // Integers print exactly (covers counters up to 2^53 losslessly).
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest %g form that round-trips.
+  for (int prec = 9; prec <= 17; ++prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return "0";  // unreachable: %.17g always round-trips
+}
+
+void JsonValue::DumpTo(std::string& out, int depth) const {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<size_t>(depth + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber:
+      out += number_raw_.empty() ? JsonNumberToString(number_) : number_raw_;
+      break;
+    case Type::kString:
+      out += '"';
+      out += JsonEscapeString(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        out += inner;
+        array_[i].DumpTo(out, depth + 1);
+        out += i + 1 < array_.size() ? ",\n" : "\n";
+      }
+      out += indent + "]";
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        out += inner + "\"" + JsonEscapeString(object_[i].first) + "\": ";
+        object_[i].second.DumpTo(out, depth + 1);
+        out += i + 1 < object_.size() ? ",\n" : "\n";
+      }
+      out += indent + "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(out, 0);
+  out += "\n";
+  return out;
+}
+
+}  // namespace diesel

@@ -1,0 +1,105 @@
+// Minimal deterministic JSON document model for the perf-trajectory layer.
+//
+// The observability plane emits JSON (metrics snapshots, bench reports) as
+// strings; the baseline/diff engine must read those artifacts back. This is
+// a small recursive-descent parser plus a canonical writer: objects keep
+// their insertion/parse order, numbers re-emit either their original source
+// text (parse -> dump is byte-identical) or the shortest printf form that
+// round-trips through strtod, so the same document always serializes to the
+// same bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace diesel {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double v);
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(int64_t v);
+  JsonValue(uint64_t v);
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  const Object& object() const { return object_; }
+
+  /// Object field lookup (first match); nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed convenience lookups with defaults for optional schema fields.
+  double GetNumber(std::string_view key, double fallback) const;
+  std::string GetString(std::string_view key,
+                        const std::string& fallback) const;
+
+  /// Builders (no-ops with an assert-like fallback on wrong type: Append on
+  /// a null value first turns it into an array, Set into an object).
+  void Append(JsonValue v);
+  void Set(std::string key, JsonValue v);
+
+  /// Canonical serialization: 2-space indent per depth, fields in stored
+  /// order, parsed numbers re-emitted verbatim. Deterministic.
+  std::string Dump() const;
+
+  /// Parser-internal: attach the source text a parsed number came from so
+  /// Dump() re-emits it verbatim (byte-stable round trip).
+  void SetRawNumber(std::string raw) { number_raw_ = std::move(raw); }
+
+ private:
+  void DumpTo(std::string& out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string number_raw_;  // source text when parsed; canonical otherwise
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string JsonEscapeString(std::string_view s);
+
+/// Shortest printf form of `v` that parses back to exactly `v`.
+std::string JsonNumberToString(double v);
+
+}  // namespace diesel

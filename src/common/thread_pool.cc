@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "common/ambient.h"
+
 namespace diesel {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -23,10 +25,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Capture the submitter's ambient context (e.g. the tracer's open-span
+  // stack) so the task runs under its logical parent even though it
+  // executes on a worker thread.
+  auto wrapped = [frames = Ambient::Capture(), task = std::move(task)]() mutable {
+    Ambient::Scope scope(std::move(frames));
+    task();
+  };
   {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(!stop_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(wrapped));
   }
   work_cv_.notify_one();
 }

@@ -34,11 +34,26 @@ struct PipelineOptions {
 using BatchReadFn =
     std::function<Status(size_t iter, sim::VirtualClock& worker_clock)>;
 
+/// Stall attribution: every virtual nanosecond between epoch start and
+/// `epoch_end` charged to exactly one phase. `fetch` is time the training
+/// loop stalled waiting for data, `shuffle` the epoch-start file-list
+/// generation, `train` the GPU compute, `other` snapshot/bookkeeping added
+/// by the caller. Invariant: Total() == epoch_end - start.
+struct PhaseBreakdown {
+  Nanos fetch = 0;
+  Nanos shuffle = 0;
+  Nanos train = 0;
+  Nanos other = 0;
+
+  Nanos Total() const { return fetch + shuffle + train + other; }
+};
+
 struct EpochResult {
   std::vector<double> data_time_s;  // per-iteration wait for data
   Nanos epoch_end = 0;              // completion of the last compute step
   double total_data_wait_s = 0.0;
   double compute_s = 0.0;
+  PhaseBreakdown phases;
 };
 
 class TrainingPipeline {
@@ -47,7 +62,8 @@ class TrainingPipeline {
 
   /// Run one epoch of `iterations` steps starting at virtual time `start`.
   /// `shuffle_cost` is charged before any worker begins (file-list
-  /// generation). Returns per-iteration data waits and the epoch end time.
+  /// generation). Returns per-iteration data waits, the epoch end time and
+  /// the phase breakdown (which also feeds the `dlt.phase.*` histograms).
   Result<EpochResult> RunEpoch(Nanos start, size_t iterations,
                                Nanos shuffle_cost,
                                const BatchReadFn& read_batch) const;

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "dlt/dataset_gen.h"
+#include "obs/metrics.h"
 
 namespace diesel::dlt {
 
@@ -69,7 +70,12 @@ double SoftmaxTrainer::TrainBatch(std::span<const LabelledSample> batch) {
     w_[i] -= scale * grad[i] +
              options_.learning_rate * options_.weight_decay * w_[i];
   }
-  return loss / static_cast<double>(batch.size());
+  double mean_loss = loss / static_cast<double>(batch.size());
+  auto& m = obs::Metrics();
+  m.GetCounter("dlt.train.batches").Inc();
+  m.GetCounter("dlt.train.samples").Inc(batch.size());
+  m.GetHistogram("dlt.train.batch_loss").Observe(mean_loss);
+  return mean_loss;
 }
 
 double SoftmaxTrainer::TrainEpoch(std::span<const LabelledSample> samples) {

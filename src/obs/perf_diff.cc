@@ -1,0 +1,321 @@
+#include "obs/perf_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace diesel::obs {
+namespace {
+
+double EffectiveTolerance(const BenchMetric& m, const PerfDiffOptions& opt) {
+  return opt.tolerance_override >= 0.0 ? opt.tolerance_override : m.tolerance;
+}
+
+Verdict Judge(Direction dir, double rel_delta, double tolerance) {
+  if (dir == Direction::kInfo) return Verdict::kOk;
+  if (std::fabs(rel_delta) <= tolerance) return Verdict::kOk;
+  bool went_up = rel_delta > 0.0;
+  bool up_is_good = dir == Direction::kHigherIsBetter;
+  return went_up == up_is_good ? Verdict::kImproved : Verdict::kRegressed;
+}
+
+std::string FmtValue(double v) {
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+std::string FmtPct(double rel) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", rel * 100.0);
+  return buf;
+}
+
+Result<SuiteReport> LoadSuite(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return SuiteReport::Parse(buf.str());
+}
+
+int RunDiff(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> paths;
+  PerfDiffOptions options;
+  bool verbose = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--tol") {
+      if (i + 1 >= args.size()) {
+        err << "perf diff: --tol needs a value\n";
+        return 2;
+      }
+      options.tolerance_override = std::stod(args[++i]);
+    } else if (a == "--allow-missing") {
+      options.fail_on_missing = false;
+    } else if (a == "-v" || a == "--verbose") {
+      verbose = true;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "perf diff: unknown flag " << a << "\n";
+      return 2;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) {
+    err << "usage: perf diff <baseline.json> <current.json> [--tol X]"
+           " [--allow-missing] [-v]\n";
+    return 2;
+  }
+  auto baseline = LoadSuite(paths[0]);
+  if (!baseline.ok()) {
+    err << "perf diff: " << baseline.status().ToString() << "\n";
+    return 2;
+  }
+  auto current = LoadSuite(paths[1]);
+  if (!current.ok()) {
+    err << "perf diff: " << current.status().ToString() << "\n";
+    return 2;
+  }
+  PerfDiffResult result = DiffSuites(baseline.value(), current.value(), options);
+  out << result.Table(verbose);
+  out << result.Summary() << "\n";
+  return result.ok() ? 0 : 1;
+}
+
+int RunMerge(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  std::string dir;
+  std::string out_path;
+  bool strip_registry = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "-o" || a == "--out") {
+      if (i + 1 >= args.size()) {
+        err << "perf merge: -o needs a path\n";
+        return 2;
+      }
+      out_path = args[++i];
+    } else if (a == "--strip-registry") {
+      strip_registry = true;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "perf merge: unknown flag " << a << "\n";
+      return 2;
+    } else if (dir.empty()) {
+      dir = a;
+    } else {
+      err << "perf merge: unexpected argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    err << "usage: perf merge <dir> [-o out.json] [--strip-registry]\n";
+    return 2;
+  }
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() > 12 &&
+        name.compare(name.size() - 12, 12, ".report.json") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    err << "perf merge: cannot read " << dir << ": " << ec.message() << "\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    err << "perf merge: no *.report.json files in " << dir << "\n";
+    return 2;
+  }
+  SuiteReport suite;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto report = BenchReport::Parse(buf.str());
+    if (!report.ok()) {
+      err << "perf merge: " << path << ": " << report.status().ToString()
+          << "\n";
+      return 2;
+    }
+    if (strip_registry) report.value().registry = JsonValue();
+    suite.Merge(std::move(report).value());
+  }
+  std::string body = suite.Json();
+  if (out_path.empty()) {
+    out << body;
+  } else {
+    std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+    os << body;
+    if (!os) {
+      err << "perf merge: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << "merged " << suite.benches.size() << " bench reports -> " << out_path
+        << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kNew: return "new";
+    case Verdict::kMissing: return "MISSING";
+  }
+  return "?";
+}
+
+PerfDiffResult DiffSuites(const SuiteReport& baseline, const SuiteReport& current,
+                          const PerfDiffOptions& options) {
+  PerfDiffResult result;
+  result.fail_on_missing = options.fail_on_missing;
+
+  auto add_row = [&result](MetricDiff row) {
+    switch (row.verdict) {
+      case Verdict::kOk: ++result.unchanged; break;
+      case Verdict::kImproved: ++result.improved; break;
+      case Verdict::kRegressed: ++result.regressed; break;
+      case Verdict::kNew: ++result.added; break;
+      case Verdict::kMissing: ++result.missing; break;
+    }
+    result.rows.push_back(std::move(row));
+  };
+
+  for (const BenchReport& base_bench : baseline.benches) {
+    const BenchReport* cur_bench = current.FindBench(base_bench.bench);
+    for (const BenchMetric& base_metric : base_bench.metrics) {
+      MetricDiff row;
+      row.bench = base_bench.bench;
+      row.metric = base_metric.name;
+      row.unit = base_metric.unit;
+      row.direction = base_metric.direction;
+      row.baseline = base_metric.value;
+      row.tolerance = EffectiveTolerance(base_metric, options);
+      const BenchMetric* cur_metric =
+          cur_bench != nullptr ? cur_bench->FindMetric(base_metric.name) : nullptr;
+      if (cur_metric == nullptr) {
+        // Info metrics may legitimately come and go (e.g. wall-clock-only
+        // rows); their absence does not gate.
+        row.verdict =
+            base_metric.direction == Direction::kInfo ? Verdict::kOk
+                                                      : Verdict::kMissing;
+        add_row(std::move(row));
+        continue;
+      }
+      row.current = cur_metric->value;
+      if (row.baseline == 0.0) {
+        // No relative scale; any nonzero move on a gated metric is judged
+        // against tolerance as an absolute step from zero.
+        row.rel_delta = row.current == 0.0 ? 0.0 : (row.current > 0 ? 1.0 : -1.0);
+        if (row.current == 0.0) {
+          row.verdict = Verdict::kOk;
+        } else {
+          row.verdict = Judge(row.direction, row.rel_delta, 0.0);
+        }
+      } else {
+        row.rel_delta = (row.current - row.baseline) / std::fabs(row.baseline);
+        row.verdict = Judge(row.direction, row.rel_delta, row.tolerance);
+      }
+      add_row(std::move(row));
+    }
+  }
+  for (const BenchReport& cur_bench : current.benches) {
+    const BenchReport* base_bench = baseline.FindBench(cur_bench.bench);
+    for (const BenchMetric& cur_metric : cur_bench.metrics) {
+      if (base_bench != nullptr &&
+          base_bench->FindMetric(cur_metric.name) != nullptr) {
+        continue;
+      }
+      MetricDiff row;
+      row.bench = cur_bench.bench;
+      row.metric = cur_metric.name;
+      row.unit = cur_metric.unit;
+      row.direction = cur_metric.direction;
+      row.current = cur_metric.value;
+      row.tolerance = EffectiveTolerance(cur_metric, options);
+      row.verdict = Verdict::kNew;
+      add_row(std::move(row));
+    }
+  }
+  return result;
+}
+
+std::string PerfDiffResult::Table(bool include_ok) const {
+  std::vector<const MetricDiff*> shown;
+  for (const MetricDiff& row : rows) {
+    if (include_ok || row.verdict != Verdict::kOk) shown.push_back(&row);
+  }
+  if (shown.empty()) return "";
+  size_t w_bench = 5, w_metric = 6, w_base = 8, w_cur = 7;
+  for (const MetricDiff* row : shown) {
+    w_bench = std::max(w_bench, row->bench.size());
+    w_metric = std::max(w_metric, row->metric.size());
+    w_base = std::max(w_base, FmtValue(row->baseline).size());
+    w_cur = std::max(w_cur, FmtValue(row->current).size());
+  }
+  std::ostringstream out;
+  auto pad = [&out](const std::string& s, size_t w) {
+    out << s;
+    for (size_t i = s.size(); i < w; ++i) out << ' ';
+    out << "  ";
+  };
+  pad("bench", w_bench);
+  pad("metric", w_metric);
+  pad("baseline", w_base);
+  pad("current", w_cur);
+  pad("delta", 8);
+  out << "verdict\n";
+  for (const MetricDiff* row : shown) {
+    pad(row->bench, w_bench);
+    pad(row->metric, w_metric);
+    pad(row->verdict == Verdict::kNew ? "-" : FmtValue(row->baseline), w_base);
+    pad(row->verdict == Verdict::kMissing ? "-" : FmtValue(row->current), w_cur);
+    pad(row->verdict == Verdict::kNew || row->verdict == Verdict::kMissing
+            ? "-"
+            : FmtPct(row->rel_delta),
+        8);
+    out << VerdictName(row->verdict) << "\n";
+  }
+  return out.str();
+}
+
+std::string PerfDiffResult::Summary() const {
+  std::ostringstream out;
+  out << "perf diff: " << regressed << " regressed, " << improved
+      << " improved, " << missing << " missing, " << added << " new, "
+      << unchanged << " within tolerance -> "
+      << (ok() ? "OK" : "FAIL");
+  return out.str();
+}
+
+int PerfCommand(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.empty()) {
+    err << "usage: perf <diff|merge> ...\n";
+    return 2;
+  }
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (args[0] == "diff") return RunDiff(rest, out, err);
+  if (args[0] == "merge") return RunMerge(rest, out, err);
+  err << "perf: unknown subcommand '" << args[0] << "'\n";
+  return 2;
+}
+
+}  // namespace diesel::obs

@@ -1,0 +1,78 @@
+// Baseline/diff engine for the perf trajectory.
+//
+// Compares a current `SuiteReport` against a committed baseline, metric by
+// metric, with direction-aware relative tolerances: for a
+// higher-is-better metric only a drop beyond tolerance regresses; for a
+// lower-is-better metric only a rise does; `info` metrics never gate.
+// Emits a verdict table and drives `dlcmd perf diff`'s exit code.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace diesel::obs {
+
+enum class Verdict {
+  kOk,         // within tolerance
+  kImproved,   // beyond tolerance in the good direction
+  kRegressed,  // beyond tolerance in the bad direction
+  kNew,        // metric/bench only in current
+  kMissing,    // metric/bench only in baseline
+};
+
+const char* VerdictName(Verdict v);
+
+struct MetricDiff {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  Direction direction = Direction::kInfo;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Relative delta (current - baseline) / |baseline|; 0 when baseline == 0.
+  double rel_delta = 0.0;
+  double tolerance = 0.0;
+  Verdict verdict = Verdict::kOk;
+};
+
+struct PerfDiffOptions {
+  /// When >= 0, overrides every metric's own tolerance.
+  double tolerance_override = -1.0;
+  /// Metrics/benches present in the baseline but absent from the current
+  /// run gate the diff (they usually mean a bench silently stopped
+  /// reporting). `--allow-missing` relaxes this.
+  bool fail_on_missing = true;
+};
+
+struct PerfDiffResult {
+  std::vector<MetricDiff> rows;
+  int regressed = 0;
+  int improved = 0;
+  int added = 0;
+  int missing = 0;
+  int unchanged = 0;
+  bool fail_on_missing = true;
+
+  bool ok() const {
+    return regressed == 0 && (!fail_on_missing || missing == 0);
+  }
+  /// Fixed-width verdict table; only rows whose verdict != kOk by default.
+  std::string Table(bool include_ok = false) const;
+  /// One-line summary, e.g. "perf diff: 2 regressed, 1 improved, ...".
+  std::string Summary() const;
+};
+
+PerfDiffResult DiffSuites(const SuiteReport& baseline, const SuiteReport& current,
+                          const PerfDiffOptions& options = {});
+
+/// `dlcmd perf` entry point (also called directly by tests):
+///   perf diff <baseline.json> <current.json> [--tol X] [--allow-missing] [-v]
+///   perf merge <dir> -o <out.json> [--strip-registry]
+/// Returns the process exit code (0 = ok / within tolerance).
+int PerfCommand(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace diesel::obs

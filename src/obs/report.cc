@@ -1,0 +1,205 @@
+#include "obs/report.h"
+
+#include <algorithm>
+
+namespace diesel::obs {
+namespace {
+
+Direction DirectionFromName(const std::string& name) {
+  if (name == "higher") return Direction::kHigherIsBetter;
+  if (name == "lower") return Direction::kLowerIsBetter;
+  return Direction::kInfo;
+}
+
+JsonValue MetricToJson(const BenchMetric& m) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("name", m.name);
+  doc.Set("unit", m.unit);
+  doc.Set("value", m.value);
+  doc.Set("direction", DirectionName(m.direction));
+  doc.Set("tolerance", m.tolerance);
+  return doc;
+}
+
+JsonValue PhasesToJson(const EpochPhases& e) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("label", e.label);
+  doc.Set("epoch", e.epoch);
+  doc.Set("fetch_ns", e.fetch_ns);
+  doc.Set("shuffle_ns", e.shuffle_ns);
+  doc.Set("train_ns", e.train_ns);
+  doc.Set("other_ns", e.other_ns);
+  doc.Set("total_ns", e.TotalNs());
+  return doc;
+}
+
+}  // namespace
+
+const char* DirectionName(Direction d) {
+  switch (d) {
+    case Direction::kHigherIsBetter: return "higher";
+    case Direction::kLowerIsBetter: return "lower";
+    case Direction::kInfo: return "info";
+  }
+  return "info";
+}
+
+JsonValue BenchReport::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema", kSchema);
+  doc.Set("bench", bench);
+  doc.Set("seed", seed);
+  doc.Set("virtual_ns", virtual_ns);
+  JsonValue params_doc = JsonValue::MakeObject();
+  for (const auto& [k, v] : params) params_doc.Set(k, v);
+  doc.Set("params", std::move(params_doc));
+  JsonValue metrics_doc = JsonValue::MakeArray();
+  for (const BenchMetric& m : metrics) metrics_doc.Append(MetricToJson(m));
+  doc.Set("metrics", std::move(metrics_doc));
+  if (!epochs.empty()) {
+    JsonValue epochs_doc = JsonValue::MakeArray();
+    for (const EpochPhases& e : epochs) epochs_doc.Append(PhasesToJson(e));
+    doc.Set("epochs", std::move(epochs_doc));
+  }
+  if (!registry.is_null()) doc.Set("registry", registry);
+  return doc;
+}
+
+Result<BenchReport> BenchReport::FromJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("bench report: not an object");
+  }
+  std::string schema = doc.GetString("schema", "");
+  if (schema != kSchema) {
+    return Status::InvalidArgument("bench report: unexpected schema '" +
+                                   schema + "'");
+  }
+  BenchReport report;
+  report.bench = doc.GetString("bench", "");
+  if (report.bench.empty()) {
+    return Status::InvalidArgument("bench report: missing 'bench' name");
+  }
+  report.seed = static_cast<uint64_t>(doc.GetNumber("seed", 0));
+  report.virtual_ns = static_cast<uint64_t>(doc.GetNumber("virtual_ns", 0));
+  if (const JsonValue* params = doc.Find("params");
+      params != nullptr && params->is_object()) {
+    for (const auto& [k, v] : params->object()) {
+      report.params.emplace_back(k, v.is_string() ? v.string_value() : v.Dump());
+    }
+  }
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return Status::InvalidArgument("bench report: missing 'metrics' array");
+  }
+  for (const JsonValue& m : metrics->array()) {
+    if (!m.is_object()) {
+      return Status::InvalidArgument("bench report: metric is not an object");
+    }
+    BenchMetric metric;
+    metric.name = m.GetString("name", "");
+    if (metric.name.empty()) {
+      return Status::InvalidArgument("bench report: metric missing 'name'");
+    }
+    metric.unit = m.GetString("unit", "");
+    const JsonValue* value = m.Find("value");
+    if (value == nullptr || !value->is_number()) {
+      return Status::InvalidArgument("bench report: metric '" + metric.name +
+                                     "' missing numeric 'value'");
+    }
+    metric.value = value->number_value();
+    metric.direction = DirectionFromName(m.GetString("direction", "info"));
+    metric.tolerance = m.GetNumber("tolerance", 0.01);
+    report.metrics.push_back(std::move(metric));
+  }
+  if (const JsonValue* epochs = doc.Find("epochs");
+      epochs != nullptr && epochs->is_array()) {
+    for (const JsonValue& e : epochs->array()) {
+      EpochPhases phases;
+      phases.label = e.GetString("label", "");
+      phases.epoch = static_cast<int64_t>(e.GetNumber("epoch", 0));
+      phases.fetch_ns = static_cast<int64_t>(e.GetNumber("fetch_ns", 0));
+      phases.shuffle_ns = static_cast<int64_t>(e.GetNumber("shuffle_ns", 0));
+      phases.train_ns = static_cast<int64_t>(e.GetNumber("train_ns", 0));
+      phases.other_ns = static_cast<int64_t>(e.GetNumber("other_ns", 0));
+      report.epochs.push_back(std::move(phases));
+    }
+  }
+  if (const JsonValue* registry = doc.Find("registry"); registry != nullptr) {
+    report.registry = *registry;
+  }
+  return report;
+}
+
+Result<BenchReport> BenchReport::Parse(std::string_view text) {
+  auto doc = JsonValue::Parse(text);
+  DIESEL_RETURN_IF_ERROR(doc.status());
+  return FromJson(doc.value());
+}
+
+const BenchMetric* BenchReport::FindMetric(std::string_view name) const {
+  for (const BenchMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void SuiteReport::Merge(BenchReport report) {
+  auto it = std::lower_bound(
+      benches.begin(), benches.end(), report,
+      [](const BenchReport& a, const BenchReport& b) { return a.bench < b.bench; });
+  if (it != benches.end() && it->bench == report.bench) {
+    *it = std::move(report);
+  } else {
+    benches.insert(it, std::move(report));
+  }
+}
+
+const BenchReport* SuiteReport::FindBench(std::string_view name) const {
+  for (const BenchReport& b : benches) {
+    if (b.bench == name) return &b;
+  }
+  return nullptr;
+}
+
+JsonValue SuiteReport::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema", kSchema);
+  JsonValue arr = JsonValue::MakeArray();
+  for (const BenchReport& b : benches) arr.Append(b.ToJson());
+  doc.Set("benches", std::move(arr));
+  return doc;
+}
+
+Result<SuiteReport> SuiteReport::FromJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("suite report: not an object");
+  }
+  std::string schema = doc.GetString("schema", "");
+  SuiteReport suite;
+  if (schema == kSchema) {
+    const JsonValue* arr = doc.Find("benches");
+    if (arr == nullptr || !arr->is_array()) {
+      return Status::InvalidArgument("suite report: missing 'benches' array");
+    }
+    for (const JsonValue& b : arr->array()) {
+      auto report = BenchReport::FromJson(b);
+      DIESEL_RETURN_IF_ERROR(report.status());
+      suite.Merge(std::move(report).value());
+    }
+    return suite;
+  }
+  // A single bench report is accepted as a one-entry suite, so `perf diff`
+  // can also compare individual report files.
+  auto report = BenchReport::FromJson(doc);
+  DIESEL_RETURN_IF_ERROR(report.status());
+  suite.Merge(std::move(report).value());
+  return suite;
+}
+
+Result<SuiteReport> SuiteReport::Parse(std::string_view text) {
+  auto doc = JsonValue::Parse(text);
+  DIESEL_RETURN_IF_ERROR(doc.status());
+  return FromJson(doc.value());
+}
+
+}  // namespace diesel::obs

@@ -1,0 +1,101 @@
+// Perf-trajectory report schema.
+//
+// Every bench target emits one `BenchReport` — the machine-readable record
+// of a deterministic virtual-time run: the metrics the bench asserts about
+// (direction-aware, so the diff engine knows whether bigger is better), the
+// parameters that shaped the run, a per-epoch stall-attribution timeline
+// (Fig. 15 decomposition), and the final metrics-registry snapshot. A suite
+// run merges the per-bench files into one `SuiteReport`
+// (`BENCH_RESULTS.json`), which `dlcmd perf diff` compares against the
+// committed `bench/baseline.json`.
+//
+// Because the simulator is virtual-time and seeded, every value here is
+// bit-stable across runs and machines, and serialization is byte-stable:
+// the same report always dumps to the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace diesel::obs {
+
+/// Which way "better" points for a metric. The diff engine gates on this:
+/// a throughput drop is a regression, a latency drop an improvement, and
+/// `kInfo` metrics (wall-clock timings, raw counts) never gate.
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kInfo };
+
+const char* DirectionName(Direction d);
+
+struct BenchMetric {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+  Direction direction = Direction::kInfo;
+  /// Allowed relative drift before a change gates. Virtual-time results are
+  /// bit-stable, so the default is tight; widen per-metric for results that
+  /// depend on e.g. floating-point reduction order.
+  double tolerance = 0.01;
+};
+
+/// One epoch's virtual time, charged exhaustively to phases:
+/// fetch (data wait), shuffle (plan/ordering), train (compute), other
+/// (snapshot, bookkeeping). Invariant: the four sum to the epoch's
+/// virtual duration.
+struct EpochPhases {
+  std::string label;  // arm name, e.g. "diesel" / "lustre"
+  int64_t epoch = 0;
+  int64_t fetch_ns = 0;
+  int64_t shuffle_ns = 0;
+  int64_t train_ns = 0;
+  int64_t other_ns = 0;
+
+  int64_t TotalNs() const { return fetch_ns + shuffle_ns + train_ns + other_ns; }
+};
+
+struct BenchReport {
+  static constexpr const char* kSchema = "diesel.bench.report/v1";
+
+  std::string bench;
+  uint64_t seed = 0;
+  /// Virtual nanoseconds the bench's simulated runs covered (sum across
+  /// sub-scenarios; informational).
+  uint64_t virtual_ns = 0;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<BenchMetric> metrics;
+  std::vector<EpochPhases> epochs;
+  /// Final metrics-registry snapshot (the `<bench>.metrics.json` document),
+  /// embedded so one artifact carries everything. Null when stripped.
+  JsonValue registry;
+
+  JsonValue ToJson() const;
+  std::string Json() const { return ToJson().Dump(); }
+  static Result<BenchReport> FromJson(const JsonValue& doc);
+  static Result<BenchReport> Parse(std::string_view text);
+
+  const BenchMetric* FindMetric(std::string_view name) const;
+};
+
+struct SuiteReport {
+  static constexpr const char* kSchema = "diesel.bench.suite/v1";
+
+  std::vector<BenchReport> benches;
+
+  /// Add one bench's report, keeping the suite sorted by bench name so the
+  /// merged document is independent of collection order. A bench already
+  /// present is replaced.
+  void Merge(BenchReport report);
+
+  const BenchReport* FindBench(std::string_view name) const;
+
+  JsonValue ToJson() const;
+  std::string Json() const { return ToJson().Dump(); }
+  static Result<SuiteReport> FromJson(const JsonValue& doc);
+  static Result<SuiteReport> Parse(std::string_view text);
+};
+
+}  // namespace diesel::obs

@@ -3,19 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/ambient.h"
+
 namespace diesel::obs {
 namespace {
 
-/// Per-thread stack of open spans. Entries carry the owning tracer so
-/// independent tracers in one process never adopt each other's spans.
-thread_local std::vector<std::pair<Tracer*, uint64_t>> t_open_spans;
-
-uint64_t CurrentFor(Tracer* tracer) {
-  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
-    if (it->first == tracer) return it->second;
-  }
-  return kNoSpan;
-}
+// The open-span stack rides on the thread-ambient context (domain = the
+// owning tracer, value = span id), so independent tracers never adopt each
+// other's spans and ThreadPool::Submit propagates the stack into workers.
+uint64_t CurrentFor(Tracer* tracer) { return Ambient::Top(tracer, kNoSpan); }
 
 }  // namespace
 
@@ -133,22 +129,15 @@ ScopedSpan::ScopedSpan(Tracer* tracer, std::string name,
     : tracer_(tracer), clock_(&clock) {
   if (tracer_ == nullptr) return;
   id_ = tracer_->Begin(std::move(name), clock.now(), node, CurrentFor(tracer_));
-  t_open_spans.push_back({tracer_, id_});
+  Ambient::Push(tracer_, id_);
 }
 
 ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
   tracer_->End(id_, clock_->now());
-  // Spans close LIFO per thread; tolerate (skip over) a mismatch rather
-  // than corrupting the stack.
-  assert(!t_open_spans.empty() && t_open_spans.back().second == id_ &&
-         t_open_spans.back().first == tracer_);
-  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
-    if (it->first == tracer_ && it->second == id_) {
-      t_open_spans.erase(std::next(it).base());
-      break;
-    }
-  }
+  // Spans close LIFO per thread; Pop tolerates (skips over) a mismatch
+  // rather than corrupting the stack.
+  Ambient::Pop(tracer_, id_);
 }
 
 void ScopedSpan::Note(std::string text) {

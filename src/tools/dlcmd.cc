@@ -14,10 +14,15 @@
 //   dlcmd --root DIR recover <dataset>
 //   dlcmd --root DIR stats <dataset>
 //   dlcmd --root DIR trace <dataset> <diesel-path>
+//   dlcmd perf merge <dir> [-o out.json] [--strip-registry]
+//   dlcmd perf diff <baseline.json> <current.json> [--tol X] [--allow-missing]
 //
 // `stats` runs a small metadata workload (recover + list) and prints the
 // process-wide metrics registry; `trace` reads one file with the span
-// tracer attached and prints the resulting virtual-time span tree.
+// tracer attached and prints the resulting virtual-time span tree. `perf`
+// operates on bench report files and needs no --root: `merge` combines
+// per-bench `*.report.json` into one suite document, `diff` gates a suite
+// against a committed baseline (non-zero exit on regression).
 //
 // The KV metadata tier is in-memory per invocation; `recover` rebuilds it
 // from the persisted self-contained chunks (which is also what every other
@@ -26,6 +31,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -35,6 +41,7 @@
 #include "kv/cluster.h"
 #include "net/fabric.h"
 #include "obs/metrics.h"
+#include "obs/perf_diff.h"
 #include "obs/trace.h"
 #include "ostore/dir_store.h"
 
@@ -94,7 +101,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dlcmd --root DIR "
                "{put|put-tree|get|ls|stat|del|purge|save-meta|recover|"
-               "stats|trace} ...\n");
+               "stats|trace} ...\n"
+               "       dlcmd perf {merge|diff} ...\n");
   return 2;
 }
 
@@ -107,6 +115,11 @@ core::DieselClient MakeClient(Cli& cli, const std::string& dataset) {
 
 int Main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // `perf` operates on report files only — no deployment, no --root.
+  if (!args.empty() && args[0] == "perf") {
+    return obs::PerfCommand({args.begin() + 1, args.end()}, std::cout,
+                            std::cerr);
+  }
   if (args.size() < 3 || args[0] != "--root") return Usage();
   fs::path root = args[1];
   std::string cmd = args[2];

@@ -1,0 +1,109 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_EQ(JsonValue::Parse("null")->type(), JsonValue::Type::kNull);
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1.5e3")->number_value(), -1500.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\\n\"")->string_value(), "hi\n");
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(Json, ObjectAndArrayAccess) {
+  auto v = JsonValue::Parse(R"({"a": [1, 2, 3], "b": {"c": "x"}})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number_value(), 2.0);
+  EXPECT_DOUBLE_EQ(v->GetNumber("missing", -7.0), -7.0);
+  EXPECT_EQ(v->Find("b")->GetString("c", ""), "x");
+}
+
+TEST(Json, RoundTripIsByteStable) {
+  // Dump -> Parse -> Dump must be byte-identical, including float formats.
+  const char* src = R"({
+  "name": "suite",
+  "pi": 3.141592653589793,
+  "small": 1e-09,
+  "neg": -0.25,
+  "big": 9007199254740993,
+  "list": [
+    1,
+    2.5,
+    "s"
+  ]
+})";
+  auto v1 = JsonValue::Parse(src);
+  ASSERT_TRUE(v1.ok());
+  std::string d1 = v1->Dump();
+  auto v2 = JsonValue::Parse(d1);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(d1, v2->Dump());
+}
+
+TEST(Json, NumbersSurviveRoundTrip) {
+  for (double x : {0.01, 1.0 / 3.0, 147328.23582241393, 1e300, -4.9e-324}) {
+    JsonValue v(x);
+    auto back = JsonValue::Parse(JsonNumberToString(x));
+    ASSERT_TRUE(back.ok());
+    EXPECT_DOUBLE_EQ(back->number_value(), x);
+    (void)v;
+  }
+}
+
+TEST(Json, IntegerConstructorsKeepExactText) {
+  EXPECT_EQ(JsonValue(uint64_t{18446744073709551615ull}).Dump(),
+            "18446744073709551615\n");
+  EXPECT_EQ(JsonValue(int64_t{-9007199254740993ll}).Dump(),
+            "-9007199254740993\n");
+}
+
+TEST(Json, StringEscaping) {
+  JsonValue v(std::string("a\"b\\c\nd\x01"));
+  auto back = JsonValue::Parse(v.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->string_value(), "a\"b\\c\nd\x01");
+}
+
+TEST(Json, UnicodeEscapes) {
+  auto v = JsonValue::Parse(R"("é中")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, BuildersProduceSortableCanonicalForm) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("z", JsonValue(1.0));
+  obj.Set("a", JsonValue("x"));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue(true));
+  obj.Set("list", std::move(arr));
+  // Insertion order is preserved (callers emit sorted keys themselves).
+  EXPECT_EQ(obj.Dump(),
+            "{\n  \"z\": 1,\n  \"a\": \"x\",\n  \"list\": [\n    true\n  ]\n}\n");
+}
+
+TEST(Json, DepthLimit) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+}  // namespace
+}  // namespace diesel

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace diesel::dlt {
 namespace {
 
@@ -73,6 +75,52 @@ TEST(TrainingPipelineTest, ComputeTimeAccounted) {
   ASSERT_TRUE(r.ok());
   EXPECT_NEAR(r->compute_s, 0.07, 1e-9);
   EXPECT_EQ(r->data_time_s.size(), 10u);
+}
+
+TEST(TrainingPipelineTest, PhasesSumToEpochDurationOverlapMode) {
+  TrainingPipeline pipe({.io_workers = 2, .model = {"m", Millis(10)},
+                         .overlap = true});
+  for (Nanos start : {Nanos{0}, Seconds(3.0)}) {
+    auto r = pipe.RunEpoch(start, 40, Millis(120), FixedCostReader(Millis(25)));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->phases.Total(), r->epoch_end - start)
+        << "every virtual ns must be charged to exactly one phase";
+    EXPECT_EQ(r->phases.train, 40 * Millis(10));
+    EXPECT_EQ(r->phases.shuffle, Millis(120));
+    EXPECT_EQ(r->phases.other, 0u);
+  }
+}
+
+TEST(TrainingPipelineTest, PhasesSumToEpochDurationSerializedMode) {
+  TrainingPipeline pipe({.io_workers = 4, .model = {"m", Millis(10)},
+                         .overlap = false});
+  auto r = pipe.RunEpoch(Seconds(1.0), 30, Millis(40),
+                         FixedCostReader(Millis(8)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->phases.Total(), r->epoch_end - Seconds(1.0));
+  EXPECT_EQ(r->phases.train, 30 * Millis(10));
+  EXPECT_EQ(r->phases.shuffle, Millis(40));
+  EXPECT_GT(r->phases.fetch, 0u);
+}
+
+TEST(TrainingPipelineTest, ComputeBoundEpochChargesAlmostAllToTrain) {
+  // When I/O hides behind compute, fetch time collapses to the warmup tail.
+  TrainingPipeline pipe({.io_workers = 8, .model = {"m", Millis(10)},
+                         .overlap = true});
+  auto r = pipe.RunEpoch(0, 100, 0, FixedCostReader(Millis(5)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->phases.Total(), r->epoch_end);
+  EXPECT_GT(static_cast<double>(r->phases.train),
+            0.9 * static_cast<double>(r->phases.Total()));
+}
+
+TEST(TrainingPipelineTest, PhasesPublishToMetricsRegistry) {
+  obs::MetricsSnapshot before = obs::Metrics().Snapshot();
+  TrainingPipeline pipe({.io_workers = 2, .model = {"m", Millis(5)}});
+  auto r = pipe.RunEpoch(0, 10, Millis(1), FixedCostReader(Millis(2)));
+  ASSERT_TRUE(r.ok());
+  obs::MetricsSnapshot delta = obs::Metrics().Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.SumCounters("dlt.epochs"), 1u);
 }
 
 TEST(TrainingPipelineTest, StartOffsetShiftsEpochEnd) {

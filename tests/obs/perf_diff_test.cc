@@ -1,0 +1,218 @@
+#include "obs/perf_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace diesel::obs {
+namespace {
+
+BenchReport OneMetric(const std::string& bench, const std::string& metric,
+                      double value, Direction dir, double tol = 0.01) {
+  BenchReport r;
+  r.bench = bench;
+  r.metrics.push_back({metric, "u", value, dir, tol});
+  return r;
+}
+
+SuiteReport Suite(std::vector<BenchReport> reports) {
+  SuiteReport s;
+  for (auto& r : reports) s.Merge(std::move(r));
+  return s;
+}
+
+TEST(PerfDiff, IdenticalSuitesAreOk) {
+  SuiteReport s = Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  PerfDiffResult d = DiffSuites(s, s);
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.regressed, 0);
+  EXPECT_EQ(d.improved, 0);
+  EXPECT_EQ(d.unchanged, 1);
+}
+
+TEST(PerfDiff, HigherIsBetterGatesOnlyDrops) {
+  SuiteReport base =
+      Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  // 5% drop beyond the 1% tolerance: regression.
+  PerfDiffResult drop = DiffSuites(
+      base, Suite({OneMetric("b", "qps", 95, Direction::kHigherIsBetter)}));
+  EXPECT_FALSE(drop.ok());
+  EXPECT_EQ(drop.regressed, 1);
+  ASSERT_EQ(drop.rows.size(), 1u);
+  EXPECT_EQ(drop.rows[0].verdict, Verdict::kRegressed);
+  EXPECT_NEAR(drop.rows[0].rel_delta, -0.05, 1e-12);
+
+  // 5% rise: improvement, still ok.
+  PerfDiffResult rise = DiffSuites(
+      base, Suite({OneMetric("b", "qps", 105, Direction::kHigherIsBetter)}));
+  EXPECT_TRUE(rise.ok());
+  EXPECT_EQ(rise.improved, 1);
+
+  // 0.5% drop: inside tolerance.
+  PerfDiffResult small = DiffSuites(
+      base, Suite({OneMetric("b", "qps", 99.5, Direction::kHigherIsBetter)}));
+  EXPECT_TRUE(small.ok());
+  EXPECT_EQ(small.unchanged, 1);
+}
+
+TEST(PerfDiff, LowerIsBetterGatesOnlyRises) {
+  SuiteReport base =
+      Suite({OneMetric("b", "lat", 10, Direction::kLowerIsBetter)});
+  PerfDiffResult rise = DiffSuites(
+      base, Suite({OneMetric("b", "lat", 11, Direction::kLowerIsBetter)}));
+  EXPECT_FALSE(rise.ok());
+  EXPECT_EQ(rise.rows[0].verdict, Verdict::kRegressed);
+
+  PerfDiffResult drop = DiffSuites(
+      base, Suite({OneMetric("b", "lat", 9, Direction::kLowerIsBetter)}));
+  EXPECT_TRUE(drop.ok());
+  EXPECT_EQ(drop.rows[0].verdict, Verdict::kImproved);
+}
+
+TEST(PerfDiff, InfoNeverGates) {
+  SuiteReport base = Suite({OneMetric("b", "n", 100, Direction::kInfo)});
+  PerfDiffResult d =
+      DiffSuites(base, Suite({OneMetric("b", "n", 1, Direction::kInfo)}));
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.regressed, 0);
+}
+
+TEST(PerfDiff, MissingMetricGatesByDefault) {
+  SuiteReport base =
+      Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  SuiteReport cur = Suite({OneMetric("b", "other", 1, Direction::kInfo)});
+  PerfDiffResult d = DiffSuites(base, cur);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.missing, 1);
+  EXPECT_EQ(d.added, 1);
+
+  PerfDiffResult relaxed = DiffSuites(base, cur, {.fail_on_missing = false});
+  EXPECT_TRUE(relaxed.ok());
+  EXPECT_EQ(relaxed.missing, 1);
+}
+
+TEST(PerfDiff, ZeroBaselineJudgesAnyMove) {
+  // A gated metric that was 0 and became nonzero must gate (tolerance is
+  // relative, so it cannot apply; any move counts).
+  SuiteReport base =
+      Suite({OneMetric("b", "errs", 0, Direction::kLowerIsBetter)});
+  PerfDiffResult d = DiffSuites(
+      base, Suite({OneMetric("b", "errs", 3, Direction::kLowerIsBetter)}));
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.rows[0].verdict, Verdict::kRegressed);
+
+  PerfDiffResult same = DiffSuites(
+      base, Suite({OneMetric("b", "errs", 0, Direction::kLowerIsBetter)}));
+  EXPECT_TRUE(same.ok());
+}
+
+TEST(PerfDiff, ToleranceOverride) {
+  SuiteReport base =
+      Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  SuiteReport cur =
+      Suite({OneMetric("b", "qps", 95, Direction::kHigherIsBetter)});
+  EXPECT_FALSE(DiffSuites(base, cur).ok());
+  EXPECT_TRUE(DiffSuites(base, cur, {.tolerance_override = 0.10}).ok());
+}
+
+TEST(PerfDiff, TableAndSummary) {
+  SuiteReport base =
+      Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  PerfDiffResult d = DiffSuites(
+      base, Suite({OneMetric("b", "qps", 50, Direction::kHigherIsBetter)}));
+  std::string table = d.Table();
+  EXPECT_NE(table.find("qps"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(table.find("-50.00%"), std::string::npos);
+  EXPECT_NE(d.Summary().find("FAIL"), std::string::npos);
+
+  PerfDiffResult ok = DiffSuites(base, base);
+  EXPECT_NE(ok.Summary().find("OK"), std::string::npos);
+}
+
+// ---- dlcmd perf command-level golden tests ---------------------------------
+
+class PerfCommandTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream f(path);
+    f << content;
+    return path;
+  }
+};
+
+TEST_F(PerfCommandTest, DiffIdenticalExitsZero) {
+  SuiteReport s = Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  std::string path = WriteFile("base.json", s.Json());
+  std::ostringstream out, err;
+  EXPECT_EQ(PerfCommand({"diff", path, path}, out, err), 0);
+  EXPECT_NE(out.str().find("OK"), std::string::npos);
+}
+
+TEST_F(PerfCommandTest, DiffRegressionExitsNonZeroWithGoldenOutput) {
+  SuiteReport base =
+      Suite({OneMetric("rw", "qps", 200, Direction::kHigherIsBetter)});
+  SuiteReport cur =
+      Suite({OneMetric("rw", "qps", 100, Direction::kHigherIsBetter)});
+  std::string bpath = WriteFile("b.json", base.Json());
+  std::string cpath = WriteFile("c.json", cur.Json());
+  std::ostringstream out, err;
+  EXPECT_EQ(PerfCommand({"diff", bpath, cpath}, out, err), 1);
+  const char* golden =
+      "bench  metric  baseline  current  delta     verdict\n"
+      "rw     qps     200       100      -50.00%   REGRESSED\n"
+      "perf diff: 1 regressed, 0 improved, 0 missing, 0 new, "
+      "0 within tolerance -> FAIL\n";
+  EXPECT_EQ(out.str(), golden);
+}
+
+TEST_F(PerfCommandTest, DiffHonorsFlags) {
+  SuiteReport base =
+      Suite({OneMetric("b", "qps", 100, Direction::kHigherIsBetter)});
+  SuiteReport cur =
+      Suite({OneMetric("b", "qps", 95, Direction::kHigherIsBetter)});
+  std::string bpath = WriteFile("fb.json", base.Json());
+  std::string cpath = WriteFile("fc.json", cur.Json());
+  std::ostringstream out, err;
+  EXPECT_EQ(PerfCommand({"diff", bpath, cpath, "--tol", "0.10"}, out, err), 0);
+}
+
+TEST_F(PerfCommandTest, UsageErrors) {
+  std::ostringstream out, err;
+  EXPECT_EQ(PerfCommand({"diff", "only-one-arg"}, out, err), 2);
+  EXPECT_EQ(PerfCommand({"bogus"}, out, err), 2);
+  EXPECT_EQ(PerfCommand({"diff", "/nonexistent/a", "/nonexistent/b"}, out, err),
+            2);
+}
+
+TEST_F(PerfCommandTest, MergeCollectsReports) {
+  std::string dir = ::testing::TempDir() + "/merge_dir";
+  std::filesystem::create_directories(dir);
+  BenchReport a = OneMetric("a", "m", 1, Direction::kInfo);
+  a.registry = JsonValue::MakeObject();
+  BenchReport b = OneMetric("b", "m", 2, Direction::kInfo);
+  {
+    std::ofstream(dir + "/a.report.json") << a.Json();
+    std::ofstream(dir + "/b.report.json") << b.Json();
+    std::ofstream(dir + "/noise.json") << "{}";  // ignored: wrong suffix
+  }
+  std::string out_path = dir + "/suite.json";
+  std::ostringstream out, err;
+  ASSERT_EQ(PerfCommand({"merge", dir, "-o", out_path, "--strip-registry"},
+                        out, err), 0)
+      << err.str();
+  std::ifstream f(out_path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  auto suite = SuiteReport::Parse(buf.str());
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+  ASSERT_EQ(suite->benches.size(), 2u);
+  EXPECT_EQ(suite->benches[0].bench, "a");
+  EXPECT_TRUE(suite->benches[0].registry.is_null());  // stripped
+}
+
+}  // namespace
+}  // namespace diesel::obs

@@ -1,0 +1,111 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+namespace diesel::obs {
+namespace {
+
+BenchReport MakeReport(const std::string& name, double qps) {
+  BenchReport r;
+  r.bench = name;
+  r.seed = 7;
+  r.virtual_ns = 123456789;
+  r.params.emplace_back("nodes", "4");
+  r.metrics.push_back({"qps", "ops/s", qps, Direction::kHigherIsBetter, 0.01});
+  r.metrics.push_back({"lat_ms", "ms", 2.5, Direction::kLowerIsBetter, 0.02});
+  r.metrics.push_back({"reads", "count", 1000, Direction::kInfo, 0});
+  return r;
+}
+
+TEST(BenchReport, RoundTripPreservesEverything) {
+  BenchReport r = MakeReport("b1", 5000.25);
+  EpochPhases e;
+  e.label = "diesel";
+  e.epoch = 0;
+  e.fetch_ns = 100;
+  e.shuffle_ns = 20;
+  e.train_ns = 300;
+  e.other_ns = 5;
+  r.epochs.push_back(e);
+  r.registry = JsonValue::MakeObject();
+  r.registry.Set("counters", JsonValue::MakeObject());
+
+  auto back = BenchReport::Parse(r.Json());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->bench, "b1");
+  EXPECT_EQ(back->seed, 7u);
+  EXPECT_EQ(back->virtual_ns, 123456789u);
+  ASSERT_EQ(back->params.size(), 1u);
+  EXPECT_EQ(back->params[0].first, "nodes");
+  EXPECT_EQ(back->params[0].second, "4");
+  ASSERT_EQ(back->metrics.size(), 3u);
+  EXPECT_EQ(back->metrics[0].name, "qps");
+  EXPECT_DOUBLE_EQ(back->metrics[0].value, 5000.25);
+  EXPECT_EQ(back->metrics[0].direction, Direction::kHigherIsBetter);
+  EXPECT_EQ(back->metrics[1].direction, Direction::kLowerIsBetter);
+  EXPECT_DOUBLE_EQ(back->metrics[1].tolerance, 0.02);
+  EXPECT_EQ(back->metrics[2].direction, Direction::kInfo);
+  ASSERT_EQ(back->epochs.size(), 1u);
+  EXPECT_EQ(back->epochs[0].label, "diesel");
+  EXPECT_EQ(back->epochs[0].TotalNs(), 425);
+  EXPECT_TRUE(back->registry.is_object());
+  // Byte-stable: serialize -> parse -> serialize is the identity.
+  EXPECT_EQ(r.Json(), back->Json());
+}
+
+TEST(BenchReport, RejectsWrongSchema) {
+  EXPECT_FALSE(BenchReport::Parse("{\"schema\": \"other/v9\"}").ok());
+  EXPECT_FALSE(BenchReport::Parse("[]").ok());
+  EXPECT_FALSE(BenchReport::Parse("not json").ok());
+}
+
+TEST(BenchReport, FindMetric) {
+  BenchReport r = MakeReport("b", 1);
+  ASSERT_NE(r.FindMetric("lat_ms"), nullptr);
+  EXPECT_EQ(r.FindMetric("nope"), nullptr);
+}
+
+TEST(SuiteReport, MergeSortsAndReplaces) {
+  SuiteReport suite;
+  suite.Merge(MakeReport("zeta", 1));
+  suite.Merge(MakeReport("alpha", 2));
+  suite.Merge(MakeReport("mid", 3));
+  ASSERT_EQ(suite.benches.size(), 3u);
+  EXPECT_EQ(suite.benches[0].bench, "alpha");
+  EXPECT_EQ(suite.benches[1].bench, "mid");
+  EXPECT_EQ(suite.benches[2].bench, "zeta");
+
+  // Re-merging a bench replaces it in place.
+  suite.Merge(MakeReport("mid", 99));
+  ASSERT_EQ(suite.benches.size(), 3u);
+  EXPECT_DOUBLE_EQ(suite.benches[1].metrics[0].value, 99);
+}
+
+TEST(SuiteReport, RoundTrip) {
+  SuiteReport suite;
+  suite.Merge(MakeReport("a", 1));
+  suite.Merge(MakeReport("b", 2));
+  auto back = SuiteReport::Parse(suite.Json());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->benches.size(), 2u);
+  EXPECT_EQ(suite.Json(), back->Json());
+}
+
+TEST(SuiteReport, AcceptsSingleBenchReport) {
+  // A lone bench report parses as a one-entry suite, so `dlcmd perf diff`
+  // can compare individual report files too.
+  auto suite = SuiteReport::Parse(MakeReport("solo", 4).Json());
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+  ASSERT_EQ(suite->benches.size(), 1u);
+  EXPECT_EQ(suite->benches[0].bench, "solo");
+}
+
+TEST(SuiteReport, FindBench) {
+  SuiteReport suite;
+  suite.Merge(MakeReport("a", 1));
+  EXPECT_NE(suite.FindBench("a"), nullptr);
+  EXPECT_EQ(suite.FindBench("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace diesel::obs
