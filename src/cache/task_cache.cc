@@ -45,6 +45,32 @@ CacheCounters& Counters() {
   return c;
 }
 
+/// Registry mirrors of the prefetch-facing cache counters. Issue-side
+/// accounting (issued/completed/cancelled) lives in the scheduler; the cache
+/// sees the read side (hit/late) and the eviction side (wasted).
+struct PrefetchCacheCounters {
+  obs::Counter& evicted_bytes;
+  obs::Gauge& pinned_chunks;
+  obs::Counter& hits;
+  obs::Counter& late;
+  obs::Counter& wasted;
+  obs::Histo& lead_time_ns;
+  obs::Histo& late_stall_ns;
+};
+
+PrefetchCacheCounters& PfCounters() {
+  static PrefetchCacheCounters c{
+      obs::Metrics().GetCounter("cache.evicted_bytes"),
+      obs::Metrics().GetGauge("cache.pinned_chunks"),
+      obs::Metrics().GetCounter("prefetch.hit"),
+      obs::Metrics().GetCounter("prefetch.late"),
+      obs::Metrics().GetCounter("prefetch.wasted"),
+      obs::Metrics().GetHistogram("prefetch.lead_time_ns"),
+      obs::Metrics().GetHistogram("prefetch.late_stall_ns"),
+  };
+  return c;
+}
+
 /// 1 while the node's breaker is open, 0 once it has recovered.
 obs::Gauge& BreakerGauge(sim::NodeId node) {
   return obs::Metrics().GetGauge("cache.breaker.state",
@@ -98,36 +124,91 @@ Result<Bytes> TaskCache::SliceFile(const CachedChunk& chunk,
   return content;
 }
 
-void TaskCache::InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
-                            uint32_t header_len) {
+size_t TaskCache::PickVictimLocked(const NodePartition& part,
+                                   bool ignore_pins) const {
+  const EvictionOracle* oracle = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(oracle_mutex_);
+    oracle = oracle_;
+  }
+  const uint64_t cursor = cursor_.load(std::memory_order_relaxed);
+  size_t best = static_cast<size_t>(-1);
+  uint64_t best_dist = 0;
+  for (size_t i = 0; i < part.fifo.size(); ++i) {
+    size_t ci = part.fifo[i];
+    if (!ignore_pins && part.pinned.count(ci) > 0) continue;
+    if (oracle == nullptr) return i;  // FIFO: first unpinned entry
+    uint64_t dist = oracle->NextAccessAfter(ci, cursor);
+    // A dead chunk (kNever) always wins; ties keep the earliest-inserted.
+    if (dist == EvictionOracle::kNever) return i;
+    if (best == static_cast<size_t>(-1) || dist > best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+void TaskCache::EvictAtLocked(NodePartition& part, size_t victim) {
+  size_t ci = part.fifo[victim];
+  part.fifo.erase(part.fifo.begin() + static_cast<ptrdiff_t>(victim));
+  auto it = part.chunks.find(ci);
+  if (it == part.chunks.end()) return;
+  uint64_t size = it->second.blob.size();
+  bool wasted = it->second.prefetched && !it->second.accessed;
+  part.bytes -= size;
+  part.chunks.erase(it);
+  Counters().evictions.Inc();
+  Counters().bytes_cached.Add(-static_cast<double>(size));
+  PfCounters().evicted_bytes.Inc(size);
+  if (wasted) PfCounters().wasted.Inc();
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++stats_.evictions;
+  stats_.evicted_bytes += size;
+  stats_.bytes_cached -= size;
+  if (wasted) ++stats_.prefetch_wasted;
+}
+
+TaskCache::InsertResult TaskCache::InsertChunk(sim::NodeId owner,
+                                               size_t chunk_index, Bytes blob,
+                                               uint32_t header_len,
+                                               bool prefetched,
+                                               Nanos ready_at) {
   NodePartition& part = *partitions_.at(owner);
   std::lock_guard<std::mutex> lock(part.mutex);
-  if (part.chunks.count(chunk_index) > 0) return;
+  if (part.chunks.count(chunk_index) > 0) return InsertResult::kAlreadyResident;
   uint64_t size = blob.size();
   if (options_.per_node_capacity_bytes != 0) {
     while (part.bytes + size > options_.per_node_capacity_bytes &&
            !part.fifo.empty()) {
-      size_t victim = part.fifo.front();
-      part.fifo.erase(part.fifo.begin());
-      auto it = part.chunks.find(victim);
-      if (it != part.chunks.end()) {
-        Counters().evictions.Inc();
-        Counters().bytes_cached.Add(
-            -static_cast<double>(it->second.blob.size()));
-        part.bytes -= it->second.blob.size();
-        part.chunks.erase(it);
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++stats_.evictions;
-      }
+      size_t victim = PickVictimLocked(part);
+      if (victim == static_cast<size_t>(-1)) break;  // everything is pinned
+      EvictAtLocked(part, victim);
     }
-    if (part.bytes + size > options_.per_node_capacity_bytes) return;
+    if (part.bytes + size > options_.per_node_capacity_bytes) {
+      if (prefetched) return InsertResult::kDenied;
+      // Demand outranks prefetch: when only pinned chunks are left, a
+      // foreground miss still gets cached — otherwise a pin-saturated
+      // partition would send every further read of this chunk back to the
+      // backend for as long as the pins are held.
+      while (part.bytes + size > options_.per_node_capacity_bytes &&
+             !part.fifo.empty()) {
+        EvictAtLocked(part, PickVictimLocked(part, /*ignore_pins=*/true));
+      }
+      if (part.bytes + size > options_.per_node_capacity_bytes)
+        return InsertResult::kDenied;  // single blob exceeds capacity
+    }
   }
-  part.chunks.emplace(chunk_index, CachedChunk{std::move(blob), header_len});
+  CachedChunk cc{std::move(blob), header_len};
+  cc.ready_at = ready_at;
+  cc.prefetched = prefetched;
+  part.chunks.emplace(chunk_index, std::move(cc));
   part.fifo.push_back(chunk_index);
   part.bytes += size;
   Counters().bytes_cached.Add(static_cast<double>(size));
   std::lock_guard<std::mutex> slock(stats_mutex_);
   stats_.bytes_cached += size;
+  return InsertResult::kInserted;
 }
 
 Result<Bytes> TaskCache::FetchChunkBlob(sim::VirtualClock& clock,
@@ -183,7 +264,27 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
     std::lock_guard<std::mutex> lock(part.mutex);
     auto it = part.chunks.find(chunk_index);
     if (it != part.chunks.end()) {
-      Result<Bytes> sliced = SliceFile(it->second, meta);
+      CachedChunk& cc = it->second;
+      if (cc.ready_at > clock.now()) {
+        // The fill is still in flight at this read's arrival: wait out the
+        // remainder. Only the first read after the fill scores it.
+        Nanos stall = cc.ready_at - clock.now();
+        clock.AdvanceTo(cc.ready_at);
+        if (cc.prefetched && !cc.accessed) {
+          PfCounters().late.Inc();
+          PfCounters().late_stall_ns.Observe(static_cast<double>(stall));
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++stats_.prefetch_late;
+        }
+      } else if (cc.prefetched && !cc.accessed) {
+        PfCounters().hits.Inc();
+        PfCounters().lead_time_ns.Observe(
+            static_cast<double>(clock.now() - cc.ready_at));
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.prefetch_hits;
+      }
+      cc.accessed = true;
+      Result<Bytes> sliced = SliceFile(cc, meta);
       if (!sliced.status().IsCorruption()) return sliced;
       // Cached copy failed its checksum: evict it and fall through to a
       // fresh fetch below.
@@ -421,23 +522,118 @@ double TaskCache::HitRatio() const {
                             static_cast<double>(total);
 }
 
-void TaskCache::DropNode(sim::NodeId node) {
-  auto it = partitions_.find(node);
-  if (it == partitions_.end()) return;
-  NodePartition& part = *it->second;
-  std::lock_guard<std::mutex> lock(part.mutex);
+void TaskCache::DropPartitionLocked(NodePartition& part) {
+  // Prefetched chunks that never served a read die wasted; pins on the lost
+  // partition are released (the chunks they protected are gone — a pin must
+  // never outlive its chunk, or recovery would wedge on a full partition).
+  uint64_t wasted = 0;
+  for (const auto& [ci, cc] : part.chunks) {
+    if (cc.prefetched && !cc.accessed) ++wasted;
+  }
+  if (wasted > 0) {
+    PfCounters().wasted.Inc(wasted);
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats_.prefetch_wasted += wasted;
+  }
+  if (!part.pinned.empty()) {
+    PfCounters().pinned_chunks.Add(-static_cast<double>(part.pinned.size()));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats_.pinned_chunks -= part.pinned.size();
+    part.pinned.clear();
+  }
+  if (part.bytes > 0) {
+    Counters().bytes_cached.Add(-static_cast<double>(part.bytes));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats_.bytes_cached -= part.bytes;
+  }
   part.chunks.clear();
   part.fifo.clear();
   part.bytes = 0;
 }
 
+void TaskCache::DropNode(sim::NodeId node) {
+  auto it = partitions_.find(node);
+  if (it == partitions_.end()) return;
+  NodePartition& part = *it->second;
+  std::lock_guard<std::mutex> lock(part.mutex);
+  DropPartitionLocked(part);
+}
+
 void TaskCache::DropAll() {
   for (auto& [node, part] : partitions_) {
     std::lock_guard<std::mutex> lock(part->mutex);
-    part->chunks.clear();
-    part->fifo.clear();
-    part->bytes = 0;
+    DropPartitionLocked(*part);
   }
+}
+
+void TaskCache::InstallEvictionOracle(const EvictionOracle* oracle) {
+  std::lock_guard<std::mutex> lock(oracle_mutex_);
+  oracle_ = oracle;
+}
+
+void TaskCache::SetEpochCursor(uint64_t position) {
+  cursor_.store(position, std::memory_order_relaxed);
+}
+
+void TaskCache::Pin(size_t chunk_index) {
+  auto owner = OwnerNodeOfChunk(chunk_index);
+  if (!owner.ok()) return;
+  NodePartition& part = *partitions_.at(owner.value());
+  std::lock_guard<std::mutex> lock(part.mutex);
+  if (!part.pinned.insert(chunk_index).second) return;
+  PfCounters().pinned_chunks.Add(1.0);
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++stats_.pinned_chunks;
+}
+
+void TaskCache::Unpin(size_t chunk_index) {
+  auto owner = OwnerNodeOfChunk(chunk_index);
+  if (!owner.ok()) return;
+  NodePartition& part = *partitions_.at(owner.value());
+  std::lock_guard<std::mutex> lock(part.mutex);
+  if (part.pinned.erase(chunk_index) == 0) return;
+  PfCounters().pinned_chunks.Add(-1.0);
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  --stats_.pinned_chunks;
+}
+
+bool TaskCache::ChunkResident(size_t chunk_index) const {
+  auto owner = OwnerNodeOfChunk(chunk_index);
+  if (!owner.ok()) return false;
+  NodePartition& part = *partitions_.at(owner.value());
+  std::lock_guard<std::mutex> lock(part.mutex);
+  return part.chunks.count(chunk_index) > 0;
+}
+
+Result<TaskCache::PrefetchOutcome> TaskCache::PrefetchChunk(
+    sim::VirtualClock& stream, size_t chunk_index) {
+  PrefetchOutcome out;
+  DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(chunk_index));
+  {
+    NodePartition& part = *partitions_.at(owner);
+    std::lock_guard<std::mutex> lock(part.mutex);
+    if (part.chunks.count(chunk_index) > 0) {
+      out.already_resident = true;
+      return out;
+    }
+  }
+  obs::ScopedSpan span(fabric_.tracer(), "prefetch.fill", stream, owner);
+  span.Note("chunk=" + std::to_string(chunk_index));
+  uint32_t header_len = 0;
+  DIESEL_ASSIGN_OR_RETURN(
+      Bytes blob, FetchChunkBlob(stream, owner, chunk_index, &header_len));
+  Counters().chunk_loads.Inc();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++stats_.chunk_loads;
+  }
+  out.bytes = blob.size();
+  out.ready_at = stream.now();
+  InsertResult r = InsertChunk(owner, chunk_index, std::move(blob), header_len,
+                               /*prefetched=*/true, /*ready_at=*/stream.now());
+  out.inserted = r == InsertResult::kInserted;
+  out.already_resident = r == InsertResult::kAlreadyResident;
+  return out;
 }
 
 Result<Nanos> TaskCache::Reload(Nanos start) { return Preload(start); }

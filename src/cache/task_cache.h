@@ -14,10 +14,12 @@
 //               is slower and later epochs are fully cached.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/registry.h"
@@ -31,6 +33,25 @@
 namespace diesel::cache {
 
 enum class CachePolicy { kOnDemand, kOneshot };
+
+/// Clairvoyant eviction hook (src/prefetch): while an oracle is installed,
+/// capacity eviction picks the resident chunk whose next access lies
+/// farthest ahead in the epoch (Belady's MIN) instead of FIFO order. The
+/// oracle is derived from the epoch's shuffle plan, which fixes the entire
+/// access sequence the moment it is drawn (§4.3).
+class EvictionOracle {
+ public:
+  /// NextAccessAfter result for a chunk that is dead for the rest of the
+  /// epoch — always the preferred eviction victim.
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  virtual ~EvictionOracle() = default;
+
+  /// First position >= `cursor` (in the epoch's file order) at which
+  /// `chunk_index` is accessed; kNever when there is none.
+  virtual uint64_t NextAccessAfter(size_t chunk_index,
+                                   uint64_t cursor) const = 0;
+};
 
 struct TaskCacheOptions {
   CachePolicy policy = CachePolicy::kOnDemand;
@@ -55,11 +76,16 @@ struct TaskCacheStats {
   uint64_t peer_hits = 0;
   uint64_t chunk_loads = 0;     // backend chunk fetches (misses)
   uint64_t evictions = 0;
-  uint64_t bytes_cached = 0;
+  uint64_t bytes_cached = 0;  // currently resident (insert - evict - drop)
   uint64_t failovers = 0;            // peer reads degraded to server reads
   uint64_t breaker_opens = 0;        // owner nodes declared down
   uint64_t node_recoveries = 0;      // owner nodes that came back
   uint64_t corruptions_detected = 0; // CRC mismatches caught and re-fetched
+  uint64_t evicted_bytes = 0;        // total bytes removed by capacity eviction
+  uint64_t pinned_chunks = 0;        // chunks currently pinned against eviction
+  uint64_t prefetch_hits = 0;        // reads served by a fill that was ready
+  uint64_t prefetch_late = 0;        // reads that waited out an in-flight fill
+  uint64_t prefetch_wasted = 0;      // fills evicted/dropped before any read
 };
 
 class TaskCache {
@@ -103,6 +129,40 @@ class TaskCache {
   /// Reload every non-resident chunk (recovery). Returns makespan end time.
   Result<Nanos> Reload(Nanos start);
 
+  // ---- Clairvoyant prefetch hooks (driven by prefetch::PrefetchScheduler) --
+
+  /// Install the epoch's eviction oracle (nullptr restores FIFO). The oracle
+  /// must stay alive until uninstalled; the prefetch scheduler owns it for
+  /// the duration of the epoch.
+  void InstallEvictionOracle(const EvictionOracle* oracle);
+
+  /// Training progress in epoch file-order positions; Belady distances are
+  /// measured from here.
+  void SetEpochCursor(uint64_t position);
+
+  /// Pin `chunk_index` against capacity eviction (in-flight or soon-needed
+  /// fill). Pins nest per chunk: idempotent — a chunk is pinned or not.
+  void Pin(size_t chunk_index);
+  void Unpin(size_t chunk_index);
+
+  /// Is the chunk resident in its owner's partition right now?
+  bool ChunkResident(size_t chunk_index) const;
+
+  struct PrefetchOutcome {
+    bool inserted = false;          // capacity denied when false
+    bool already_resident = false;  // raced with a foreground load
+    uint64_t bytes = 0;             // blob size fetched
+    Nanos ready_at = 0;             // virtual completion time of the fill
+  };
+
+  /// Background fill: fetch `chunk_index` into its owner partition charging
+  /// `stream` (a detached prefetch-stream clock). The chunk becomes readable
+  /// at the stream's finish time — a foreground read arriving earlier waits
+  /// out the remainder (counted as prefetch.late); one arriving after is a
+  /// clean prefetch.hit.
+  Result<PrefetchOutcome> PrefetchChunk(sim::VirtualClock& stream,
+                                        size_t chunk_index);
+
   TaskCacheStats stats() const;
   const TaskCacheOptions& options() const { return options_; }
 
@@ -114,14 +174,21 @@ class TaskCache {
   struct CachedChunk {
     Bytes blob;
     uint32_t header_len = 0;
+    Nanos ready_at = 0;       // fill completion time (0: loaded in-line)
+    bool prefetched = false;  // inserted by the prefetch scheduler
+    bool accessed = false;    // served at least one read since insertion
   };
 
   struct NodePartition {
     mutable std::mutex mutex;
     std::unordered_map<size_t, CachedChunk> chunks;  // chunk index -> blob
+    /// Insertion order; doubles as the deterministic victim-scan order.
     std::vector<size_t> fifo;
+    std::unordered_set<size_t> pinned;
     uint64_t bytes = 0;
   };
+
+  enum class InsertResult { kInserted, kAlreadyResident, kDenied };
 
   /// Slice a file out of a cached chunk (offsets are payload-relative).
   /// Verifies the file's CRC32C when the metadata carries one; a mismatch
@@ -160,8 +227,27 @@ class TaskCache {
                                   size_t chunk_index,
                                   const core::FileMeta& meta);
 
-  void InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
-                   uint32_t header_len);
+  InsertResult InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
+                           uint32_t header_len, bool prefetched = false,
+                           Nanos ready_at = 0);
+
+  /// Victim-scan over `part.fifo` (deterministic order) with `part.mutex`
+  /// held: FIFO picks the first unpinned entry; with an oracle installed,
+  /// the unpinned chunk with the farthest next access wins (dead chunks —
+  /// kNever — immediately). Returns fifo index, or SIZE_MAX when every
+  /// resident chunk is pinned. `ignore_pins` widens the scan to pinned
+  /// chunks (demand inserts outrank prefetch pins as a last resort).
+  size_t PickVictimLocked(const NodePartition& part,
+                          bool ignore_pins = false) const;
+
+  /// Remove fifo[victim] from the partition (lock held) and charge the
+  /// eviction counters, including prefetch.wasted for fills that never
+  /// served a read.
+  void EvictAtLocked(NodePartition& part, size_t victim);
+
+  /// Shared body of DropNode/DropAll (lock held): counts wasted fills and
+  /// releases pins before clearing the partition.
+  void DropPartitionLocked(NodePartition& part);
 
   net::Fabric& fabric_;
   core::DieselServer& server_;
@@ -177,6 +263,12 @@ class TaskCache {
   std::mutex breakers_mutex_;
   std::map<sim::NodeId, CircuitBreaker> breakers_;
   size_t connections_opened_ = 0;
+  /// Belady state: the installed oracle (guarded — installs happen only at
+  /// epoch boundaries, evictions read it under the partition lock) and the
+  /// training cursor distances are measured from.
+  mutable std::mutex oracle_mutex_;
+  const EvictionOracle* oracle_ = nullptr;
+  std::atomic<uint64_t> cursor_{0};
 };
 
 }  // namespace diesel::cache

@@ -31,6 +31,10 @@ Result<EpochResult> TrainingPipeline::RunEpoch(
 
   const size_t W = std::max<size_t>(1, options_.io_workers);
 
+  if (options_.epoch_start_hook) {
+    DIESEL_RETURN_IF_ERROR(options_.epoch_start_hook(start + shuffle_cost));
+  }
+
   if (!options_.overlap) {
     // Serialized fetch: each iteration reads its batch (parallelized across
     // the W workers, approximated as fetch/W) and only then computes.

@@ -27,6 +27,10 @@ struct PipelineOptions {
   /// paper's PyTorch example actually measures in Figs. 14/15, where fetch +
   /// decode/transform time shows up additively in every iteration.
   bool overlap = true;
+  /// Called once per epoch at `start + shuffle_cost`, just before the first
+  /// batch read — the point where the shuffle plan is fixed and a prefetch
+  /// scheduler can install the epoch's access schedule and start filling.
+  std::function<Status(Nanos workers_start)> epoch_start_hook;
 };
 
 /// Reads the mini-batch for iteration `iter`, charging `worker_clock` with

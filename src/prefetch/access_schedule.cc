@@ -1,0 +1,52 @@
+#include "prefetch/access_schedule.h"
+
+#include <algorithm>
+
+namespace diesel::prefetch {
+
+AccessSchedule AccessSchedule::Build(const shuffle::ShufflePlan& plan,
+                                     const core::MetadataSnapshot& snapshot) {
+  AccessSchedule s;
+  s.num_positions_ = plan.file_order.size();
+  s.accesses_.resize(snapshot.chunks().size());
+  for (size_t pos = 0; pos < plan.file_order.size(); ++pos) {
+    const core::FileMeta& meta = snapshot.files().at(plan.file_order[pos]);
+    size_t ci = snapshot.ChunkIndex(meta.chunk);
+    if (ci == static_cast<size_t>(-1)) continue;  // stale plan entry
+    // Positions are visited in increasing order, so each list stays sorted.
+    s.accesses_[ci].push_back(pos);
+  }
+  for (size_t ci = 0; ci < s.accesses_.size(); ++ci) {
+    if (!s.accesses_[ci].empty()) s.order_.push_back(ci);
+  }
+  std::sort(s.order_.begin(), s.order_.end(), [&](size_t a, size_t b) {
+    return s.accesses_[a].front() < s.accesses_[b].front();
+  });
+  return s;
+}
+
+const std::vector<uint64_t>& AccessSchedule::AccessesOf(
+    size_t chunk_index) const {
+  static const std::vector<uint64_t> kEmpty;
+  if (chunk_index >= accesses_.size()) return kEmpty;
+  return accesses_[chunk_index];
+}
+
+uint64_t AccessSchedule::FirstAccess(size_t chunk_index) const {
+  const auto& a = AccessesOf(chunk_index);
+  return a.empty() ? kNever : a.front();
+}
+
+uint64_t AccessSchedule::LastAccess(size_t chunk_index) const {
+  const auto& a = AccessesOf(chunk_index);
+  return a.empty() ? kNever : a.back();
+}
+
+uint64_t AccessSchedule::NextAccessAfter(size_t chunk_index,
+                                         uint64_t cursor) const {
+  const auto& a = AccessesOf(chunk_index);
+  auto it = std::lower_bound(a.begin(), a.end(), cursor);
+  return it == a.end() ? kNever : *it;
+}
+
+}  // namespace diesel::prefetch

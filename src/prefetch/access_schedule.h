@@ -1,0 +1,61 @@
+// Epoch access schedule derived from a chunk-wise shuffle plan.
+//
+// DIESEL's chunk-wise shuffle (§4.3) fixes the entire per-epoch access
+// sequence the moment the ShufflePlan is drawn: every file read, and hence
+// every chunk touch, is known in advance. This class materializes that
+// knowledge as, per chunk, the sorted list of file-order positions at which
+// the chunk is accessed — the substrate for both clairvoyant prefetching
+// (fill chunks in first-access order ahead of the cursor) and Belady
+// eviction (evict the resident chunk with the farthest next access), per
+// Dryden et al., "Clairvoyant Prefetching for Distributed Machine Learning
+// I/O".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/task_cache.h"
+#include "core/snapshot.h"
+#include "shuffle/shuffle.h"
+
+namespace diesel::prefetch {
+
+class AccessSchedule : public cache::EvictionOracle {
+ public:
+  static constexpr uint64_t kNever = cache::EvictionOracle::kNever;
+
+  AccessSchedule() = default;
+
+  /// Derive the schedule: one pass over `plan.file_order`, mapping each file
+  /// to its chunk via the snapshot. O(files) time, O(files) space.
+  static AccessSchedule Build(const shuffle::ShufflePlan& plan,
+                              const core::MetadataSnapshot& snapshot);
+
+  /// Number of chunk slots (== snapshot.chunks().size()).
+  size_t num_chunks() const { return accesses_.size(); }
+  /// Epoch length in file-order positions.
+  size_t num_positions() const { return num_positions_; }
+
+  /// Sorted positions at which `chunk_index` is accessed (empty when the
+  /// chunk is absent from the epoch — e.g. a partitioned plan).
+  const std::vector<uint64_t>& AccessesOf(size_t chunk_index) const;
+
+  uint64_t FirstAccess(size_t chunk_index) const;  // kNever when unused
+  uint64_t LastAccess(size_t chunk_index) const;   // kNever when unused
+
+  /// Belady distance: first access position >= cursor, kNever when the
+  /// chunk is dead for the rest of the epoch.
+  uint64_t NextAccessAfter(size_t chunk_index,
+                           uint64_t cursor) const override;
+
+  /// Chunks accessed this epoch, ordered by first access — the clairvoyant
+  /// fill order.
+  const std::vector<size_t>& chunks_by_first_access() const { return order_; }
+
+ private:
+  size_t num_positions_ = 0;
+  std::vector<std::vector<uint64_t>> accesses_;  // chunk -> sorted positions
+  std::vector<size_t> order_;                    // chunks by first access
+};
+
+}  // namespace diesel::prefetch

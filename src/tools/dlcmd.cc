@@ -14,12 +14,15 @@
 //   dlcmd --root DIR recover <dataset>
 //   dlcmd --root DIR stats <dataset>
 //   dlcmd --root DIR trace <dataset> <diesel-path>
+//   dlcmd --root DIR prefetch <dataset> [group-size] [nodes] [seed]
 //   dlcmd perf merge <dir> [-o out.json] [--strip-registry]
 //   dlcmd perf diff <baseline.json> <current.json> [--tol X] [--allow-missing]
 //
 // `stats` runs a small metadata workload (recover + list) and prints the
 // process-wide metrics registry; `trace` reads one file with the span
-// tracer attached and prints the resulting virtual-time span tree. `perf`
+// tracer attached and prints the resulting virtual-time span tree;
+// `prefetch` draws one epoch's chunk-wise shuffle plan and prints the
+// clairvoyant access schedule the prefetch scheduler would execute. `perf`
 // operates on bench report files and needs no --root: `merge` combines
 // per-bench `*.report.json` into one suite document, `diff` gates a suite
 // against a committed baseline (non-zero exit on regression).
@@ -35,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/client.h"
 #include "core/housekeeping.h"
 #include "core/server.h"
@@ -44,6 +48,8 @@
 #include "obs/perf_diff.h"
 #include "obs/trace.h"
 #include "ostore/dir_store.h"
+#include "prefetch/access_schedule.h"
+#include "shuffle/shuffle.h"
 
 namespace diesel::tools {
 namespace {
@@ -101,8 +107,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dlcmd --root DIR "
                "{put|put-tree|get|ls|stat|del|purge|save-meta|recover|"
-               "stats|trace} ...\n"
-               "       dlcmd perf {merge|diff} ...\n");
+               "stats|trace|prefetch} ...\n"
+               "       dlcmd --root DIR prefetch <dataset> "
+               "[group-size] [nodes] [seed]\n"
+               "       dlcmd perf {merge|diff} ...\n"
+               "stats prints the process-wide metrics registry; names are\n"
+               "prefixed by subsystem: net.* (fabric RPCs), kv.* (metadata\n"
+               "tier), core.* (server/client), cache.* (task cache),\n"
+               "shuffle.* (chunk-wise shuffle), dlt.* (training pipeline),\n"
+               "prefetch.* (clairvoyant prefetch scheduler).\n");
   return 2;
 }
 
@@ -269,6 +282,56 @@ int Main(int argc, char** argv) {
     std::printf("%s", tracer.TextDump().c_str());
     std::printf("%zu spans, %zu bytes read\n", tracer.size(), data->size());
     cli.fabric.set_tracer(nullptr);
+    return 0;
+  }
+
+  if (cmd == "prefetch" && args.size() >= 1 && args.size() <= 4) {
+    // Inspector: draw one epoch's chunk-wise shuffle plan and print the
+    // clairvoyant access schedule derived from it — fill order, per-chunk
+    // access counts and the Belady reuse distances eviction would use.
+    if (Status st = cli.Bootstrap(args[0]); !st.ok()) return fail(st);
+    core::DieselClient client = MakeClient(cli, args[0]);
+    if (Status st = client.FetchSnapshot(); !st.ok()) return fail(st);
+    const core::MetadataSnapshot& snap = *client.snapshot();
+    size_t group_size = args.size() > 1 ? std::stoul(args[1]) : 4;
+    size_t nodes = args.size() > 2 ? std::stoul(args[2]) : 4;
+    uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 42;
+    if (group_size == 0 || nodes == 0)
+      return fail(Status::InvalidArgument("group-size/nodes must be > 0"));
+    Rng rng(seed);
+    shuffle::ShufflePlan plan =
+        shuffle::ChunkWiseShuffle(snap, {.group_size = group_size}, rng);
+    prefetch::AccessSchedule sched =
+        prefetch::AccessSchedule::Build(plan, snap);
+    std::printf("plan: %zu files in %zu groups, %zu/%zu chunks touched "
+                "(seed %llu, group-size %zu, %zu owner nodes)\n",
+                plan.file_order.size(), plan.num_groups(),
+                sched.chunks_by_first_access().size(), snap.chunks().size(),
+                static_cast<unsigned long long>(seed), group_size, nodes);
+    std::printf("%-6s %-5s %-7s %-8s %-8s %-8s\n", "chunk", "node", "reads",
+                "first", "last", "reuse");
+    constexpr size_t kHead = 20;
+    size_t shown = 0;
+    uint64_t reuse_sum = 0, reuse_n = 0;
+    for (size_t ci : sched.chunks_by_first_access()) {
+      const auto& a = sched.AccessesOf(ci);
+      for (size_t i = 1; i < a.size(); ++i) {
+        reuse_sum += a[i] - a[i - 1];
+        ++reuse_n;
+      }
+      if (shown < kHead) {
+        std::printf("%-6zu %-5zu %-7zu %-8llu %-8llu %-8llu\n", ci, ci % nodes,
+                    a.size(), static_cast<unsigned long long>(a.front()),
+                    static_cast<unsigned long long>(a.back()),
+                    static_cast<unsigned long long>(
+                        a.size() > 1 ? a[1] - a[0] : 0));
+      }
+      ++shown;
+    }
+    if (shown > kHead) std::printf("... (%zu more chunks)\n", shown - kHead);
+    std::printf("mean reuse distance: %.1f positions over %llu re-reads\n",
+                reuse_n ? static_cast<double>(reuse_sum) / reuse_n : 0.0,
+                static_cast<unsigned long long>(reuse_n));
     return 0;
   }
 

@@ -250,5 +250,219 @@ TEST_F(TaskCacheTest, RepeatedPeerFailuresOpenBreaker) {
   EXPECT_LT(probe.now(), Millis(5));  // no fault-detect timeout paid
 }
 
+TEST_F(TaskCacheTest, EvictedBytesTracksCapacityEvictions) {
+  TaskCacheOptions opts;
+  opts.per_node_capacity_bytes = 40 * 1024;
+  TaskCache cache = MakeCache(opts);
+  sim::VirtualClock clock;
+  for (size_t i = 0; i < spec_.total_files(); ++i) {
+    const core::FileMeta* meta = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    ASSERT_TRUE(cache.GetFile(clock, clients_[0]->endpoint(), *meta).ok());
+  }
+  auto stats = cache.stats();
+  ASSERT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.evicted_bytes, 0u);
+  // Every eviction removed at least one chunk blob; the totals must be
+  // consistent with per-partition capacity (4 nodes).
+  EXPECT_GE(stats.evicted_bytes, stats.evictions);  // blobs are > 1 byte
+  EXPECT_LE(stats.bytes_cached, 4 * opts.per_node_capacity_bytes);
+}
+
+// Chunk indices owned by `node`, in index order.
+std::vector<size_t> OwnedChunks(TaskCache& cache,
+                                const core::MetadataSnapshot& snap,
+                                sim::NodeId node) {
+  std::vector<size_t> out;
+  for (size_t ci = 0; ci < snap.chunks().size(); ++ci) {
+    if (cache.OwnerNodeOfChunk(ci).value() == node) out.push_back(ci);
+  }
+  return out;
+}
+
+TEST_F(TaskCacheTest, PinBlocksEvictionUntilUnpinned) {
+  // Capacity sized from an unbounded dry run: room for two of node 0's
+  // chunks but not three.
+  std::vector<size_t> owned;
+  uint64_t two_chunks = 0, three_chunks = 0;
+  {
+    TaskCache probe = MakeCache();
+    owned = OwnedChunks(probe, *snapshot_, 0);
+    ASSERT_GE(owned.size(), 3u);
+    sim::VirtualClock clock;
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(probe.PrefetchChunk(clock, owned[i]).ok());
+      if (i == 1) two_chunks = probe.stats().bytes_cached;
+    }
+    three_chunks = probe.stats().bytes_cached;
+  }
+  TaskCacheOptions opts;
+  opts.per_node_capacity_bytes = (two_chunks + three_chunks) / 2;
+  TaskCache cache = MakeCache(opts);
+  sim::VirtualClock clock;
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[0]).ok());
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[1]).ok());
+  cache.Pin(owned[0]);
+  EXPECT_EQ(cache.stats().pinned_chunks, 1u);
+  // FIFO would evict owned[0]; the pin diverts eviction to owned[1].
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[2]).ok());
+  EXPECT_TRUE(cache.ChunkResident(owned[0]));
+  EXPECT_FALSE(cache.ChunkResident(owned[1]));
+  EXPECT_TRUE(cache.ChunkResident(owned[2]));
+  cache.Unpin(owned[0]);
+  EXPECT_EQ(cache.stats().pinned_chunks, 0u);
+  // Unpinned, owned[0] is the FIFO victim again.
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[1]).ok());
+  EXPECT_FALSE(cache.ChunkResident(owned[0]));
+}
+
+TEST_F(TaskCacheTest, DemandInsertOutranksPrefetchPins) {
+  // Capacity holds exactly one of node 0's chunk blobs.
+  std::vector<size_t> owned;
+  uint64_t one_chunk = 0, two_chunks = 0;
+  {
+    TaskCache probe = MakeCache();
+    owned = OwnedChunks(probe, *snapshot_, 0);
+    ASSERT_GE(owned.size(), 2u);
+    sim::VirtualClock clock;
+    for (size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(probe.PrefetchChunk(clock, owned[i]).ok());
+      if (i == 0) one_chunk = probe.stats().bytes_cached;
+    }
+    two_chunks = probe.stats().bytes_cached;
+  }
+  TaskCacheOptions opts;
+  opts.per_node_capacity_bytes = (one_chunk + two_chunks) / 2;
+  TaskCache cache = MakeCache(opts);
+  sim::VirtualClock stream;
+  ASSERT_TRUE(cache.PrefetchChunk(stream, owned[0]).ok());
+  cache.Pin(owned[0]);
+  // Background fills respect pins: with the only slot pinned, a further
+  // prefetch is denied.
+  auto denied = cache.PrefetchChunk(stream, owned[1]);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_FALSE(denied->inserted);
+  EXPECT_TRUE(cache.ChunkResident(owned[0]));
+  // A foreground miss must still get cached: the pinned fill is evicted
+  // rather than sending every later read of this chunk to the backend.
+  const core::FileMeta* fm = nullptr;
+  for (size_t i = 0; i < spec_.total_files() && !fm; ++i) {
+    const core::FileMeta* m = snapshot_->Lookup(dlt::FilePath(spec_, i));
+    if (snapshot_->ChunkIndex(m->chunk) == owned[1]) fm = m;
+  }
+  ASSERT_NE(fm, nullptr);
+  sim::VirtualClock w;
+  ASSERT_TRUE(cache.GetFile(w, clients_[0]->endpoint(), *fm).ok());
+  EXPECT_TRUE(cache.ChunkResident(owned[1]));
+  EXPECT_FALSE(cache.ChunkResident(owned[0]));
+  // The evicted fill never served a read: counted as wasted.
+  EXPECT_EQ(cache.stats().prefetch_wasted, 1u);
+  cache.Unpin(owned[0]);
+  EXPECT_EQ(cache.stats().pinned_chunks, 0u);
+}
+
+/// Scripted oracle: next access = fixed per-chunk position, kNever else.
+class MapOracle : public EvictionOracle {
+ public:
+  void Set(size_t chunk, uint64_t pos) { next_[chunk] = pos; }
+  uint64_t NextAccessAfter(size_t chunk, uint64_t cursor) const override {
+    auto it = next_.find(chunk);
+    return it == next_.end() || it->second < cursor ? kNever : it->second;
+  }
+
+ private:
+  std::map<size_t, uint64_t> next_;
+};
+
+TEST_F(TaskCacheTest, BeladyOracleEvictsFarthestNextAccess) {
+  std::vector<size_t> owned;
+  uint64_t two_chunks = 0, three_chunks = 0;
+  {
+    TaskCache probe = MakeCache();
+    owned = OwnedChunks(probe, *snapshot_, 0);
+    ASSERT_GE(owned.size(), 3u);
+    sim::VirtualClock clock;
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(probe.PrefetchChunk(clock, owned[i]).ok());
+      if (i == 1) two_chunks = probe.stats().bytes_cached;
+    }
+    three_chunks = probe.stats().bytes_cached;
+  }
+  TaskCacheOptions opts;
+  opts.per_node_capacity_bytes = (two_chunks + three_chunks) / 2;
+  TaskCache cache = MakeCache(opts);
+  MapOracle oracle;
+  oracle.Set(owned[0], 10);   // reused soon — keep
+  oracle.Set(owned[1], 500);  // farthest reuse — Belady victim
+  oracle.Set(owned[2], 20);
+  cache.InstallEvictionOracle(&oracle);
+  cache.SetEpochCursor(0);
+  sim::VirtualClock clock;
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[0]).ok());
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[1]).ok());
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[2]).ok());
+  EXPECT_TRUE(cache.ChunkResident(owned[0]));   // FIFO would have evicted it
+  EXPECT_FALSE(cache.ChunkResident(owned[1]));
+  EXPECT_TRUE(cache.ChunkResident(owned[2]));
+  // Cursor passes owned[0]'s reuse: it is now dead (kNever) and becomes the
+  // victim even though owned[2]'s access is still ahead.
+  cache.SetEpochCursor(15);
+  ASSERT_TRUE(cache.PrefetchChunk(clock, owned[1]).ok());
+  EXPECT_FALSE(cache.ChunkResident(owned[0]));
+  EXPECT_TRUE(cache.ChunkResident(owned[2]));
+  cache.InstallEvictionOracle(nullptr);
+}
+
+TEST_F(TaskCacheTest, PrefetchHitAndLateAccounting) {
+  TaskCache cache = MakeCache();
+  // Two files in two different chunks owned by node 0.
+  std::vector<size_t> owned;
+  {
+    owned = OwnedChunks(cache, *snapshot_, 0);
+    ASSERT_GE(owned.size(), 2u);
+  }
+  auto file_in_chunk = [&](size_t ci) -> const core::FileMeta* {
+    for (size_t i = 0; i < spec_.total_files(); ++i) {
+      const core::FileMeta* m = snapshot_->Lookup(dlt::FilePath(spec_, i));
+      if (snapshot_->ChunkIndex(m->chunk) == ci) return m;
+    }
+    return nullptr;
+  };
+  const core::FileMeta* early = file_in_chunk(owned[0]);
+  const core::FileMeta* late = file_in_chunk(owned[1]);
+  ASSERT_NE(early, nullptr);
+  ASSERT_NE(late, nullptr);
+
+  sim::VirtualClock stream;
+  auto out0 = cache.PrefetchChunk(stream, owned[0]);
+  ASSERT_TRUE(out0.ok());
+  EXPECT_TRUE(out0->inserted);
+  EXPECT_GT(out0->bytes, 0u);
+  EXPECT_GT(out0->ready_at, 0u);
+  auto out1 = cache.PrefetchChunk(stream, owned[1]);
+  ASSERT_TRUE(out1.ok());
+  // Re-prefetching a resident chunk is a no-op.
+  sim::VirtualClock stream2;
+  auto again = cache.PrefetchChunk(stream2, owned[0]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->already_resident);
+  EXPECT_EQ(stream2.now(), 0u);
+
+  // Reader arriving after the fill completed: clean hit, no added wait.
+  sim::VirtualClock hit_clock(out0->ready_at + Millis(1));
+  ASSERT_TRUE(cache.GetFile(hit_clock, clients_[0]->endpoint(), *early).ok());
+  // Reader arriving before the second fill finishes: waits out the
+  // remainder (late), clock lands at or beyond ready_at.
+  sim::VirtualClock late_clock;
+  ASSERT_TRUE(cache.GetFile(late_clock, clients_[0]->endpoint(), *late).ok());
+  EXPECT_GE(late_clock.now(), out1->ready_at);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.prefetch_hits, 1u);
+  EXPECT_EQ(stats.prefetch_late, 1u);
+  EXPECT_EQ(stats.prefetch_wasted, 0u);
+  // Both reads were served from cache, no extra backend loads.
+  EXPECT_EQ(stats.chunk_loads, 2u);
+}
+
 }  // namespace
 }  // namespace diesel::cache

@@ -239,6 +239,11 @@ TEST(ChaosEquivalenceTest, FaultScheduleNeverChangesWhatIsRead) {
             chaos.cache_stats.corruptions_detected);
   EXPECT_EQ(d.SumCounters("cache.chunk_loads"),
             chaos.cache_stats.chunk_loads);
+  EXPECT_EQ(d.SumCounters("cache.evicted_bytes"),
+            chaos.cache_stats.evicted_bytes);
+  // No pins are taken in this workload (no prefetch scheduler attached),
+  // and none may appear as a side effect of chaos recovery.
+  EXPECT_EQ(chaos.cache_stats.pinned_chunks, 0u);
   EXPECT_EQ(d.SumCounters("net.rpc.drops"), chaos.fault_stats.rpc_drops);
   EXPECT_EQ(d.SumCounters("net.rpc.flap_rejects"),
             chaos.fault_stats.down_node_rejections);

@@ -1,0 +1,127 @@
+#include "prefetch/access_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "shuffle/shuffle.h"
+
+namespace diesel::prefetch {
+namespace {
+
+class AccessScheduleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::DeploymentOptions opts;
+    opts.num_client_nodes = 4;
+    deployment_ = std::make_unique<core::Deployment>(opts);
+    spec_.name = "as";
+    spec_.num_classes = 2;
+    spec_.files_per_class = 48;
+    spec_.mean_file_bytes = 2048;
+    auto writer = deployment_->MakeClient(0, 0, spec_.name, 16 * 1024);
+    ASSERT_TRUE(dlt::ForEachFile(spec_, [&](const dlt::GeneratedFile& f) {
+                  return writer->Put(f.path, f.content);
+                }).ok());
+    ASSERT_TRUE(writer->Flush().ok());
+    client_ = deployment_->MakeClient(0, 1, spec_.name);
+    ASSERT_TRUE(client_->FetchSnapshot().ok());
+    snapshot_ = client_->snapshot();
+  }
+
+  shuffle::ShufflePlan DrawPlan(uint64_t seed, size_t group_size = 3) {
+    Rng rng(seed);
+    return shuffle::ChunkWiseShuffle(*snapshot_, {.group_size = group_size},
+                                     rng);
+  }
+
+  std::unique_ptr<core::Deployment> deployment_;
+  dlt::DatasetSpec spec_;
+  std::unique_ptr<core::DieselClient> client_;
+  const core::MetadataSnapshot* snapshot_ = nullptr;
+};
+
+TEST_F(AccessScheduleTest, EveryPlanPositionIsCovered) {
+  shuffle::ShufflePlan plan = DrawPlan(11);
+  AccessSchedule s = AccessSchedule::Build(plan, *snapshot_);
+  EXPECT_EQ(s.num_positions(), plan.file_order.size());
+  EXPECT_EQ(s.num_chunks(), snapshot_->chunks().size());
+  for (size_t pos = 0; pos < plan.file_order.size(); ++pos) {
+    const core::FileMeta& m = snapshot_->files()[plan.file_order[pos]];
+    size_t ci = snapshot_->ChunkIndex(m.chunk);
+    ASSERT_NE(ci, static_cast<size_t>(-1));
+    const auto& a = s.AccessesOf(ci);
+    EXPECT_TRUE(std::find(a.begin(), a.end(), pos) != a.end())
+        << "position " << pos << " missing from chunk " << ci;
+  }
+}
+
+TEST_F(AccessScheduleTest, AccessListsAreSortedAndBounded) {
+  shuffle::ShufflePlan plan = DrawPlan(12);
+  AccessSchedule s = AccessSchedule::Build(plan, *snapshot_);
+  size_t total = 0;
+  for (size_t ci = 0; ci < s.num_chunks(); ++ci) {
+    const auto& a = s.AccessesOf(ci);
+    total += a.size();
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    if (a.empty()) {
+      EXPECT_EQ(s.FirstAccess(ci), AccessSchedule::kNever);
+      EXPECT_EQ(s.LastAccess(ci), AccessSchedule::kNever);
+    } else {
+      EXPECT_EQ(s.FirstAccess(ci), a.front());
+      EXPECT_EQ(s.LastAccess(ci), a.back());
+      EXPECT_LT(a.back(), s.num_positions());
+    }
+  }
+  // A full (unpartitioned) plan touches every file exactly once.
+  EXPECT_EQ(total, plan.file_order.size());
+}
+
+TEST_F(AccessScheduleTest, NextAccessAfterIsLowerBound) {
+  shuffle::ShufflePlan plan = DrawPlan(13);
+  AccessSchedule s = AccessSchedule::Build(plan, *snapshot_);
+  for (size_t ci = 0; ci < s.num_chunks(); ++ci) {
+    const auto& a = s.AccessesOf(ci);
+    if (a.empty()) {
+      EXPECT_EQ(s.NextAccessAfter(ci, 0), AccessSchedule::kNever);
+      continue;
+    }
+    EXPECT_EQ(s.NextAccessAfter(ci, 0), a.front());
+    EXPECT_EQ(s.NextAccessAfter(ci, a.front()), a.front());  // inclusive
+    EXPECT_EQ(s.NextAccessAfter(ci, a.back() + 1), AccessSchedule::kNever);
+    for (size_t k = 1; k < a.size(); ++k) {
+      EXPECT_EQ(s.NextAccessAfter(ci, a[k - 1] + 1), a[k]);
+    }
+  }
+}
+
+TEST_F(AccessScheduleTest, FillOrderSortedByFirstAccess) {
+  shuffle::ShufflePlan plan = DrawPlan(14);
+  AccessSchedule s = AccessSchedule::Build(plan, *snapshot_);
+  const auto& order = s.chunks_by_first_access();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(s.FirstAccess(order[i - 1]), s.FirstAccess(order[i]));
+  }
+  // Exactly the chunks with at least one access appear.
+  size_t with_access = 0;
+  for (size_t ci = 0; ci < s.num_chunks(); ++ci) {
+    if (!s.AccessesOf(ci).empty()) ++with_access;
+  }
+  EXPECT_EQ(order.size(), with_access);
+}
+
+TEST_F(AccessScheduleTest, PartitionedPlanLeavesForeignChunksUnused) {
+  shuffle::ShufflePlan plan = DrawPlan(15);
+  shuffle::ShufflePlan part = shuffle::PartitionPlan(plan, 0, 2);
+  ASSERT_LT(part.file_order.size(), plan.file_order.size());
+  AccessSchedule s = AccessSchedule::Build(part, *snapshot_);
+  size_t unused = 0;
+  for (size_t ci = 0; ci < s.num_chunks(); ++ci) {
+    if (s.AccessesOf(ci).empty()) ++unused;
+  }
+  EXPECT_GT(unused, 0u);  // the other partition's chunks are dead here
+  EXPECT_EQ(s.num_positions(), part.file_order.size());
+}
+
+}  // namespace
+}  // namespace diesel::prefetch
