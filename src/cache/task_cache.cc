@@ -77,6 +77,23 @@ obs::Gauge& BreakerGauge(sim::NodeId node) {
                                  {{"node", "n" + std::to_string(node)}});
 }
 
+/// Registry mirrors of the elastic-membership counters.
+struct MembershipCacheCounters {
+  obs::Counter& migrated_chunks =
+      obs::Metrics().GetCounter("membership.migrated_chunks");
+  obs::Counter& migrated_bytes =
+      obs::Metrics().GetCounter("membership.migrated_bytes");
+  obs::Counter& reown_chunks =
+      obs::Metrics().GetCounter("membership.reown_chunks");
+  obs::Counter& reown_skipped =
+      obs::Metrics().GetCounter("cache.reown_skipped");
+};
+
+MembershipCacheCounters& MemCounters() {
+  static MembershipCacheCounters c;
+  return c;
+}
+
 }  // namespace
 
 TaskCache::TaskCache(net::Fabric& fabric, core::DieselServer& server,
@@ -102,9 +119,64 @@ void TaskCache::EstablishConnections() {
 }
 
 Result<sim::NodeId> TaskCache::OwnerNodeOfChunk(size_t chunk_index) const {
+  if (membership_.load(std::memory_order_acquire) != nullptr) {
+    // Attached mode: the ownership snapshot moves in lock-step with the
+    // migration records, so a chunk's owner and its in-flight move are
+    // always consistent under one lock.
+    std::lock_guard<std::mutex> lock(migration_mutex_);
+    if (chunk_index < chunk_owner_.size()) return chunk_owner_[chunk_index];
+    return Status::FailedPrecondition("chunk index past ownership map");
+  }
   if (owner_nodes_.empty())
     return Status::FailedPrecondition("no task nodes registered");
   return owner_nodes_[chunk_index % owner_nodes_.size()];
+}
+
+void TaskCache::AttachMembership(membership::MembershipTable& table) {
+  {
+    std::lock_guard<std::mutex> lock(migration_mutex_);
+    chunk_owner_.resize(snapshot_.chunks().size(), sim::kInvalidNode);
+    for (size_t ci = 0; ci < chunk_owner_.size(); ++ci) {
+      auto owner = table.OwnerOfChunk(ci);
+      if (owner.ok()) chunk_owner_[ci] = *owner;
+    }
+  }
+  membership_.store(&table, std::memory_order_release);
+  table.Subscribe(this);
+}
+
+std::vector<sim::NodeId> TaskCache::CurrentOwnerNodes() const {
+  if (membership::MembershipTable* t =
+          membership_.load(std::memory_order_acquire)) {
+    return t->ActiveNodes();
+  }
+  return owner_nodes_;
+}
+
+TaskCache::NodePartition& TaskCache::PartitionFor(sim::NodeId node) {
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  auto it = partitions_.find(node);
+  if (it == partitions_.end()) {
+    it = partitions_.emplace(node, std::make_unique<NodePartition>()).first;
+  }
+  return *it->second;
+}
+
+const TaskCache::NodePartition* TaskCache::FindPartition(
+    sim::NodeId node) const {
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  auto it = partitions_.find(node);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+Nanos TaskCache::last_transition_end() const {
+  std::lock_guard<std::mutex> lock(migration_mutex_);
+  return last_transition_end_;
+}
+
+size_t TaskCache::migrations_in_flight() const {
+  std::lock_guard<std::mutex> lock(migration_mutex_);
+  return migrations_.size();
 }
 
 Result<Bytes> TaskCache::SliceFile(const CachedChunk& chunk,
@@ -174,7 +246,7 @@ TaskCache::InsertResult TaskCache::InsertChunk(sim::NodeId owner,
                                                uint32_t header_len,
                                                bool prefetched,
                                                Nanos ready_at) {
-  NodePartition& part = *partitions_.at(owner);
+  NodePartition& part = PartitionFor(owner);
   std::lock_guard<std::mutex> lock(part.mutex);
   if (part.chunks.count(chunk_index) > 0) return InsertResult::kAlreadyResident;
   uint64_t size = blob.size();
@@ -237,7 +309,7 @@ Result<Bytes> TaskCache::FetchChunkBlob(sim::VirtualClock& clock,
 
 Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
                                size_t chunk_index) {
-  NodePartition& part = *partitions_.at(owner);
+  NodePartition& part = PartitionFor(owner);
   {
     std::lock_guard<std::mutex> lock(part.mutex);
     if (part.chunks.count(chunk_index) > 0) return Status::Ok();
@@ -259,7 +331,7 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
                                            sim::NodeId owner,
                                            size_t chunk_index,
                                            const core::FileMeta& meta) {
-  NodePartition& part = *partitions_.at(owner);
+  NodePartition& part = PartitionFor(owner);
   {
     std::lock_guard<std::mutex> lock(part.mutex);
     auto it = part.chunks.find(chunk_index);
@@ -352,7 +424,7 @@ Result<Nanos> TaskCache::Preload(Nanos start) {
   // fetch streams; nodes work in parallel so the makespan is the slowest
   // node's finish time.
   Nanos makespan = start;
-  for (sim::NodeId node : owner_nodes_) {
+  for (sim::NodeId node : CurrentOwnerNodes()) {
     DIESEL_ASSIGN_OR_RETURN(Nanos finish, PreloadPartition(node, start));
     makespan = std::max(makespan, finish);
   }
@@ -367,7 +439,11 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
   size_t chunk_index = snapshot_.ChunkIndex(meta.chunk);
   if (chunk_index == static_cast<size_t>(-1))
     return Status::NotFound("chunk not in snapshot: " + meta.chunk.Encoded());
-  DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(chunk_index));
+  // The serving owner indirects through in-flight migrations: until a move
+  // lands, the old owner keeps answering for the chunk (graceful
+  // degradation — a rescale never stalls the read path).
+  DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner,
+                          ServingOwner(chunk_index, clock.now()));
 
   if (owner == requester.node) {
     // Local partition: memory-bus copy.
@@ -487,32 +563,311 @@ void TaskCache::OnOwnerRecovered(sim::NodeId owner, Nanos now) {
   if (options_.policy == CachePolicy::kOneshot) {
     // Chunk-granular re-own: repopulate the recovered node's partition on a
     // detached clock — the reload overlaps the requesters' continued reads,
-    // which keep being served (degraded) until chunks come back.
-    size_t before = 0;
-    {
-      NodePartition& part = *partitions_.at(owner);
-      std::lock_guard<std::mutex> lock(part.mutex);
-      before = part.chunks.size();
-    }
-    Result<Nanos> reload = PreloadPartition(owner, now);
+    // which keep being served (degraded) until chunks come back. Chunks the
+    // Belady oracle declares dead for the rest of the epoch are skipped:
+    // bytes evicted during the outage that nobody will read again are not
+    // worth re-owning.
+    Result<Nanos> reload = ReownChunks(owner, OwnedChunkList(owner), now);
     (void)reload;
-    size_t after = 0;
-    {
-      NodePartition& part = *partitions_.at(owner);
-      std::lock_guard<std::mutex> lock(part.mutex);
-      after = part.chunks.size();
+  }
+}
+
+std::vector<size_t> TaskCache::OwnedChunkList(sim::NodeId node) const {
+  std::vector<size_t> mine;
+  for (size_t ci = 0; ci < snapshot_.chunks().size(); ++ci) {
+    auto owner = OwnerNodeOfChunk(ci);
+    if (owner.ok() && *owner == node) mine.push_back(ci);
+  }
+  return mine;
+}
+
+Result<Nanos> TaskCache::ReownChunks(sim::NodeId node,
+                                     const std::vector<size_t>& chunks,
+                                     Nanos start) {
+  const EvictionOracle* oracle = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(oracle_mutex_);
+    oracle = oracle_;
+  }
+  const uint64_t cursor = cursor_.load(std::memory_order_relaxed);
+  const size_t streams = std::max<uint32_t>(1, options_.preload_streams);
+  std::vector<sim::VirtualClock> clocks(streams, sim::VirtualClock(start));
+  uint64_t loaded = 0;
+  uint64_t skipped = 0;
+  for (size_t ci : chunks) {
+    if (oracle != nullptr &&
+        oracle->NextAccessAfter(ci, cursor) == EvictionOracle::kNever) {
+      ++skipped;
+      continue;
     }
-    if (after > before) {
-      obs::Metrics()
-          .GetCounter("cache.reown_chunks",
-                      {{"node", "n" + std::to_string(owner)}})
-          .Inc(after - before);
+    if (ChunkResident(ci)) continue;
+    size_t s = 0;
+    for (size_t k = 1; k < streams; ++k) {
+      if (clocks[k].now() < clocks[s].now()) s = k;
     }
+    DIESEL_RETURN_IF_ERROR(EnsureLoaded(clocks[s], node, ci));
+    ++loaded;
+  }
+  if (loaded > 0) {
+    MemCounters().reown_chunks.Inc(loaded);
+    obs::Metrics()
+        .GetCounter("cache.reown_chunks",
+                    {{"node", "n" + std::to_string(node)}})
+        .Inc(loaded);
+  }
+  if (skipped > 0) MemCounters().reown_skipped.Inc(skipped);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.reown_chunks += loaded;
+    stats_.reown_skipped += skipped;
+  }
+  Nanos finish = start;
+  for (const auto& c : clocks) finish = std::max(finish, c.now());
+  return finish;
+}
+
+Result<sim::NodeId> TaskCache::ServingOwner(size_t chunk_index, Nanos now) {
+  if (membership_.load(std::memory_order_acquire) == nullptr)
+    return OwnerNodeOfChunk(chunk_index);
+  sim::NodeId owner;
+  sim::NodeId from = sim::kInvalidNode;
+  {
+    std::lock_guard<std::mutex> lock(migration_mutex_);
+    if (chunk_index >= chunk_owner_.size())
+      return Status::FailedPrecondition("chunk index past ownership map");
+    owner = chunk_owner_[chunk_index];
+    auto it = migrations_.find(chunk_index);
+    if (it != migrations_.end()) {
+      if (now < it->second.ready_at) return it->second.from;
+      // The move landed: the new owner's copy is readable, so the source
+      // copy is redundant from here on.
+      from = it->second.from;
+      migrations_.erase(it);
+    }
+  }
+  if (from != sim::kInvalidNode) FinalizeMigration(chunk_index, from);
+  return owner;
+}
+
+void TaskCache::FinalizeMigration(size_t chunk_index, sim::NodeId from) {
+  NodePartition& part = PartitionFor(from);
+  uint64_t freed = 0;
+  bool wasted = false;
+  bool unpinned = false;
+  {
+    std::lock_guard<std::mutex> lock(part.mutex);
+    auto it = part.chunks.find(chunk_index);
+    if (it == part.chunks.end()) return;
+    freed = it->second.blob.size();
+    wasted = it->second.prefetched && !it->second.accessed;
+    part.fifo.erase(
+        std::remove(part.fifo.begin(), part.fifo.end(), chunk_index),
+        part.fifo.end());
+    part.bytes -= freed;
+    part.chunks.erase(it);
+    unpinned = part.pinned.erase(chunk_index) > 0;
+  }
+  // Dropping the source copy is not an eviction (the chunk is still
+  // resident, on its new owner) — only the byte accounting moves.
+  Counters().bytes_cached.Add(-static_cast<double>(freed));
+  if (wasted) PfCounters().wasted.Inc();
+  if (unpinned) PfCounters().pinned_chunks.Add(-1.0);
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  stats_.bytes_cached -= freed;
+  if (wasted) ++stats_.prefetch_wasted;
+  if (unpinned) --stats_.pinned_chunks;
+}
+
+void TaskCache::OnMembershipChange(const membership::MembershipChange& change) {
+  using membership::ChangeKind;
+  switch (change.kind) {
+    case ChangeKind::kBootstrap: {
+      // (Re)build the ownership snapshot; nothing is resident to move yet.
+      membership::MembershipTable* table =
+          membership_.load(std::memory_order_acquire);
+      if (table == nullptr) return;
+      std::lock_guard<std::mutex> lock(migration_mutex_);
+      chunk_owner_.resize(snapshot_.chunks().size(), sim::kInvalidNode);
+      for (size_t ci = 0; ci < chunk_owner_.size(); ++ci) {
+        auto owner = table->OwnerOfChunk(ci);
+        if (owner.ok()) chunk_owner_[ci] = *owner;
+      }
+      return;
+    }
+    case ChangeKind::kJoin:
+    case ChangeKind::kRecover:
+    case ChangeKind::kDrainStart:
+    case ChangeKind::kCrash:
+      if (change.kind == ChangeKind::kCrash) DropNode(change.node);
+      MigrateForChange(change);
+      return;
+    case ChangeKind::kDrainComplete: {
+      // Finalize every move the drained node still sourced (the copies on
+      // the new owners carry their own ready_at, so a too-early read just
+      // waits out the remainder), then drop whatever it still held.
+      std::vector<size_t> finalize;
+      {
+        std::lock_guard<std::mutex> lock(migration_mutex_);
+        for (auto it = migrations_.begin(); it != migrations_.end();) {
+          if (it->second.from == change.node) {
+            finalize.push_back(it->first);
+            it = migrations_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      for (size_t ci : finalize) FinalizeMigration(ci, change.node);
+      DropNode(change.node);
+      return;
+    }
+  }
+}
+
+void TaskCache::MigrateForChange(const membership::MembershipChange& change) {
+  membership::MembershipTable* table =
+      membership_.load(std::memory_order_acquire);
+  if (table == nullptr) return;
+  const bool crash = change.kind == membership::ChangeKind::kCrash;
+  const Nanos start = change.at;
+
+  struct Move {
+    size_t ci;
+    sim::NodeId from;
+    sim::NodeId to;
+  };
+  std::vector<Move> moves;
+  {
+    std::lock_guard<std::mutex> lock(migration_mutex_);
+    chunk_owner_.resize(snapshot_.chunks().size(), sim::kInvalidNode);
+    for (size_t ci = 0; ci < chunk_owner_.size(); ++ci) {
+      auto owner = table->OwnerOfChunk(ci);
+      if (!owner.ok()) continue;
+      if (*owner != chunk_owner_[ci]) {
+        moves.push_back(Move{ci, chunk_owner_[ci], *owner});
+        chunk_owner_[ci] = *owner;
+      }
+    }
+    if (crash) {
+      // In-flight moves touching the crashed node are dead: its source
+      // copies are gone and copies headed to it fell with the partition.
+      for (auto it = migrations_.begin(); it != migrations_.end();) {
+        if (it->second.from == change.node || it->second.to == change.node) {
+          it = migrations_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  Nanos end = start;
+  if (crash) {
+    // Unplanned: the moved chunks have no live source. Under the oneshot
+    // policy their new owners re-own them from the backend on detached
+    // clocks (skipping oracle-dead chunks); on-demand tasks just fault them
+    // in on first read.
+    if (options_.policy == CachePolicy::kOneshot) {
+      std::map<sim::NodeId, std::vector<size_t>> by_dest;
+      for (const Move& m : moves) by_dest[m.to].push_back(m.ci);
+      for (const auto& [dest, chunks] : by_dest) {
+        Result<Nanos> finish = ReownChunks(dest, chunks, start);
+        if (finish.ok()) end = std::max(end, *finish);
+      }
+    }
+  } else {
+    // Planned: stream every resident moved chunk from its old owner to the
+    // new one on per-destination migration clocks. The source keeps serving
+    // reads until the move's arrival (migration record); a chunk that is
+    // not resident (or whose transfer fails) simply faults in at the new
+    // owner on demand.
+    std::map<sim::NodeId, std::vector<sim::VirtualClock>> dest_streams;
+    const size_t streams = std::max<uint32_t>(1, options_.preload_streams);
+    for (const Move& m : moves) {
+      Bytes blob;
+      uint32_t header_len = 0;
+      bool resident = false;
+      {
+        NodePartition& from = PartitionFor(m.from);
+        std::lock_guard<std::mutex> lock(from.mutex);
+        auto it = from.chunks.find(m.ci);
+        if (it != from.chunks.end()) {
+          blob = it->second.blob;
+          header_len = it->second.header_len;
+          resident = true;
+        }
+      }
+      if (!resident) continue;
+      auto& clocks = dest_streams[m.to];
+      if (clocks.empty()) clocks.assign(streams, sim::VirtualClock(start));
+      sim::VirtualClock* stream = &clocks.front();
+      for (sim::VirtualClock& st : clocks) {
+        if (st.now() < stream->now()) stream = &st;
+      }
+      const uint64_t size = blob.size();
+      obs::ScopedSpan span(fabric_.tracer(), "membership.migrate", *stream,
+                           m.from);
+      span.Note("chunk=" + std::to_string(m.ci) + " to=n" +
+                std::to_string(m.to));
+      Status call = fabric_.Call(*stream, m.from, m.to, kPeerRequestBytes,
+                                 size, [](Nanos arrival) { return arrival; });
+      if (!call.ok()) continue;
+      Nanos ready = stream->now();
+      InsertResult r = InsertChunk(m.to, m.ci, std::move(blob), header_len,
+                                   /*prefetched=*/false, /*ready_at=*/ready);
+      if (r == InsertResult::kDenied) continue;
+      if (r == InsertResult::kInserted) {
+        {
+          std::lock_guard<std::mutex> lock(migration_mutex_);
+          migrations_[m.ci] = MigrationRec{m.from, m.to, ready};
+        }
+        MemCounters().migrated_chunks.Inc();
+        MemCounters().migrated_bytes.Inc(size);
+        {
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++stats_.migrated_chunks;
+          stats_.migrated_bytes += size;
+        }
+        end = std::max(end, ready);
+      } else {
+        // Already resident at the destination: the copy on the old owner is
+        // redundant right away.
+        FinalizeMigration(m.ci, m.from);
+      }
+      // Carry any live pin over to the chunk's new home.
+      bool transfer = false;
+      {
+        std::lock_guard<std::mutex> lock(pin_mutex_);
+        auto it = pin_home_.find(m.ci);
+        if (it != pin_home_.end() && it->second == m.from) {
+          it->second = m.to;
+          transfer = true;
+        }
+      }
+      if (transfer) {
+        bool held = false;
+        {
+          NodePartition& from = PartitionFor(m.from);
+          std::lock_guard<std::mutex> lock(from.mutex);
+          held = from.pinned.erase(m.ci) > 0;
+        }
+        if (held) {
+          NodePartition& to = PartitionFor(m.to);
+          std::lock_guard<std::mutex> lock(to.mutex);
+          to.pinned.insert(m.ci);
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(migration_mutex_);
+    last_transition_end_ = std::max(last_transition_end_, end);
   }
 }
 
 double TaskCache::HitRatio() const {
   size_t resident = 0;
+  std::lock_guard<std::mutex> plock(partitions_mutex_);
   for (const auto& [node, part] : partitions_) {
     std::lock_guard<std::mutex> lock(part->mutex);
     resident += part->chunks.size();
@@ -552,14 +907,19 @@ void TaskCache::DropPartitionLocked(NodePartition& part) {
 }
 
 void TaskCache::DropNode(sim::NodeId node) {
-  auto it = partitions_.find(node);
-  if (it == partitions_.end()) return;
-  NodePartition& part = *it->second;
-  std::lock_guard<std::mutex> lock(part.mutex);
-  DropPartitionLocked(part);
+  NodePartition* part = nullptr;
+  {
+    std::lock_guard<std::mutex> plock(partitions_mutex_);
+    auto it = partitions_.find(node);
+    if (it == partitions_.end()) return;
+    part = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(part->mutex);
+  DropPartitionLocked(*part);
 }
 
 void TaskCache::DropAll() {
+  std::lock_guard<std::mutex> plock(partitions_mutex_);
   for (auto& [node, part] : partitions_) {
     std::lock_guard<std::mutex> lock(part->mutex);
     DropPartitionLocked(*part);
@@ -578,7 +938,15 @@ void TaskCache::SetEpochCursor(uint64_t position) {
 void TaskCache::Pin(size_t chunk_index) {
   auto owner = OwnerNodeOfChunk(chunk_index);
   if (!owner.ok()) return;
-  NodePartition& part = *partitions_.at(owner.value());
+  // Ownership can move between Pin and Unpin (rescale), so the pin's home
+  // partition is recorded; migration re-points it when the chunk moves.
+  {
+    std::lock_guard<std::mutex> lock(pin_mutex_);
+    auto it = pin_home_.find(chunk_index);
+    if (it != pin_home_.end()) return;  // already pinned (or stale no-op)
+    pin_home_[chunk_index] = owner.value();
+  }
+  NodePartition& part = PartitionFor(owner.value());
   std::lock_guard<std::mutex> lock(part.mutex);
   if (!part.pinned.insert(chunk_index).second) return;
   PfCounters().pinned_chunks.Add(1.0);
@@ -587,10 +955,18 @@ void TaskCache::Pin(size_t chunk_index) {
 }
 
 void TaskCache::Unpin(size_t chunk_index) {
-  auto owner = OwnerNodeOfChunk(chunk_index);
-  if (!owner.ok()) return;
-  NodePartition& part = *partitions_.at(owner.value());
+  sim::NodeId home = sim::kInvalidNode;
+  {
+    std::lock_guard<std::mutex> lock(pin_mutex_);
+    auto it = pin_home_.find(chunk_index);
+    if (it == pin_home_.end()) return;
+    home = it->second;
+    pin_home_.erase(it);
+  }
+  NodePartition& part = PartitionFor(home);
   std::lock_guard<std::mutex> lock(part.mutex);
+  // A dropped partition already released its pins; erase==0 means exactly
+  // that, and the gauge must not be decremented twice.
   if (part.pinned.erase(chunk_index) == 0) return;
   PfCounters().pinned_chunks.Add(-1.0);
   std::lock_guard<std::mutex> slock(stats_mutex_);
@@ -600,9 +976,10 @@ void TaskCache::Unpin(size_t chunk_index) {
 bool TaskCache::ChunkResident(size_t chunk_index) const {
   auto owner = OwnerNodeOfChunk(chunk_index);
   if (!owner.ok()) return false;
-  NodePartition& part = *partitions_.at(owner.value());
-  std::lock_guard<std::mutex> lock(part.mutex);
-  return part.chunks.count(chunk_index) > 0;
+  const NodePartition* part = FindPartition(owner.value());
+  if (part == nullptr) return false;
+  std::lock_guard<std::mutex> lock(part->mutex);
+  return part->chunks.count(chunk_index) > 0;
 }
 
 Result<TaskCache::PrefetchOutcome> TaskCache::PrefetchChunk(
@@ -610,7 +987,7 @@ Result<TaskCache::PrefetchOutcome> TaskCache::PrefetchChunk(
   PrefetchOutcome out;
   DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner, OwnerNodeOfChunk(chunk_index));
   {
-    NodePartition& part = *partitions_.at(owner);
+    NodePartition& part = PartitionFor(owner);
     std::lock_guard<std::mutex> lock(part.mutex);
     if (part.chunks.count(chunk_index) > 0) {
       out.already_resident = true;

@@ -28,6 +28,7 @@
 #include "core/client.h"
 #include "core/server.h"
 #include "core/snapshot.h"
+#include "membership/membership.h"
 #include "net/fabric.h"
 
 namespace diesel::cache {
@@ -86,9 +87,13 @@ struct TaskCacheStats {
   uint64_t prefetch_hits = 0;        // reads served by a fill that was ready
   uint64_t prefetch_late = 0;        // reads that waited out an in-flight fill
   uint64_t prefetch_wasted = 0;      // fills evicted/dropped before any read
+  uint64_t migrated_chunks = 0;      // chunks streamed peer->peer on rescale
+  uint64_t migrated_bytes = 0;       // bytes those migrations moved
+  uint64_t reown_chunks = 0;         // chunks re-fetched from the backend
+  uint64_t reown_skipped = 0;        // re-own skipped: oracle says dead
 };
 
-class TaskCache {
+class TaskCache : public membership::MembershipListener {
  public:
   /// `snapshot` provides the chunk list and file->chunk mapping; `server`
   /// is the backend for misses. Both must outlive the cache.
@@ -105,8 +110,37 @@ class TaskCache {
   /// deduplicates the master<->master pairs into undirected edges.)
   size_t connections_opened() const { return connections_opened_; }
 
-  /// Owner node of a chunk (round-robin over master nodes).
+  /// Owner node of a chunk. With a membership table attached this is the
+  /// consistent-hash ring owner (a join/leave moves only ~1/N of chunks);
+  /// without one, the original static round-robin over the registration-time
+  /// master nodes (perfectly balanced, and what every fixed-membership bench
+  /// is calibrated against).
   Result<sim::NodeId> OwnerNodeOfChunk(size_t chunk_index) const;
+
+  // ---- Elastic membership (src/membership) -------------------------------
+
+  /// Switch ownership to `table`'s consistent-hash ring and subscribe for
+  /// churn. Call once, after Bootstrap and before any joins/drains/crashes;
+  /// attach the cache BEFORE any prefetch scheduler so migration runs first.
+  /// The table must outlive the cache.
+  void AttachMembership(membership::MembershipTable& table);
+
+  /// Membership churn entry point (MembershipListener). Planned changes
+  /// (join / drain-start / recover) stream the moved resident chunks from
+  /// their old owner to the new one on detached migration clocks — demand
+  /// reads keep hitting the old owner until a move lands, so nothing ever
+  /// stalls. A crash drops the lost partition and (oneshot policy) re-owns
+  /// the moved chunks from the backend; drain-complete finalizes the moves
+  /// and drops whatever the drained node still held.
+  void OnMembershipChange(const membership::MembershipChange& change) override;
+
+  /// Virtual time the last membership transition fully landed (max over its
+  /// migration arrivals / re-own finishes); 0 before any churn. The bench's
+  /// recovery-time objective is measured against this.
+  Nanos last_transition_end() const;
+
+  /// Number of migrations recorded but not yet finalized (moves in flight).
+  size_t migrations_in_flight() const;
 
   /// Oneshot policy: every master pulls its partition from the server.
   /// Loader clocks start at `start`; returns the time the slowest node
@@ -216,6 +250,39 @@ class TaskCache {
   /// Preload the partition of a single node; returns its finish time.
   Result<Nanos> PreloadPartition(sim::NodeId node, Nanos start);
 
+  /// Re-own `chunks` into `node` from the backend on detached stream clocks,
+  /// skipping chunks the installed Belady oracle declares dead for the rest
+  /// of the epoch (counted under reown_skipped — bytes the training loop
+  /// will never read are not worth re-loading). Returns the finish time.
+  Result<Nanos> ReownChunks(sim::NodeId node, const std::vector<size_t>& chunks,
+                            Nanos start);
+
+  /// The chunks `node` currently owns (ownership map at call time).
+  std::vector<size_t> OwnedChunkList(sim::NodeId node) const;
+
+  /// Nodes that own partitions right now (membership's active set, or the
+  /// static registration-time master nodes).
+  std::vector<sim::NodeId> CurrentOwnerNodes() const;
+
+  /// Partition of `node`, created on first use (nodes can join mid-task).
+  NodePartition& PartitionFor(sim::NodeId node);
+  /// Read-only lookup; nullptr when the node never held a partition.
+  const NodePartition* FindPartition(sim::NodeId node) const;
+
+  /// Node a read of `chunk_index` should hit at `now`: the ring owner,
+  /// indirected through any in-flight migration (the old owner keeps serving
+  /// until the move's arrival time passes, then the move is finalized).
+  Result<sim::NodeId> ServingOwner(size_t chunk_index, Nanos now);
+
+  /// Erase the migration source copy once the move landed. Caller holds
+  /// migration_mutex_; takes the source partition lock.
+  void FinalizeMigration(size_t chunk_index, sim::NodeId from);
+
+  /// Stream the resident moved chunks of a planned change to their new
+  /// owners and schedule crash re-owns; updates chunk_owner_ and
+  /// last_transition_end_.
+  void MigrateForChange(const membership::MembershipChange& change);
+
   /// Make `chunk_index` resident on `owner`, loading from the server on a
   /// miss (charges `clock`). No-op when already resident.
   Status EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
@@ -257,6 +324,25 @@ class TaskCache {
   std::vector<sim::NodeId> owner_nodes_;  // master nodes, partition targets
   mutable std::mutex partitions_mutex_;
   std::unordered_map<sim::NodeId, std::unique_ptr<NodePartition>> partitions_;
+  /// Elastic membership (null = static round-robin ownership). Set once by
+  /// AttachMembership before churn starts; hot paths read it lock-free.
+  std::atomic<membership::MembershipTable*> membership_{nullptr};
+  /// In-flight move of one chunk: the old owner serves reads until
+  /// ready_at, after which the source copy is finalized away.
+  struct MigrationRec {
+    sim::NodeId from = sim::kInvalidNode;
+    sim::NodeId to = sim::kInvalidNode;
+    Nanos ready_at = 0;
+  };
+  /// Guards migrations_, chunk_owner_ and last_transition_end_. Ordering:
+  /// migration_mutex_ before any partition mutex, never the reverse.
+  mutable std::mutex migration_mutex_;
+  std::unordered_map<size_t, MigrationRec> migrations_;
+  std::vector<sim::NodeId> chunk_owner_;  // ownership snapshot (attached mode)
+  Nanos last_transition_end_ = 0;
+  /// Where each live pin landed (ownership may move between Pin and Unpin).
+  mutable std::mutex pin_mutex_;
+  std::unordered_map<size_t, sim::NodeId> pin_home_;
   mutable std::mutex stats_mutex_;
   TaskCacheStats stats_;
   /// One breaker per owner node (std::map: stable references under insert).

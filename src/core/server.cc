@@ -447,9 +447,12 @@ Result<RecoveryStats> DieselServer::RecoverMetadata(sim::VirtualClock& clock,
                                                     const std::string& dataset,
                                                     uint32_t from_ts_sec) {
   RecoveryStats stats;
+  const RetryPolicy& rp = options_.recovery_retry;
   DIESEL_ASSIGN_OR_RETURN(
       std::vector<std::string> keys,
-      store_.List(clock, options_.node, ChunkObjectPrefix(dataset)));
+      rp.RunResult<std::vector<std::string>>(clock, [&] {
+        return store_.List(clock, options_.node, ChunkObjectPrefix(dataset));
+      }));
   // Keys are lexicographically sorted == chunk write order (base64lex).
   DatasetMeta dm;
   size_t prefix = ChunkObjectPrefix(dataset).size();
@@ -459,11 +462,17 @@ Result<RecoveryStats> DieselServer::RecoverMetadata(sim::VirtualClock& clock,
     if (from_ts_sec != 0 && id.timestamp_sec() < from_ts_sec) continue;
     // Header-only read: peek the header length, then fetch just the header.
     DIESEL_ASSIGN_OR_RETURN(Bytes first12,
-                            store_.GetRange(clock, options_.node, key, 0, 12));
+                            rp.RunResult<Bytes>(clock, [&] {
+                              return store_.GetRange(clock, options_.node,
+                                                     key, 0, 12);
+                            }));
     DIESEL_ASSIGN_OR_RETURN(uint32_t header_len,
                             ChunkView::PeekHeaderLen(first12));
-    DIESEL_ASSIGN_OR_RETURN(
-        Bytes header, store_.GetRange(clock, options_.node, key, 0, header_len));
+    DIESEL_ASSIGN_OR_RETURN(Bytes header,
+                            rp.RunResult<Bytes>(clock, [&] {
+                              return store_.GetRange(clock, options_.node,
+                                                     key, 0, header_len);
+                            }));
     stats.header_bytes_read += header_len + 12;
     DIESEL_ASSIGN_OR_RETURN(ChunkView view, ChunkView::ParseHeaderOnly(header));
 
@@ -487,7 +496,9 @@ Result<RecoveryStats> DieselServer::RecoverMetadata(sim::VirtualClock& clock,
     ChunkMeta cm;
     cm.update_ts_ns = view.create_ts_ns();
     DIESEL_ASSIGN_OR_RETURN(uint64_t blob_size,
-                            store_.Size(clock, options_.node, key));
+                            rp.RunResult<uint64_t>(clock, [&] {
+                              return store_.Size(clock, options_.node, key);
+                            }));
     cm.size = blob_size;
     cm.header_len = view.header_len();
     cm.num_files = static_cast<uint32_t>(view.entries().size());

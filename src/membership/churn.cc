@@ -1,0 +1,132 @@
+#include "membership/churn.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace diesel::membership {
+
+const char* ToString(ChurnEvent::Kind kind) {
+  switch (kind) {
+    case ChurnEvent::Kind::kJoin: return "join";
+    case ChurnEvent::Kind::kDrainStart: return "drain_start";
+    case ChurnEvent::Kind::kDrainComplete: return "drain_complete";
+    case ChurnEvent::Kind::kCrash: return "crash";
+    case ChurnEvent::Kind::kRecover: return "recover";
+  }
+  return "?";
+}
+
+ChurnSchedule ChurnSchedule::Generate(
+    const ChurnScheduleOptions& options,
+    const std::vector<sim::NodeId>& initial_nodes,
+    const std::vector<sim::NodeId>& spare_nodes) {
+  ChurnSchedule sched;
+  Rng rng(options.seed);
+  // Simulated sets (std::set: deterministic pick-by-index order).
+  std::set<sim::NodeId> active(initial_nodes.begin(), initial_nodes.end());
+  std::set<sim::NodeId> spare(spare_nodes.begin(), spare_nodes.end());
+  // Nodes already scheduled to leave/return later; excluded from further
+  // draws so expansion events never contradict a primary one.
+  std::set<sim::NodeId> busy;
+
+  auto pick = [&rng](const std::set<sim::NodeId>& pool,
+                     const std::set<sim::NodeId>& exclude,
+                     sim::NodeId* out) {
+    std::vector<sim::NodeId> eligible;
+    for (sim::NodeId n : pool) {
+      if (exclude.count(n) == 0) eligible.push_back(n);
+    }
+    if (eligible.empty()) return false;
+    *out = eligible[rng.Uniform(eligible.size())];
+    return true;
+  };
+
+  const uint32_t total_weight =
+      options.join_weight + options.drain_weight + options.crash_weight;
+  for (size_t i = 0; i < options.events && total_weight > 0; ++i) {
+    Nanos at = options.horizon == 0 ? 0 : rng.Uniform(options.horizon);
+    uint64_t w = rng.Uniform(total_weight);
+    sim::NodeId node = sim::kInvalidNode;
+    if (w < options.join_weight) {
+      if (!pick(spare, busy, &node)) continue;
+      spare.erase(node);
+      active.insert(node);
+      sched.events_.push_back({ChurnEvent::Kind::kJoin, node, at});
+    } else if (w < options.join_weight + options.drain_weight) {
+      if (active.size() <= options.min_active) continue;
+      if (!pick(active, busy, &node)) continue;
+      busy.insert(node);  // leaves at at+grace; don't re-draw meanwhile
+      active.erase(node);
+      sched.events_.push_back({ChurnEvent::Kind::kDrainStart, node, at});
+      sched.events_.push_back(
+          {ChurnEvent::Kind::kDrainComplete, node, at + options.drain_grace});
+    } else {
+      if (active.size() <= options.min_active) continue;
+      if (!pick(active, busy, &node)) continue;
+      sched.events_.push_back({ChurnEvent::Kind::kCrash, node, at});
+      if (options.crash_outage > 0) {
+        busy.insert(node);  // down until recovery fires
+        sched.events_.push_back(
+            {ChurnEvent::Kind::kRecover, node, at + options.crash_outage});
+      } else {
+        active.erase(node);
+      }
+    }
+  }
+  // Stable: ties (same timestamp) keep draw order, so the expansion is a
+  // pure function of the seed.
+  std::stable_sort(sched.events_.begin(), sched.events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sched;
+}
+
+net::FaultPlan ChurnSchedule::ToFaultPlan(net::FaultPlan base) const {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].kind != ChurnEvent::Kind::kCrash) continue;
+    Nanos up = ~Nanos{0};  // never recovers unless a recovery follows
+    for (size_t j = i + 1; j < events_.size(); ++j) {
+      if (events_[j].kind == ChurnEvent::Kind::kRecover &&
+          events_[j].node == events_[i].node) {
+        up = events_[j].at;
+        break;
+      }
+    }
+    base.node_flaps.push_back(net::NodeFlap{events_[i].node, events_[i].at,
+                                            up});
+  }
+  return base;
+}
+
+size_t ChurnDriver::AdvanceTo(Nanos now) {
+  size_t fired = 0;
+  const std::vector<ChurnEvent>& events = schedule_.events();
+  while (next_ < events.size() && events[next_].at <= now) {
+    const ChurnEvent& e = events[next_];
+    switch (e.kind) {
+      case ChurnEvent::Kind::kJoin:
+        table_.Join(e.node, e.at);
+        break;
+      case ChurnEvent::Kind::kDrainStart:
+        table_.StartDrain(e.node, e.at);
+        break;
+      case ChurnEvent::Kind::kDrainComplete:
+        table_.CompleteDrain(e.node, e.at);
+        break;
+      case ChurnEvent::Kind::kCrash:
+        table_.Crash(e.node, e.at);
+        break;
+      case ChurnEvent::Kind::kRecover:
+        table_.Recover(e.node, e.at);
+        break;
+    }
+    ++next_;
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace diesel::membership

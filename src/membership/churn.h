@@ -1,0 +1,99 @@
+// Seeded, bit-reproducible churn schedules.
+//
+// A ChurnSchedule expands a seed into a virtual-time sequence of membership
+// events — planned drains (announce -> migrate -> depart), crashes (lose the
+// partition -> re-own) with optional recovery, and joins — over a pool of
+// candidate nodes. Generation simulates the active set so every event is
+// legal when it fires (never drain the last node, never crash an absent
+// one), and the same seed always yields the same event list.
+//
+// Crashes double as network faults: ToFaultPlan() materializes each crash
+// window as a net::NodeFlap so the same schedule replays through the
+// existing FaultInjector — RPCs to a crashed node fail with the plan's
+// detect timeout exactly like PR 1's flap machinery.
+//
+// A ChurnDriver applies due events to a MembershipTable as virtual time
+// advances; the training loop (or a bench) calls AdvanceTo(now) from its
+// batch hook.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "membership/membership.h"
+#include "net/fault_injector.h"
+#include "sim/node.h"
+
+namespace diesel::membership {
+
+struct ChurnEvent {
+  enum class Kind { kJoin, kDrainStart, kDrainComplete, kCrash, kRecover };
+  Kind kind = Kind::kJoin;
+  sim::NodeId node = sim::kInvalidNode;
+  Nanos at = 0;
+};
+
+const char* ToString(ChurnEvent::Kind kind);
+
+struct ChurnScheduleOptions {
+  uint64_t seed = 1;
+  /// Number of *primary* events (join / drain / crash) to draw. Drains also
+  /// emit their completion and crashes their recovery, so the expanded
+  /// event list is longer.
+  size_t events = 4;
+  /// Primary events are drawn uniformly in [0, horizon).
+  Nanos horizon = Seconds(10.0);
+  /// A planned drain departs this long after its announcement (fixed, so
+  /// drain windows are deterministic).
+  Nanos drain_grace = Millis(200);
+  /// A crashed node recovers (rejoins) after this outage; 0 = stays down.
+  Nanos crash_outage = Millis(500);
+  /// Relative weights for drawing each primary event kind.
+  uint32_t join_weight = 1;
+  uint32_t drain_weight = 1;
+  uint32_t crash_weight = 1;
+  /// The active set is never drained/crashed below this size.
+  size_t min_active = 1;
+};
+
+class ChurnSchedule {
+ public:
+  /// Expand `options.seed` into an event list. `initial_nodes` are active at
+  /// t=0 (the table's Bootstrap set); `spare_nodes` is the join pool.
+  static ChurnSchedule Generate(const ChurnScheduleOptions& options,
+                                const std::vector<sim::NodeId>& initial_nodes,
+                                const std::vector<sim::NodeId>& spare_nodes);
+
+  /// Expanded events, sorted by (time, draw order) — deterministic.
+  const std::vector<ChurnEvent>& events() const { return events_; }
+
+  /// Crash windows as node flaps (plus the given base-plan fields), so the
+  /// schedule's unplanned churn replays through the FaultInjector.
+  net::FaultPlan ToFaultPlan(net::FaultPlan base = {}) const;
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+/// Applies a schedule's due events to a table as virtual time advances.
+class ChurnDriver {
+ public:
+  ChurnDriver(MembershipTable& table, const ChurnSchedule& schedule)
+      : table_(table), schedule_(schedule) {}
+
+  /// Fire every event with at <= now that has not fired yet, in order.
+  /// Returns the number fired.
+  size_t AdvanceTo(Nanos now);
+
+  /// Events already fired.
+  size_t fired() const { return next_; }
+  bool Done() const { return next_ >= schedule_.events().size(); }
+
+ private:
+  MembershipTable& table_;
+  const ChurnSchedule& schedule_;
+  size_t next_ = 0;
+};
+
+}  // namespace diesel::membership

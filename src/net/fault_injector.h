@@ -54,11 +54,24 @@ struct LinkDropRule {
   double drop_prob = 0.0;
 };
 
+/// One-way link failure during [start, end): RPCs src->dst drop with
+/// `drop_prob` while dst->src keeps delivering — the half-split churn tests
+/// need (a node everyone hears but nobody reaches, and vice versa). Rolled
+/// with the same seeded hash as plain drops, so replays are deterministic.
+struct AsymmetricPartition {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  Nanos start = 0;
+  Nanos end = ~Nanos{0};
+  double drop_prob = 1.0;
+};
+
 struct FaultPlan {
   uint64_t seed = 1;
   /// Drop probability applied to every inter-node RPC (loopback is exempt).
   double rpc_drop_prob = 0.0;
   std::vector<LinkDropRule> link_drops;
+  std::vector<AsymmetricPartition> asym_partitions;
   std::vector<NodeFlap> node_flaps;
   std::vector<LatencySpike> latency_spikes;
   /// Chunk indices whose next fetch returns a corrupted payload (one-shot
@@ -75,6 +88,7 @@ struct FaultInjectorStats {
   uint64_t latency_spike_hits = 0;
   uint64_t corruptions_injected = 0;
   uint64_t flaps_fired = 0;
+  uint64_t asym_drops = 0;  // drops charged to a one-way partition rule
 };
 
 class FaultInjector {

@@ -15,6 +15,8 @@ struct SchedCounters {
       obs::Metrics().GetCounter("prefetch.skipped_resident");
   obs::Counter& skipped_down =
       obs::Metrics().GetCounter("prefetch.skipped_down");
+  obs::Counter& rescales = obs::Metrics().GetCounter("prefetch.rescales");
+  obs::Counter& retargeted = obs::Metrics().GetCounter("prefetch.retargeted");
   obs::Histo& queue_depth =
       obs::Metrics().GetHistogram("prefetch.queue_depth");
 };
@@ -103,7 +105,105 @@ void PrefetchScheduler::Advance(size_t position, Nanos now) {
   AdvanceLocked(position, now);
 }
 
+void PrefetchScheduler::AttachMembership(membership::MembershipTable& table) {
+  table.Subscribe(this);
+}
+
+void PrefetchScheduler::OnMembershipChange(
+    const membership::MembershipChange& change) {
+  if (change.kind == membership::ChangeKind::kBootstrap) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) return;
+  RescaleLocked(change.at);
+}
+
+void PrefetchScheduler::RescaleLocked(Nanos now) {
+  Counters().rescales.Inc();
+  ++stats_.rescales;
+
+  // Everything not yet issued goes back in the pot; everything issued is
+  // already accounted (completed or cancelled at issue time), so the
+  // invariant needs no repair.
+  std::vector<char> pending(chunk_bytes_.size(), 0);
+  for (const NodeState& ns : nodes_) {
+    for (size_t i = ns.next; i < ns.fill_order.size(); ++i) {
+      pending[ns.fill_order[i]] = 1;
+    }
+  }
+
+  // Collect the live pins; they follow their chunks to the new owners'
+  // budget books. Deques must stay in first-access order for the release
+  // scan, so they are re-distributed by a stable first-access sort.
+  std::vector<PinRec> pins;
+  for (NodeState& ns : nodes_) {
+    for (const PinRec& p : ns.pins) pins.push_back(p);
+  }
+  std::stable_sort(pins.begin(), pins.end(),
+                   [](const PinRec& a, const PinRec& b) {
+                     return a.first_access < b.first_access;
+                   });
+
+  // Surviving nodes keep their stream clocks (in-flight fill tails stay
+  // charged); new owners start fresh at `now`.
+  std::vector<NodeState> old_nodes = std::move(nodes_);
+  nodes_.clear();
+  auto slot_for = [&](sim::NodeId node) -> NodeState& {
+    for (NodeState& ns : nodes_) {
+      if (ns.node == node) return ns;
+    }
+    nodes_.emplace_back();
+    NodeState& ns = nodes_.back();
+    ns.node = node;
+    for (NodeState& old : old_nodes) {
+      if (old.node == node) {
+        ns.streams = std::move(old.streams);
+        for (sim::VirtualClock& st : ns.streams) st.AdvanceTo(now);
+        break;
+      }
+    }
+    if (ns.streams.empty()) {
+      ns.streams.assign(options_.streams_per_node, sim::VirtualClock(now));
+    }
+    return ns;
+  };
+
+  // Re-bucket pending fills by the post-migration owner, preserving
+  // first-access order within each node.
+  for (size_t ci : schedule_->chunks_by_first_access()) {
+    if (pending[ci] == 0) continue;
+    auto owner = cache_.OwnerNodeOfChunk(ci);
+    if (!owner.ok()) continue;
+    NodeState& ns = slot_for(*owner);
+    ns.fill_order.push_back(ci);
+    bool moved = true;
+    for (const NodeState& old : old_nodes) {
+      for (size_t i = old.next; i < old.fill_order.size(); ++i) {
+        if (old.fill_order[i] == ci) {
+          moved = old.node != *owner;
+          break;
+        }
+      }
+    }
+    if (moved) {
+      Counters().retargeted.Inc();
+      ++stats_.retargeted;
+    }
+  }
+  for (const PinRec& p : pins) {
+    auto owner = cache_.OwnerNodeOfChunk(p.chunk);
+    if (!owner.ok()) continue;
+    NodeState& ns = slot_for(*owner);
+    ns.pins.push_back(p);
+    ns.outstanding_bytes += p.bytes;
+  }
+
+  // The new window opens immediately: fills the rescale newly admits are
+  // issued from the current cursor.
+  AdvanceLocked(last_position_, now);
+}
+
 void PrefetchScheduler::AdvanceLocked(size_t position, Nanos now) {
+  last_position_ = position;
   cache_.SetEpochCursor(position);
   // Release pins the cursor has passed: once a chunk's first access is
   // behind us the Belady oracle (or FIFO age) decides its fate like any

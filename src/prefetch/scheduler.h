@@ -26,6 +26,7 @@
 
 #include "cache/task_cache.h"
 #include "core/snapshot.h"
+#include "membership/membership.h"
 #include "net/fabric.h"
 #include "prefetch/access_schedule.h"
 #include "shuffle/shuffle.h"
@@ -55,9 +56,11 @@ struct PrefetchSchedulerStats {
   uint64_t cancelled = 0;         // started but aborted (error / capacity)
   uint64_t skipped_resident = 0;  // schedule entries already cached
   uint64_t skipped_down = 0;      // owner flapped at issue time — not started
+  uint64_t rescales = 0;          // membership epochs the schedule survived
+  uint64_t retargeted = 0;        // pending fills re-bucketed to a new owner
 };
 
-class PrefetchScheduler {
+class PrefetchScheduler : public membership::MembershipListener {
  public:
   /// All references must outlive the scheduler. `snapshot` must be the one
   /// the cache serves.
@@ -84,6 +87,19 @@ class PrefetchScheduler {
   /// Idempotent; also run by StartEpoch and the destructor.
   void FinishEpoch();
 
+  /// Subscribe to membership churn: every epoch bump recomputes the fill
+  /// schedule against the new chunk ownership. Attach the cache to the same
+  /// table FIRST — the scheduler re-buckets against post-migration
+  /// ownership. The table must outlive the scheduler.
+  void AttachMembership(membership::MembershipTable& table);
+
+  /// Membership epoch boundary (MembershipListener): pending fills are
+  /// re-bucketed to their new owner nodes (first-access order preserved),
+  /// live pins follow their chunks, and surviving stream clocks carry over
+  /// so in-flight work is never double-counted — `issued == completed +
+  /// cancelled` holds across any churn sequence.
+  void OnMembershipChange(const membership::MembershipChange& change) override;
+
   /// The current epoch's schedule (nullptr between epochs).
   const AccessSchedule* schedule() const;
 
@@ -108,6 +124,7 @@ class PrefetchScheduler {
 
   void AdvanceLocked(size_t position, Nanos now);
   void IssueFillsLocked(size_t position, Nanos now);
+  void RescaleLocked(Nanos now);
   uint64_t EffectiveBudget() const;
 
   cache::TaskCache& cache_;
@@ -121,6 +138,7 @@ class PrefetchScheduler {
   std::unique_ptr<AccessSchedule> schedule_;
   std::vector<NodeState> nodes_;
   PrefetchSchedulerStats stats_;
+  size_t last_position_ = 0;  // latest Advance cursor (rescales resume here)
 };
 
 }  // namespace diesel::prefetch

@@ -17,6 +17,7 @@
 //   dlcmd --root DIR prefetch <dataset> [group-size] [nodes] [seed]
 //   dlcmd perf merge <dir> [-o out.json] [--strip-registry]
 //   dlcmd perf diff <baseline.json> <current.json> [--tol X] [--allow-missing]
+//   dlcmd membership <nodes> [target] [chunks] [seed]
 //
 // `stats` runs a small metadata workload (recover + list) and prints the
 // process-wide metrics registry; `trace` reads one file with the span
@@ -25,11 +26,16 @@
 // clairvoyant access schedule the prefetch scheduler would execute. `perf`
 // operates on bench report files and needs no --root: `merge` combines
 // per-bench `*.report.json` into one suite document, `diff` gates a suite
-// against a committed baseline (non-zero exit on regression).
+// against a committed baseline (non-zero exit on regression). `membership`
+// (also root-less) inspects the elastic-membership ring: ownership balance
+// at <nodes> members, the chunk-move fraction of a planned rescale to
+// [target] members versus the consistent-hashing ideal, and a seeded churn
+// replay with the resulting epoch log.
 //
 // The KV metadata tier is in-memory per invocation; `recover` rebuilds it
 // from the persisted self-contained chunks (which is also what every other
 // subcommand does on startup) — a live demonstration of §4.1.2.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -43,6 +49,8 @@
 #include "core/housekeeping.h"
 #include "core/server.h"
 #include "kv/cluster.h"
+#include "membership/churn.h"
+#include "membership/membership.h"
 #include "net/fabric.h"
 #include "obs/metrics.h"
 #include "obs/perf_diff.h"
@@ -111,12 +119,118 @@ int Usage() {
                "       dlcmd --root DIR prefetch <dataset> "
                "[group-size] [nodes] [seed]\n"
                "       dlcmd perf {merge|diff} ...\n"
+               "       dlcmd membership <nodes> [target] [chunks] [seed]\n"
                "stats prints the process-wide metrics registry; names are\n"
                "prefixed by subsystem: net.* (fabric RPCs), kv.* (metadata\n"
                "tier), core.* (server/client), cache.* (task cache),\n"
                "shuffle.* (chunk-wise shuffle), dlt.* (training pipeline),\n"
                "prefetch.* (clairvoyant prefetch scheduler).\n");
   return 2;
+}
+
+// Ring inspector: balance, rescale move fraction, seeded churn replay.
+// Needs no deployment — it exercises the MembershipTable directly.
+int MembershipCommand(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 4) return Usage();
+  size_t nodes = std::stoul(args[0]);
+  size_t target = args.size() > 1 ? std::stoul(args[1]) : nodes;
+  size_t chunks = args.size() > 2 ? std::stoul(args[2]) : 4096;
+  uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 42;
+  if (nodes == 0 || target == 0 || chunks == 0) {
+    std::fprintf(stderr, "dlcmd: nodes/target/chunks must be > 0\n");
+    return 1;
+  }
+
+  membership::MembershipTable table;
+  std::vector<sim::NodeId> initial(nodes);
+  for (size_t i = 0; i < nodes; ++i) initial[i] = static_cast<sim::NodeId>(i);
+  table.Bootstrap(initial, 0);
+
+  auto owners_of = [&](std::vector<sim::NodeId>& out) {
+    out.resize(chunks);
+    for (size_t ci = 0; ci < chunks; ++ci) {
+      auto owner = table.OwnerOfChunk(ci);
+      out[ci] = owner.ok() ? owner.value() : sim::kInvalidNode;
+    }
+  };
+
+  std::vector<sim::NodeId> before;
+  owners_of(before);
+  double min_frac = 1.0, max_frac = 0.0;
+  for (sim::NodeId n : initial) {
+    double f = table.OwnedFraction(n);
+    min_frac = std::min(min_frac, f);
+    max_frac = std::max(max_frac, f);
+  }
+  std::printf("ring: %zu nodes, %zu chunks; owned fraction min %.4f max %.4f "
+              "(ideal %.4f, imbalance %.2fx)\n",
+              nodes, chunks, min_frac, max_frac, 1.0 / nodes,
+              min_frac > 0 ? max_frac / min_frac : 0.0);
+
+  if (target != nodes) {
+    // Planned rescale: join spares or drain the highest ids, then measure
+    // how many chunk owners actually changed against the consistent-hash
+    // ideal (|target - nodes| / max(nodes, target) of the space).
+    Nanos at = Millis(1);
+    if (target > nodes) {
+      for (size_t n = nodes; n < target; ++n) {
+        table.Join(static_cast<sim::NodeId>(n), at);
+        at += Millis(1);
+      }
+    } else {
+      for (size_t n = target; n < nodes; ++n) {
+        table.StartDrain(static_cast<sim::NodeId>(n), at);
+        table.CompleteDrain(static_cast<sim::NodeId>(n), at + Millis(1));
+        at += Millis(2);
+      }
+    }
+    std::vector<sim::NodeId> after;
+    owners_of(after);
+    size_t moved = 0;
+    for (size_t ci = 0; ci < chunks; ++ci) {
+      if (after[ci] != before[ci]) ++moved;
+    }
+    double ideal = static_cast<double>(target > nodes ? target - nodes
+                                                      : nodes - target) /
+                   static_cast<double>(std::max(nodes, target));
+    std::printf("rescale %zu -> %zu: moved %zu/%zu chunks (%.4f of the "
+                "space; consistent-hash ideal %.4f) across %llu epochs\n",
+                nodes, target, moved, chunks,
+                static_cast<double>(moved) / chunks, ideal,
+                static_cast<unsigned long long>(table.epoch() - 1));
+  }
+
+  // Seeded churn replay over the post-rescale set: expand the seed into a
+  // schedule, drive the table through it, and dump the epoch log.
+  std::vector<sim::NodeId> active = table.ActiveNodes();
+  std::vector<sim::NodeId> spares;
+  for (size_t i = 0; i < 4; ++i) {
+    spares.push_back(static_cast<sim::NodeId>(std::max(nodes, target) + i));
+  }
+  membership::ChurnScheduleOptions copts;
+  copts.seed = seed;
+  copts.events = 6;
+  copts.min_active = std::max<size_t>(1, active.size() / 2);
+  membership::ChurnSchedule schedule =
+      membership::ChurnSchedule::Generate(copts, active, spares);
+  uint64_t epoch_before = table.epoch();
+  membership::ChurnDriver driver(table, schedule);
+  driver.AdvanceTo(copts.horizon);
+  std::printf("churn(seed %llu): %zu events fired, epoch %llu -> %llu, "
+              "%zu nodes active\n",
+              static_cast<unsigned long long>(seed), driver.fired(),
+              static_cast<unsigned long long>(epoch_before),
+              static_cast<unsigned long long>(table.epoch()),
+              table.NumActive());
+  for (const membership::MembershipChange& c : table.Log()) {
+    if (c.epoch <= epoch_before) continue;
+    std::printf("  epoch %-4llu %-13s n%-3llu @ %8.1f ms\n",
+                static_cast<unsigned long long>(c.epoch),
+                membership::ToString(c.kind),
+                static_cast<unsigned long long>(c.node),
+                static_cast<double>(c.at) / 1e6);
+  }
+  return 0;
 }
 
 core::DieselClient MakeClient(Cli& cli, const std::string& dataset) {
@@ -132,6 +246,10 @@ int Main(int argc, char** argv) {
   if (!args.empty() && args[0] == "perf") {
     return obs::PerfCommand({args.begin() + 1, args.end()}, std::cout,
                             std::cerr);
+  }
+  // `membership` inspects the elastic-membership ring — no deployment either.
+  if (!args.empty() && args[0] == "membership") {
+    return MembershipCommand({args.begin() + 1, args.end()});
   }
   if (args.size() < 3 || args[0] != "--root") return Usage();
   fs::path root = args[1];

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace diesel {
 namespace {
 
@@ -63,6 +67,65 @@ TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherCooldown) {
   EXPECT_EQ(br.state(), State::kOpen);
   EXPECT_FALSE(br.AllowRequest(Millis(19)));
   EXPECT_TRUE(br.AllowRequest(Millis(20)));  // next probe window
+}
+
+// The half-open probe slot under OS-thread contention: many callers arrive
+// at the same virtual instant after the cooldown, and exactly one of them
+// may win the probe regardless of interleaving.
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneConcurrentProbe) {
+  constexpr int kThreads = 16;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    CircuitBreaker br({.failure_threshold = 1, .cooldown = Millis(10)});
+    ASSERT_EQ(br.OnFailure(0), CircuitBreaker::Transition::kOpened);
+    std::atomic<int> admitted{0};
+    std::atomic<int> start_gate{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        start_gate.fetch_add(1);
+        while (start_gate.load() < kThreads) {
+        }  // spin: maximize overlap
+        if (br.AllowRequest(Millis(10))) admitted.fetch_add(1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(admitted.load(), 1);
+    EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+    // The slot stays held until the winner reports an outcome.
+    EXPECT_FALSE(br.AllowRequest(Millis(11)));
+  }
+}
+
+// A failed probe re-opens the breaker with the FULL cooldown measured from
+// the failure, and concurrent stragglers racing the failed probe must not
+// sneak a second probe into the re-opened window.
+TEST(CircuitBreakerTest, ConcurrentProbeFailureReopensWithFullBackoff) {
+  CircuitBreaker br({.failure_threshold = 1, .cooldown = Millis(10)});
+  ASSERT_EQ(br.OnFailure(0), CircuitBreaker::Transition::kOpened);
+  ASSERT_TRUE(br.AllowRequest(Millis(10)));  // win the probe slot
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  // Stragglers hammer AllowRequest while the probe's failure is reported.
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (br.AllowRequest(Millis(10))) admitted.fetch_add(1);
+      }
+    });
+  }
+  EXPECT_EQ(br.OnFailure(Millis(12)), CircuitBreaker::Transition::kNone);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 0);  // nobody else ever held the slot
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  // Full backoff from the probe failure: closed to requests until
+  // failure_time + cooldown, not until the original open's deadline.
+  EXPECT_FALSE(br.AllowRequest(Millis(12)));
+  EXPECT_FALSE(br.AllowRequest(Millis(21)));
+  EXPECT_TRUE(br.AllowRequest(Millis(22)));
+  // A reopen caused by a probe is the same outage, not a new one.
+  EXPECT_EQ(br.times_opened(), 1u);
 }
 
 TEST(CircuitBreakerTest, RecoveryAfterReopenCycle) {

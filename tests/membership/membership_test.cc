@@ -1,0 +1,169 @@
+#include "membership/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace diesel::membership {
+namespace {
+
+std::vector<sim::NodeId> Nodes(size_t n, sim::NodeId first = 0) {
+  std::vector<sim::NodeId> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = first + static_cast<sim::NodeId>(i);
+  return out;
+}
+
+TEST(MembershipTableTest, BootstrapInstallsEpochOne) {
+  MembershipTable table;
+  table.Bootstrap(Nodes(4), Millis(1));
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_EQ(table.NumActive(), 4u);
+  EXPECT_EQ(table.StateOf(2), NodeState::kActive);
+  EXPECT_EQ(table.StateOf(99), NodeState::kDown);
+  ASSERT_EQ(table.Log().size(), 1u);
+  EXPECT_EQ(table.Log()[0].kind, ChangeKind::kBootstrap);
+  EXPECT_EQ(table.Log()[0].at, Millis(1));
+}
+
+TEST(MembershipTableTest, EveryMutationBumpsEpochExactlyOnce) {
+  MembershipTable table;
+  table.Bootstrap(Nodes(3), 0);
+  uint64_t e = table.epoch();
+  EXPECT_EQ(table.Join(10, Millis(1)), e + 1);
+  EXPECT_EQ(table.StartDrain(0, Millis(2)), e + 2);
+  EXPECT_EQ(table.CompleteDrain(0, Millis(3)), e + 3);
+  EXPECT_EQ(table.Crash(1, Millis(4)), e + 4);
+  EXPECT_EQ(table.Recover(1, Millis(5)), e + 5);
+  // The log is the epoch sequence, strictly increasing.
+  uint64_t prev = 0;
+  for (const MembershipChange& c : table.Log()) {
+    EXPECT_GT(c.epoch, prev);
+    prev = c.epoch;
+  }
+}
+
+TEST(MembershipTableTest, InvalidTransitionsAreNoOps) {
+  MembershipTable table;
+  table.Bootstrap(Nodes(2), 0);
+  uint64_t e = table.epoch();
+  EXPECT_EQ(table.Join(0, Millis(1)), e);           // already a member
+  EXPECT_EQ(table.StartDrain(50, Millis(1)), e);    // never seen
+  EXPECT_EQ(table.CompleteDrain(1, Millis(1)), e);  // not draining
+  EXPECT_EQ(table.Recover(1, Millis(1)), e);        // not down
+  EXPECT_EQ(table.NumActive(), 2u);
+}
+
+TEST(MembershipTableTest, NeverRemovesTheLastActiveNode) {
+  MembershipTable table;
+  table.Bootstrap(Nodes(2), 0);
+  table.Crash(0, Millis(1));
+  uint64_t e = table.epoch();
+  EXPECT_EQ(table.Crash(1, Millis(2)), e);       // last member stays
+  EXPECT_EQ(table.StartDrain(1, Millis(2)), e);  // same for drains
+  EXPECT_EQ(table.NumActive(), 1u);
+  EXPECT_TRUE(table.OwnerOfChunk(7).ok());
+}
+
+TEST(MembershipTableTest, DrainingNodeStopsOwningButStaysDraining) {
+  MembershipTable table;
+  table.Bootstrap(Nodes(4), 0);
+  table.StartDrain(2, Millis(1));
+  EXPECT_EQ(table.StateOf(2), NodeState::kDraining);
+  EXPECT_EQ(table.NumActive(), 3u);
+  for (size_t ci = 0; ci < 500; ++ci) {
+    auto owner = table.OwnerOfChunk(ci);
+    ASSERT_TRUE(owner.ok());
+    EXPECT_NE(owner.value(), 2u);
+  }
+  EXPECT_DOUBLE_EQ(table.OwnedFraction(2), 0.0);
+  table.CompleteDrain(2, Millis(2));
+  EXPECT_EQ(table.StateOf(2), NodeState::kDown);
+}
+
+TEST(MembershipTableTest, CrashAndRecoverRestoreOwnership) {
+  MembershipTable table;
+  table.Bootstrap(Nodes(4), 0);
+  std::vector<sim::NodeId> before(300);
+  for (size_t ci = 0; ci < before.size(); ++ci) {
+    before[ci] = table.OwnerOfChunk(ci).value();
+  }
+  table.Crash(1, Millis(1));
+  for (size_t ci = 0; ci < before.size(); ++ci) {
+    EXPECT_NE(table.OwnerOfChunk(ci).value(), 1u);
+  }
+  table.Recover(1, Millis(2));
+  // Consistent hashing: recovery restores the exact pre-crash ownership.
+  for (size_t ci = 0; ci < before.size(); ++ci) {
+    EXPECT_EQ(table.OwnerOfChunk(ci).value(), before[ci]);
+  }
+}
+
+TEST(MembershipTableTest, JoinMovesAboutOneNthOfChunks) {
+  constexpr size_t kChunks = 4096;
+  for (size_t n : {8u, 32u}) {
+    MembershipTable table;
+    table.Bootstrap(Nodes(n), 0);
+    std::vector<sim::NodeId> before(kChunks);
+    for (size_t ci = 0; ci < kChunks; ++ci) {
+      before[ci] = table.OwnerOfChunk(ci).value();
+    }
+    table.Join(static_cast<sim::NodeId>(n), Millis(1));
+    size_t moved = 0;
+    for (size_t ci = 0; ci < kChunks; ++ci) {
+      sim::NodeId now = table.OwnerOfChunk(ci).value();
+      if (now != before[ci]) {
+        // Every move lands on the joiner — nothing shuffles between
+        // incumbents, the defining consistent-hashing property.
+        EXPECT_EQ(now, n);
+        ++moved;
+      }
+    }
+    double frac = static_cast<double>(moved) / kChunks;
+    double ideal = 1.0 / static_cast<double>(n + 1);
+    EXPECT_GT(frac, ideal / 4) << "n=" << n;
+    EXPECT_LT(frac, ideal * 4) << "n=" << n;
+  }
+}
+
+TEST(MembershipTableTest, ListenersNotifiedInSubscriptionOrder) {
+  struct Recorder : MembershipListener {
+    std::vector<std::pair<int, MembershipChange>>* sink = nullptr;
+    int id = 0;
+    void OnMembershipChange(const MembershipChange& change) override {
+      sink->push_back({id, change});
+    }
+  };
+  std::vector<std::pair<int, MembershipChange>> seen;
+  Recorder a, b;
+  a.sink = &seen;
+  a.id = 1;
+  b.sink = &seen;
+  b.id = 2;
+  MembershipTable table;
+  table.Subscribe(&a);
+  table.Subscribe(&b);
+  table.Bootstrap(Nodes(2), 0);
+  table.Join(5, Millis(3));
+  ASSERT_EQ(seen.size(), 4u);  // (bootstrap, join) x 2 listeners
+  EXPECT_EQ(seen[0].first, 1);
+  EXPECT_EQ(seen[1].first, 2);
+  EXPECT_EQ(seen[2].second.kind, ChangeKind::kJoin);
+  EXPECT_EQ(seen[2].second.node, 5u);
+  EXPECT_EQ(seen[2].second.at, Millis(3));
+  // Listeners may read the table during the callback: the change is already
+  // applied (checked via the join's epoch being visible).
+  EXPECT_EQ(seen[3].second.epoch, table.epoch());
+}
+
+TEST(MembershipTableTest, OwnershipIsDeterministicAcrossInstances) {
+  MembershipTable a, b;
+  a.Bootstrap(Nodes(6), 0);
+  b.Bootstrap(Nodes(6), Seconds(99.0));  // wall time plays no role
+  for (size_t ci = 0; ci < 1000; ++ci) {
+    EXPECT_EQ(a.OwnerOfChunk(ci).value(), b.OwnerOfChunk(ci).value());
+  }
+}
+
+}  // namespace
+}  // namespace diesel::membership

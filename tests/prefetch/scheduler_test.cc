@@ -5,6 +5,7 @@
 #include "cache/task_cache.h"
 #include "core/deployment.h"
 #include "dlt/dataset_gen.h"
+#include "membership/membership.h"
 #include "net/fault_injector.h"
 #include "obs/metrics.h"
 #include "shuffle/shuffle.h"
@@ -33,10 +34,15 @@ uint64_t Fnv1a(uint64_t h, BytesView data) {
 /// plan-order reads through a capacity-bound cache, with or without a
 /// prefetch scheduler and with an optional fault plan attached. Fully
 /// self-contained so two invocations are independent and comparable.
+/// `with_rescale` attaches a membership table and churns it mid-epoch:
+/// a spare node joins halfway through epoch 0, and node 1 drains (start at
+/// 1/4, depart at 3/4) during epoch 1 — the scheduler must retarget pending
+/// fills and keep its accounting exact through all of it.
 RunOutcome RunWorkload(uint64_t seed, bool with_scheduler,
-                       const net::FaultPlan* faults = nullptr) {
+                       const net::FaultPlan* faults = nullptr,
+                       bool with_rescale = false) {
   core::DeploymentOptions dopts;
-  dopts.num_client_nodes = kNodes;
+  dopts.num_client_nodes = kNodes + (with_rescale ? 1 : 0);
   core::Deployment dep(dopts);
   dlt::DatasetSpec spec;
   spec.name = "pfs";
@@ -78,10 +84,19 @@ RunOutcome RunWorkload(uint64_t seed, bool with_scheduler,
   cache::TaskCache cache(dep.fabric(), dep.server(0), snap, registry, copts);
   cache.EstablishConnections();
 
+  membership::MembershipTable table;
+  if (with_rescale) {
+    std::vector<sim::NodeId> initial(kNodes);
+    for (size_t n = 0; n < kNodes; ++n) initial[n] = dep.client_node(n);
+    table.Bootstrap(initial, 0);
+    cache.AttachMembership(table);  // cache first: migration precedes retarget
+  }
+
   std::unique_ptr<PrefetchScheduler> sched;
   if (with_scheduler) {
     sched = std::make_unique<PrefetchScheduler>(cache, dep.fabric(), snap,
                                                 PrefetchOptions{});
+    if (with_rescale) sched->AttachMembership(table);
   }
 
   RunOutcome out;
@@ -93,6 +108,15 @@ RunOutcome RunWorkload(uint64_t seed, bool with_scheduler,
         shuffle::ChunkWiseShuffle(snap, {.group_size = 3}, rng);
     if (sched) sched->StartEpoch(plan, w.now());
     for (size_t pos = 0; pos < plan.file_order.size(); ++pos) {
+      if (with_rescale && epoch == 0 && pos == plan.file_order.size() / 2) {
+        table.Join(dep.client_node(kNodes), w.now());
+      }
+      if (with_rescale && epoch == 1) {
+        if (pos == plan.file_order.size() / 4) table.StartDrain(1, w.now());
+        if (pos == plan.file_order.size() * 3 / 4) {
+          table.CompleteDrain(1, w.now());
+        }
+      }
       if (sched) sched->Advance(pos, w.now());
       const core::FileMeta& fm = snap.files()[plan.file_order[pos]];
       auto r = cache.GetFile(w, clients[0]->endpoint(), fm);
@@ -179,6 +203,38 @@ TEST(PrefetchSchedulerTest, NodeFlapsAndCorruptionDegradeGracefully) {
   EXPECT_EQ(chaos.cache.pinned_chunks, 0u);
   // The flapped owners were skipped at issue time at least once.
   EXPECT_GT(chaos.sched.skipped_down, 0u);
+}
+
+TEST(PrefetchSchedulerTest, MidEpochRescaleKeepsInvariantsAndBytes) {
+  RunOutcome churn =
+      RunWorkload(8, /*with_scheduler=*/true, nullptr, /*with_rescale=*/true);
+  RunOutcome clean = RunWorkload(8, /*with_scheduler=*/true);
+  // Join + drain-start + drain-complete moved chunks under the scheduler's
+  // feet, yet every read returned the same bytes as the static run.
+  EXPECT_EQ(churn.content_hash, clean.content_hash);
+  // The accounting identity holds across rescales, and no pin leaked.
+  EXPECT_EQ(churn.sched.issued,
+            churn.sched.completed + churn.sched.cancelled);
+  EXPECT_EQ(churn.cache.pinned_chunks, 0u);
+  // All three mid-epoch membership changes reached the scheduler, and at
+  // least one pending fill was re-bucketed to its new owner.
+  EXPECT_GE(churn.sched.rescales, 3u);
+  EXPECT_GT(churn.sched.retargeted, 0u);
+  EXPECT_GT(churn.cache.migrated_chunks, 0u);
+}
+
+TEST(PrefetchSchedulerTest, RescaleRunsAreDeterministic) {
+  RunOutcome a =
+      RunWorkload(9, /*with_scheduler=*/true, nullptr, /*with_rescale=*/true);
+  RunOutcome b =
+      RunWorkload(9, /*with_scheduler=*/true, nullptr, /*with_rescale=*/true);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.content_hash, b.content_hash);
+  EXPECT_EQ(a.sched.issued, b.sched.issued);
+  EXPECT_EQ(a.sched.cancelled, b.sched.cancelled);
+  EXPECT_EQ(a.sched.retargeted, b.sched.retargeted);
+  EXPECT_EQ(a.cache.migrated_chunks, b.cache.migrated_chunks);
+  EXPECT_EQ(a.cache.migrated_bytes, b.cache.migrated_bytes);
 }
 
 }  // namespace
