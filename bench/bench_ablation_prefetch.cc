@@ -130,11 +130,15 @@ ArmResult RunArm(Arm arm, double cap_frac, const dlt::DatasetSpec& spec) {
     auto read_batch = [&](size_t iter, sim::VirtualClock& w) -> Status {
       if (sched) sched->Advance(iter * kBatch, w.now());
       size_t end = std::min((iter + 1) * kBatch, plan.file_order.size());
+      // The whole mini-batch goes through the coalesced multi-get: misses
+      // grouped per owner ride one batched RPC instead of kBatch singles.
+      std::vector<core::FileMeta> metas;
+      metas.reserve(end - iter * kBatch);
       for (size_t i = iter * kBatch; i < end; ++i) {
-        const core::FileMeta& fm = snap.files()[plan.file_order[i]];
-        auto r = cache.GetFile(w, clients[0]->endpoint(), fm);
-        if (!r.ok()) return r.status();
+        metas.push_back(snap.files()[plan.file_order[i]]);
       }
+      auto r = cache.GetFiles(w, clients[0]->endpoint(), metas);
+      if (!r.ok()) return r.status();
       return Status::Ok();
     };
     auto res = pipe.RunEpoch(t, iters, Millis(10), read_batch);

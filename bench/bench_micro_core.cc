@@ -3,6 +3,7 @@
 // the parallel-hashmap substitution in §5), CRC32C, and base64lex.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <unordered_map>
 
 #include "bench/bench_util.h"
@@ -10,11 +11,28 @@
 #include "common/crc32.h"
 #include "common/flat_hash_map.h"
 #include "common/rng.h"
+#include "core/chunk_buffer.h"
 #include "core/chunk_format.h"
 #include "core/snapshot.h"
+#include "net/fabric.h"
+#include "sim/node.h"
 
 namespace diesel {
 namespace {
+
+/// A finished chunk with `num_files` files of `file_size` random bytes.
+Bytes MakeChunk(size_t num_files, size_t file_size, uint64_t seed = 7) {
+  core::ChunkBuilder builder(0);
+  Rng rng(seed);
+  Bytes content(file_size);
+  for (auto& b : content) b = static_cast<uint8_t>(rng.Next());
+  for (size_t i = 0; i < num_files; ++i) {
+    builder.Add("/bench/cls" + std::to_string(i % 10) + "/f" +
+                    std::to_string(i),
+                content);
+  }
+  return builder.Finish(core::ChunkId::Make(1, 2, 3, 4), 1);
+}
 
 void BM_ChunkBuild(benchmark::State& state) {
   const size_t file_size = static_cast<size_t>(state.range(0));
@@ -51,6 +69,151 @@ void BM_ChunkParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChunkParse);
+
+void BM_ChunkParseHeaderOnly(benchmark::State& state) {
+  // Metadata recovery parses thousands of headers without payloads; this is
+  // the header-decode throughput in file entries per second.
+  const size_t num_files = static_cast<size_t>(state.range(0));
+  Bytes chunk = MakeChunk(num_files, 64);
+  auto peek = core::ChunkView::PeekHeaderLen({chunk.data(), 12});
+  BytesView header(chunk.data(), peek.value());
+  for (auto _ : state) {
+    auto view = core::ChunkView::ParseHeaderOnly(header);
+    benchmark::DoNotOptimize(view.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_files));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(header.size()));
+}
+BENCHMARK(BM_ChunkParseHeaderOnly)->Arg(512)->Arg(4096);
+
+void BM_FindEntryLinear(benchmark::State& state) {
+  // Baseline: the pre-index linear scan over the file table.
+  const size_t num_files = static_cast<size_t>(state.range(0));
+  Bytes chunk = MakeChunk(num_files, 64);
+  core::ChunkView view = core::ChunkView::Parse(chunk).value();
+  Rng rng(8);
+  std::vector<std::string> probes;
+  for (int i = 0; i < 256; ++i) {
+    size_t f = rng.Uniform(num_files);
+    probes.push_back("/bench/cls" + std::to_string(f % 10) + "/f" +
+                     std::to_string(f));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& name = probes[i++ & 255];
+    const core::ChunkFileEntry* hit = nullptr;
+    for (const auto& e : view.entries()) {
+      if (e.name == name) {
+        hit = &e;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_FindEntryLinear)->Arg(512)->Arg(4096);
+
+void BM_FindEntryIndexed(benchmark::State& state) {
+  // FindEntry's lazily built name-sorted index: O(log n) per probe.
+  const size_t num_files = static_cast<size_t>(state.range(0));
+  Bytes chunk = MakeChunk(num_files, 64);
+  core::ChunkView view = core::ChunkView::Parse(chunk).value();
+  Rng rng(8);
+  std::vector<std::string> probes;
+  for (int i = 0; i < 256; ++i) {
+    size_t f = rng.Uniform(num_files);
+    probes.push_back("/bench/cls" + std::to_string(f % 10) + "/f" +
+                     std::to_string(f));
+  }
+  benchmark::DoNotOptimize(view.FindEntry(probes[0]));  // build the index
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.FindEntry(probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_FindEntryIndexed)->Arg(512)->Arg(4096);
+
+void BM_FileSliceView(benchmark::State& state) {
+  // Zero-copy read: materialize a FileSlice over a cached chunk blob (one
+  // shared_ptr refcount bump) and touch the view.
+  const size_t file_size = static_cast<size_t>(state.range(0));
+  Bytes chunk = MakeChunk(8, file_size);
+  core::ChunkView view = core::ChunkView::Parse(chunk).value();
+  const uint32_t header_len = view.header_len();
+  const uint64_t offset = view.entries()[3].offset;
+  core::ChunkBuffer buffer =
+      core::ChunkBuffer::Wrap(std::move(chunk), header_len);
+  for (auto _ : state) {
+    core::FileSlice slice =
+        core::FileSlice::FromBuffer(buffer, header_len + offset, file_size);
+    benchmark::DoNotOptimize(slice.view().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file_size));
+}
+BENCHMARK(BM_FileSliceView)->Arg(4 << 10)->Arg(128 << 10);
+
+void BM_FileSliceCopy(benchmark::State& state) {
+  // Copying read: the pre-slice hot path materialized every file as a fresh
+  // Bytes vector (allocate + memcpy per read).
+  const size_t file_size = static_cast<size_t>(state.range(0));
+  Bytes chunk = MakeChunk(8, file_size);
+  core::ChunkView view = core::ChunkView::Parse(chunk).value();
+  const uint32_t header_len = view.header_len();
+  const uint64_t offset = view.entries()[3].offset;
+  core::ChunkBuffer buffer =
+      core::ChunkBuffer::Wrap(std::move(chunk), header_len);
+  for (auto _ : state) {
+    core::FileSlice slice =
+        core::FileSlice::FromBuffer(buffer, header_len + offset, file_size);
+    Bytes copy = slice.ToBytes();
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(file_size));
+}
+BENCHMARK(BM_FileSliceCopy)->Arg(4 << 10)->Arg(128 << 10);
+
+void BM_CrcEveryRead(benchmark::State& state) {
+  // Pre-memo behavior: every read of a cached file re-verified its CRC.
+  const size_t file_size = static_cast<size_t>(state.range(0));
+  constexpr size_t kReads = 64;  // reads per residency (multi-epoch reuse)
+  Bytes data(file_size);
+  Rng rng(9);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    for (size_t r = 0; r < kReads; ++r) {
+      benchmark::DoNotOptimize(Crc32c(data));
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kReads * file_size));
+}
+BENCHMARK(BM_CrcEveryRead)->Arg(128 << 10);
+
+void BM_CrcOncePerResidency(benchmark::State& state) {
+  // Memoized verification: CRC on first access, a bit test on the rest.
+  const size_t file_size = static_cast<size_t>(state.range(0));
+  constexpr size_t kReads = 64;
+  Bytes data(file_size);
+  Rng rng(9);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    bool verified = false;
+    for (size_t r = 0; r < kReads; ++r) {
+      if (!verified) {
+        benchmark::DoNotOptimize(Crc32c(data));
+        verified = true;
+      }
+      benchmark::DoNotOptimize(verified);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kReads * file_size));
+}
+BENCHMARK(BM_CrcOncePerResidency)->Arg(128 << 10);
 
 core::MetadataSnapshot MakeSnapshot(size_t files) {
   std::vector<core::ChunkId> chunks;
@@ -154,18 +317,91 @@ void BM_Base64LexEncode(benchmark::State& state) {
 BENCHMARK(BM_Base64LexEncode);
 
 }  // namespace
+
+/// Deterministic virtual-time kernel: N peer fetches of 64 KB each, issued
+/// either as N singles or as N/k k-way batches. Pure simulation — the
+/// resulting metrics are machine-independent and therefore gateable.
+void ReportRpcBatchKernel() {
+  constexpr size_t kFilesTotal = 256;
+  constexpr size_t kBatchK = 16;
+  constexpr uint64_t kReqBytes = 96;
+  constexpr uint64_t kRespBytes = 64 << 10;
+  auto run = [&](size_t k) {
+    sim::Cluster cluster(2);
+    net::Fabric fabric(cluster);
+    sim::VirtualClock clock;
+    for (size_t i = 0; i < kFilesTotal; i += k) {
+      Status st = fabric.CallBatch(clock, 0, 1, k, kReqBytes * k,
+                                   kRespBytes * k,
+                                   [](Nanos arrival) { return arrival; });
+      if (!st.ok()) std::abort();
+    }
+    return std::pair<double, double>{static_cast<double>(clock.now()),
+                                     static_cast<double>(fabric.rpcs_issued())};
+  };
+  auto [single_ns, single_rpcs] = run(1);
+  auto [batch_ns, batch_rpcs] = run(kBatchK);
+  bench::Metric("rpc.unbatched.virtual_us", "us", single_ns / 1e3,
+                obs::Direction::kLowerIsBetter);
+  bench::Metric("rpc.batch16.virtual_us", "us", batch_ns / 1e3,
+                obs::Direction::kLowerIsBetter);
+  bench::Metric("rpc.batch16.per_file_latency_ns", "ns",
+                batch_ns / kFilesTotal, obs::Direction::kLowerIsBetter);
+  bench::Metric("rpc.batch16.speedup_x", "x", single_ns / batch_ns,
+                obs::Direction::kHigherIsBetter);
+  bench::Metric("rpc.batch16.rpc_reduction_x", "x", single_rpcs / batch_rpcs,
+                obs::Direction::kHigherIsBetter);
+}
+
+/// Wall-clock slice-view vs copy ratio over a 128 KB file. The ratio is
+/// reported as info (machine-dependent), but it is the acceptance evidence
+/// that slicing beats copying by >= 2x on the read hot path.
+void ReportSliceSpeedRatio() {
+  constexpr size_t kFileSize = 128 << 10;
+  constexpr size_t kIters = 20000;
+  Bytes chunk = MakeChunk(8, kFileSize);
+  core::ChunkView view = core::ChunkView::Parse(chunk).value();
+  const uint32_t header_len = view.header_len();
+  const uint64_t offset = view.entries()[3].offset;
+  core::ChunkBuffer buffer =
+      core::ChunkBuffer::Wrap(std::move(chunk), header_len);
+  auto time_ns = [&](auto&& body) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kIters; ++i) body();
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  };
+  double view_ns = time_ns([&] {
+    core::FileSlice s =
+        core::FileSlice::FromBuffer(buffer, header_len + offset, kFileSize);
+    benchmark::DoNotOptimize(s.view().data());
+  });
+  double copy_ns = time_ns([&] {
+    core::FileSlice s =
+        core::FileSlice::FromBuffer(buffer, header_len + offset, kFileSize);
+    Bytes copy = s.ToBytes();
+    benchmark::DoNotOptimize(copy.data());
+  });
+  bench::Info("slice.view_vs_copy_speedup_x", "x",
+              copy_ns / std::max(view_ns, 1.0));
+}
+
 }  // namespace diesel
 
-// Custom main instead of BENCHMARK_MAIN(): these timings are real
-// wall-clock, so the report carries them as non-gated info only — the
-// regression gate never judges machine-dependent numbers.
+// Custom main instead of BENCHMARK_MAIN(): the google-benchmark timings are
+// real wall-clock, so the report carries them as non-gated info only — the
+// regression gate never judges machine-dependent numbers. The RPC batching
+// kernel below runs in virtual time and IS gated.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   diesel::bench::OpenReport("micro_core", 0);
-  diesel::bench::Param("timing", "wall-clock");
-  diesel::bench::Info("wall_clock_only", "bool", 1.0);
+  diesel::bench::Param("timing", "wall-clock + virtual rpc kernel");
+  diesel::bench::Info("wall_clock_only", "bool", 0.0);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  diesel::ReportRpcBatchKernel();
+  diesel::ReportSliceSpeedRatio();
   return diesel::bench::CloseReport();
 }

@@ -94,6 +94,24 @@ MembershipCacheCounters& MemCounters() {
   return c;
 }
 
+/// Zero-copy read-path counters. `views` counts slices handed out without
+/// copying; `copies` counts materializations through the Bytes-returning
+/// compatibility APIs; the crc pair shows the once-per-residency memo at
+/// work (skipped = checks the memo saved).
+struct SliceCounters {
+  obs::Counter& views = obs::Metrics().GetCounter("cache.slice.views");
+  obs::Counter& copies = obs::Metrics().GetCounter("cache.slice.copies");
+  obs::Counter& crc_verified =
+      obs::Metrics().GetCounter("cache.slice.crc_verified");
+  obs::Counter& crc_skipped =
+      obs::Metrics().GetCounter("cache.slice.crc_skipped");
+};
+
+SliceCounters& SlCounters() {
+  static SliceCounters c;
+  return c;
+}
+
 }  // namespace
 
 TaskCache::TaskCache(net::Fabric& fabric, core::DieselServer& server,
@@ -179,21 +197,34 @@ size_t TaskCache::migrations_in_flight() const {
   return migrations_.size();
 }
 
-Result<Bytes> TaskCache::SliceFile(const CachedChunk& chunk,
-                                   const core::FileMeta& meta) {
-  uint64_t begin = chunk.header_len + meta.offset;
-  if (begin + meta.length > chunk.blob.size())
+Result<core::FileSlice> TaskCache::SliceFile(CachedChunk& chunk,
+                                             const core::FileMeta& meta) {
+  uint64_t begin = chunk.buffer.header_len() + meta.offset;
+  if (begin + meta.length > chunk.buffer.size())
     return Status::Corruption("file range past cached chunk end: " +
                               meta.full_name);
-  Bytes content(chunk.blob.begin() + static_cast<ptrdiff_t>(begin),
-                chunk.blob.begin() + static_cast<ptrdiff_t>(begin + meta.length));
+  core::FileSlice slice =
+      core::FileSlice::FromBuffer(chunk.buffer, begin, meta.length);
   // End-to-end integrity: the chunk builder stamped each file's CRC32C into
   // the metadata; a cached copy that no longer matches is treated as a miss
-  // (metas built by hand in tests carry crc 0 and skip the check).
-  if (meta.crc != 0 && Crc32c(content) != meta.crc)
-    return Status::Corruption("cached file checksum mismatch: " +
-                              meta.full_name);
-  return content;
+  // (metas built by hand in tests carry crc 0 and skip the check). The blob
+  // is immutable for its whole residency, so each file is scanned at most
+  // once — later reads hit the verified memo.
+  if (meta.crc != 0) {
+    const size_t fi = meta.index_in_chunk;
+    if (fi < chunk.verified.size() && chunk.verified[fi]) {
+      SlCounters().crc_skipped.Inc();
+    } else {
+      if (Crc32c(slice.view()) != meta.crc)
+        return Status::Corruption("cached file checksum mismatch: " +
+                                  meta.full_name);
+      if (fi >= chunk.verified.size()) chunk.verified.resize(fi + 1, false);
+      chunk.verified[fi] = true;
+      SlCounters().crc_verified.Inc();
+    }
+  }
+  SlCounters().views.Inc();
+  return slice;
 }
 
 size_t TaskCache::PickVictimLocked(const NodePartition& part,
@@ -226,7 +257,7 @@ void TaskCache::EvictAtLocked(NodePartition& part, size_t victim) {
   part.fifo.erase(part.fifo.begin() + static_cast<ptrdiff_t>(victim));
   auto it = part.chunks.find(ci);
   if (it == part.chunks.end()) return;
-  uint64_t size = it->second.blob.size();
+  uint64_t size = it->second.buffer.size();
   bool wasted = it->second.prefetched && !it->second.accessed;
   part.bytes -= size;
   part.chunks.erase(it);
@@ -242,14 +273,14 @@ void TaskCache::EvictAtLocked(NodePartition& part, size_t victim) {
 }
 
 TaskCache::InsertResult TaskCache::InsertChunk(sim::NodeId owner,
-                                               size_t chunk_index, Bytes blob,
-                                               uint32_t header_len,
-                                               bool prefetched,
-                                               Nanos ready_at) {
+                                               size_t chunk_index,
+                                               core::ChunkBuffer buffer,
+                                               bool prefetched, Nanos ready_at,
+                                               std::vector<bool> verified) {
   NodePartition& part = PartitionFor(owner);
   std::lock_guard<std::mutex> lock(part.mutex);
   if (part.chunks.count(chunk_index) > 0) return InsertResult::kAlreadyResident;
-  uint64_t size = blob.size();
+  uint64_t size = buffer.size();
   if (options_.per_node_capacity_bytes != 0) {
     while (part.bytes + size > options_.per_node_capacity_bytes &&
            !part.fifo.empty()) {
@@ -271,9 +302,11 @@ TaskCache::InsertResult TaskCache::InsertChunk(sim::NodeId owner,
         return InsertResult::kDenied;  // single blob exceeds capacity
     }
   }
-  CachedChunk cc{std::move(blob), header_len};
+  CachedChunk cc;
+  cc.buffer = std::move(buffer);
   cc.ready_at = ready_at;
   cc.prefetched = prefetched;
+  cc.verified = std::move(verified);
   part.chunks.emplace(chunk_index, std::move(cc));
   part.fifo.push_back(chunk_index);
   part.bytes += size;
@@ -323,14 +356,15 @@ Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
     std::lock_guard<std::mutex> slock(stats_mutex_);
     ++stats_.chunk_loads;
   }
-  InsertChunk(owner, chunk_index, std::move(blob), header_len);
+  InsertChunk(owner, chunk_index,
+              core::ChunkBuffer::Wrap(std::move(blob), header_len));
   return Status::Ok();
 }
 
-Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
-                                           sim::NodeId owner,
-                                           size_t chunk_index,
-                                           const core::FileMeta& meta) {
+Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
+                                                     sim::NodeId owner,
+                                                     size_t chunk_index,
+                                                     const core::FileMeta& meta) {
   NodePartition& part = PartitionFor(owner);
   {
     std::lock_guard<std::mutex> lock(part.mutex);
@@ -356,11 +390,11 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
         ++stats_.prefetch_hits;
       }
       cc.accessed = true;
-      Result<Bytes> sliced = SliceFile(cc, meta);
+      Result<core::FileSlice> sliced = SliceFile(cc, meta);
       if (!sliced.status().IsCorruption()) return sliced;
       // Cached copy failed its checksum: evict it and fall through to a
       // fresh fetch below.
-      part.bytes -= it->second.blob.size();
+      part.bytes -= it->second.buffer.size();
       part.fifo.erase(std::remove(part.fifo.begin(), part.fifo.end(),
                                   chunk_index),
                       part.fifo.end());
@@ -379,8 +413,9 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
     uint32_t header_len = 0;
     DIESEL_ASSIGN_OR_RETURN(
         Bytes blob, FetchChunkBlob(clock, owner, chunk_index, &header_len));
-    CachedChunk local{std::move(blob), header_len};
-    Result<Bytes> content = SliceFile(local, meta);
+    CachedChunk local;
+    local.buffer = core::ChunkBuffer::Wrap(std::move(blob), header_len);
+    Result<core::FileSlice> content = SliceFile(local, meta);
     if (content.status().IsCorruption() && fetch == 0) {
       Counters().corruptions.Inc();
       std::lock_guard<std::mutex> slock(stats_mutex_);
@@ -393,7 +428,11 @@ Result<Bytes> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
       std::lock_guard<std::mutex> slock(stats_mutex_);
       ++stats_.chunk_loads;
     }
-    InsertChunk(owner, chunk_index, std::move(local.blob), local.header_len);
+    // Install the shared buffer along with the CRC memo of the file just
+    // verified — the resident copy is the same immutable bytes.
+    InsertChunk(owner, chunk_index, std::move(local.buffer),
+                /*prefetched=*/false, /*ready_at=*/0,
+                std::move(local.verified));
     return content;
   }
 }
@@ -434,6 +473,15 @@ Result<Nanos> TaskCache::Preload(Nanos start) {
 Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
                                  net::EndpointId requester,
                                  const core::FileMeta& meta) {
+  DIESEL_ASSIGN_OR_RETURN(core::FileSlice slice,
+                          GetFileSlice(clock, requester, meta));
+  SlCounters().copies.Inc();
+  return slice.ToBytes();
+}
+
+Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
+                                                net::EndpointId requester,
+                                                const core::FileMeta& meta) {
   obs::ScopedSpan span(fabric_.tracer(), "cache.get_file", clock,
                        requester.node);
   size_t chunk_index = snapshot_.ChunkIndex(meta.chunk);
@@ -447,7 +495,7 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
 
   if (owner == requester.node) {
     // Local partition: memory-bus copy.
-    DIESEL_ASSIGN_OR_RETURN(Bytes content,
+    DIESEL_ASSIGN_OR_RETURN(core::FileSlice content,
                             ReadFromPartition(clock, owner, chunk_index, meta));
     Nanos t = fabric_.cluster().node(owner).membus().Serve(clock.now(),
                                                            meta.length);
@@ -476,7 +524,7 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
                                  std::to_string(owner));
       break;
     }
-    Result<Bytes> content = Status::Internal("unset");
+    Result<core::FileSlice> content = Status::Internal("unset");
     Status call = fabric_.Call(
         clock, requester.node, owner, kPeerRequestBytes, meta.length,
         [&](Nanos arrival) {
@@ -533,7 +581,139 @@ Result<Bytes> TaskCache::GetFile(sim::VirtualClock& clock,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.failovers;
   }
-  return DegradedRead(clock, requester, meta);
+  DIESEL_ASSIGN_OR_RETURN(Bytes content, DegradedRead(clock, requester, meta));
+  return core::FileSlice::Own(std::move(content));
+}
+
+Result<std::vector<core::FileSlice>> TaskCache::GetFiles(
+    sim::VirtualClock& clock, net::EndpointId requester,
+    std::span<const core::FileMeta> metas) {
+  std::vector<core::FileSlice> out(metas.size());
+  if (metas.empty()) return out;
+  obs::ScopedSpan span(fabric_.tracer(), "cache.get_files", clock,
+                       requester.node);
+  span.Note("files=" + std::to_string(metas.size()));
+
+  // Resolve every file's serving owner up front, grouping remote files per
+  // owner node (std::map: deterministic owner order). Local files and
+  // singleton groups take the per-file path — the batch machinery only
+  // engages where there is overhead to amortize.
+  std::vector<BatchSub> local;
+  std::map<sim::NodeId, std::vector<BatchSub>> remote;
+  for (size_t i = 0; i < metas.size(); ++i) {
+    size_t chunk_index = snapshot_.ChunkIndex(metas[i].chunk);
+    if (chunk_index == static_cast<size_t>(-1))
+      return Status::NotFound("chunk not in snapshot: " +
+                              metas[i].chunk.Encoded());
+    DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner,
+                            ServingOwner(chunk_index, clock.now()));
+    if (owner == requester.node) {
+      local.push_back(BatchSub{i, chunk_index});
+    } else {
+      remote[owner].push_back(BatchSub{i, chunk_index});
+    }
+  }
+
+  for (const BatchSub& sub : local) {
+    DIESEL_ASSIGN_OR_RETURN(out[sub.pos],
+                            GetFileSlice(clock, requester, metas[sub.pos]));
+  }
+  for (const auto& [owner, subs] : remote) {
+    if (subs.size() < 2) {
+      DIESEL_ASSIGN_OR_RETURN(
+          out[subs[0].pos], GetFileSlice(clock, requester, metas[subs[0].pos]));
+      continue;
+    }
+    std::vector<Result<core::FileSlice>> got(subs.size(),
+                                             Status::Internal("unset"));
+    FetchOwnerBatch(clock, requester, owner, subs, metas, got);
+    for (size_t j = 0; j < subs.size(); ++j) {
+      if (got[j].ok()) {
+        out[subs[j].pos] = std::move(got[j].value());
+        continue;
+      }
+      // Unserved or failed sub-request: the per-file path owns the
+      // retry/breaker/degraded handling (and reproduces any hard error,
+      // e.g. persistent corruption, exactly as an unbatched run would).
+      DIESEL_ASSIGN_OR_RETURN(
+          out[subs[j].pos], GetFileSlice(clock, requester, metas[subs[j].pos]));
+    }
+  }
+  return out;
+}
+
+void TaskCache::FetchOwnerBatch(sim::VirtualClock& clock,
+                                net::EndpointId requester, sim::NodeId owner,
+                                std::span<const BatchSub> subs,
+                                std::span<const core::FileMeta> metas,
+                                std::vector<Result<core::FileSlice>>& out) {
+  obs::ScopedSpan span(fabric_.tracer(), "cache.multi_get", clock,
+                       requester.node);
+  span.Note("owner=n" + std::to_string(owner) +
+            " k=" + std::to_string(subs.size()));
+  uint64_t resp_bytes = 0;
+  for (const BatchSub& sub : subs) resp_bytes += metas[sub.pos].length;
+
+  CircuitBreaker& breaker = BreakerFor(owner);
+  const RetryPolicy& retry = options_.retry;
+  const uint32_t max_attempts = std::max<uint32_t>(1, retry.max_attempts);
+  const Nanos start = clock.now();
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (!breaker.AllowRequest(clock.now())) return;  // fallback handles it
+    Status call = fabric_.CallBatch(
+        clock, requester.node, owner, subs.size(),
+        kPeerRequestBytes * subs.size(), resp_bytes, [&](Nanos arrival) {
+          sim::VirtualClock peer(arrival);
+          for (size_t j = 0; j < subs.size(); ++j) {
+            const core::FileMeta& meta = metas[subs[j].pos];
+            out[j] = ReadFromPartition(peer, owner, subs[j].chunk_index, meta);
+            Nanos t = fabric_.cluster().node(owner).membus().Serve(
+                peer.now(), meta.length);
+            peer.AdvanceTo(t);
+          }
+          return peer.now();
+        });
+    if (call.ok()) {
+      if (breaker.OnSuccess(clock.now()) ==
+          CircuitBreaker::Transition::kRecovered) {
+        span.Note("breaker.recovered node=" + std::to_string(owner));
+        OnOwnerRecovered(owner, clock.now());
+      }
+      uint64_t hits = 0;
+      for (const auto& r : out) {
+        if (r.ok()) ++hits;
+      }
+      if (hits > 0) {
+        Counters().peer_hits.Inc(hits);
+        span.Note("cache.peer_hits=" + std::to_string(hits));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.peer_hits += hits;
+      }
+      return;
+    }
+    // The whole exchange failed (drop/flap): every sub-request failed at
+    // once. Same breaker discipline as the per-file path.
+    for (auto& r : out) r = Status::Internal("unset");
+    if (fabric_.NodeAvailable(requester.node, clock.now()) ||
+        breaker.state() == CircuitBreaker::State::kHalfOpen) {
+      if (breaker.OnFailure(clock.now()) ==
+          CircuitBreaker::Transition::kOpened) {
+        DropNode(owner);
+        Counters().breaker_opens.Inc();
+        BreakerGauge(owner).Set(1.0);
+        span.Note("breaker.open node=" + std::to_string(owner));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.breaker_opens;
+      }
+    }
+    if (attempt >= max_attempts) return;
+    Nanos wait = retry.BackoffBefore(attempt);
+    if (retry.deadline_budget != 0 &&
+        clock.now() - start + wait > retry.deadline_budget) {
+      return;
+    }
+    clock.Advance(wait);
+  }
 }
 
 CircuitBreaker& TaskCache::BreakerFor(sim::NodeId node) {
@@ -658,7 +838,7 @@ void TaskCache::FinalizeMigration(size_t chunk_index, sim::NodeId from) {
     std::lock_guard<std::mutex> lock(part.mutex);
     auto it = part.chunks.find(chunk_index);
     if (it == part.chunks.end()) return;
-    freed = it->second.blob.size();
+    freed = it->second.buffer.size();
     wasted = it->second.prefetched && !it->second.accessed;
     part.fifo.erase(
         std::remove(part.fifo.begin(), part.fifo.end(), chunk_index),
@@ -784,27 +964,30 @@ void TaskCache::MigrateForChange(const membership::MembershipChange& change) {
     std::map<sim::NodeId, std::vector<sim::VirtualClock>> dest_streams;
     const size_t streams = std::max<uint32_t>(1, options_.preload_streams);
     for (const Move& m : moves) {
-      Bytes blob;
-      uint32_t header_len = 0;
-      bool resident = false;
+      // Share the source buffer instead of copying it: the migration "send"
+      // is charged on the fabric below, but host-side the move is a refcount
+      // bump, and outstanding slices keep the old bytes alive regardless of
+      // which partition drops its reference first. The CRC memo travels with
+      // the buffer — same immutable bytes, same verification state.
+      core::ChunkBuffer buffer;
+      std::vector<bool> verified;
       {
         NodePartition& from = PartitionFor(m.from);
         std::lock_guard<std::mutex> lock(from.mutex);
         auto it = from.chunks.find(m.ci);
         if (it != from.chunks.end()) {
-          blob = it->second.blob;
-          header_len = it->second.header_len;
-          resident = true;
+          buffer = it->second.buffer;
+          verified = it->second.verified;
         }
       }
-      if (!resident) continue;
+      if (!buffer.valid()) continue;
       auto& clocks = dest_streams[m.to];
       if (clocks.empty()) clocks.assign(streams, sim::VirtualClock(start));
       sim::VirtualClock* stream = &clocks.front();
       for (sim::VirtualClock& st : clocks) {
         if (st.now() < stream->now()) stream = &st;
       }
-      const uint64_t size = blob.size();
+      const uint64_t size = buffer.size();
       obs::ScopedSpan span(fabric_.tracer(), "membership.migrate", *stream,
                            m.from);
       span.Note("chunk=" + std::to_string(m.ci) + " to=n" +
@@ -813,8 +996,9 @@ void TaskCache::MigrateForChange(const membership::MembershipChange& change) {
                                  size, [](Nanos arrival) { return arrival; });
       if (!call.ok()) continue;
       Nanos ready = stream->now();
-      InsertResult r = InsertChunk(m.to, m.ci, std::move(blob), header_len,
-                                   /*prefetched=*/false, /*ready_at=*/ready);
+      InsertResult r = InsertChunk(m.to, m.ci, std::move(buffer),
+                                   /*prefetched=*/false, /*ready_at=*/ready,
+                                   std::move(verified));
       if (r == InsertResult::kDenied) continue;
       if (r == InsertResult::kInserted) {
         {
@@ -1006,8 +1190,10 @@ Result<TaskCache::PrefetchOutcome> TaskCache::PrefetchChunk(
   }
   out.bytes = blob.size();
   out.ready_at = stream.now();
-  InsertResult r = InsertChunk(owner, chunk_index, std::move(blob), header_len,
-                               /*prefetched=*/true, /*ready_at=*/stream.now());
+  InsertResult r =
+      InsertChunk(owner, chunk_index,
+                  core::ChunkBuffer::Wrap(std::move(blob), header_len),
+                  /*prefetched=*/true, /*ready_at=*/stream.now());
   out.inserted = r == InsertResult::kInserted;
   out.already_resident = r == InsertResult::kAlreadyResident;
   return out;
@@ -1028,6 +1214,16 @@ class Handle : public core::DatasetCacheInterface {
   Result<Bytes> GetFile(sim::VirtualClock& clock,
                         const core::FileMeta& meta) override {
     return cache_->GetFile(clock, ep_, meta);
+  }
+  Result<std::vector<Bytes>> GetFiles(
+      sim::VirtualClock& clock,
+      std::span<const core::FileMeta> metas) override {
+    DIESEL_ASSIGN_OR_RETURN(std::vector<core::FileSlice> slices,
+                            cache_->GetFiles(clock, ep_, metas));
+    std::vector<Bytes> out;
+    out.reserve(slices.size());
+    for (const core::FileSlice& s : slices) out.push_back(s.ToBytes());
+    return out;
   }
 
  private:

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "cache/registry.h"
 #include "common/circuit_breaker.h"
 #include "common/retry.h"
+#include "core/chunk_buffer.h"
 #include "core/client.h"
 #include "core/server.h"
 #include "core/snapshot.h"
@@ -148,8 +150,27 @@ class TaskCache : public membership::MembershipListener {
   Result<Nanos> Preload(Nanos start);
 
   /// Serve a file read for the client `requester` (Fig. 4 read flow).
+  /// Materializes an owned copy; the zero-copy variant is GetFileSlice.
   Result<Bytes> GetFile(sim::VirtualClock& clock, net::EndpointId requester,
                         const core::FileMeta& meta);
+
+  /// Zero-copy read: returns a FileSlice viewing the shared cached chunk
+  /// blob. The slice holds a reference, so it stays valid after the chunk is
+  /// evicted or migrated. Identical virtual-time behavior to GetFile.
+  Result<core::FileSlice> GetFileSlice(sim::VirtualClock& clock,
+                                       net::EndpointId requester,
+                                       const core::FileMeta& meta);
+
+  /// Batched read (results in input order). Files are grouped by serving
+  /// owner; each remote group of two or more goes out as ONE multi-get
+  /// (Fabric::CallBatch), amortizing the per-RPC overhead across the group.
+  /// Per-file semantics (hit/miss accounting, CRC checks, corruption
+  /// re-fetch, degraded fallback) are preserved: a failed batch falls back
+  /// to the per-file path, so contents and cache stats match an unbatched
+  /// run byte for byte.
+  Result<std::vector<core::FileSlice>> GetFiles(
+      sim::VirtualClock& clock, net::EndpointId requester,
+      std::span<const core::FileMeta> metas);
 
   /// Fraction of chunks currently resident.
   double HitRatio() const;
@@ -206,11 +227,16 @@ class TaskCache : public membership::MembershipListener {
 
  private:
   struct CachedChunk {
-    Bytes blob;
-    uint32_t header_len = 0;
+    /// Shared immutable blob: reads hand out refcounted slices instead of
+    /// copies, and eviction only drops the cache's reference.
+    core::ChunkBuffer buffer;
     Nanos ready_at = 0;       // fill completion time (0: loaded in-line)
     bool prefetched = false;  // inserted by the prefetch scheduler
     bool accessed = false;    // served at least one read since insertion
+    /// Per-file CRC memo (indexed by FileMeta::index_in_chunk): each file's
+    /// checksum is verified at most once per residency; later reads of the
+    /// same immutable bytes skip the scan.
+    std::vector<bool> verified;
   };
 
   struct NodePartition {
@@ -224,11 +250,13 @@ class TaskCache : public membership::MembershipListener {
 
   enum class InsertResult { kInserted, kAlreadyResident, kDenied };
 
-  /// Slice a file out of a cached chunk (offsets are payload-relative).
-  /// Verifies the file's CRC32C when the metadata carries one; a mismatch
-  /// returns Corruption so callers evict and re-fetch.
-  static Result<Bytes> SliceFile(const CachedChunk& chunk,
-                                 const core::FileMeta& meta);
+  /// Slice a file out of a cached chunk (offsets are payload-relative) as a
+  /// zero-copy view of the shared blob. Verifies the file's CRC32C when the
+  /// metadata carries one — once per residency, memoized in
+  /// `chunk.verified` — and a mismatch returns Corruption so callers evict
+  /// and re-fetch.
+  static Result<core::FileSlice> SliceFile(CachedChunk& chunk,
+                                           const core::FileMeta& meta);
 
   /// Fetch one chunk blob from the server (with retry), applying any
   /// scheduled payload corruption from the fabric's fault injector.
@@ -288,15 +316,31 @@ class TaskCache : public membership::MembershipListener {
   Status EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
                       size_t chunk_index);
 
-  /// Copy one file out of the owner's partition (loads on miss). The slice
-  /// happens under the partition lock, so concurrent eviction is safe.
-  Result<Bytes> ReadFromPartition(sim::VirtualClock& clock, sim::NodeId owner,
-                                  size_t chunk_index,
-                                  const core::FileMeta& meta);
+  /// Slice one file out of the owner's partition (loads on miss). The slice
+  /// is taken under the partition lock and holds its own reference on the
+  /// blob, so concurrent eviction is safe.
+  Result<core::FileSlice> ReadFromPartition(sim::VirtualClock& clock,
+                                            sim::NodeId owner,
+                                            size_t chunk_index,
+                                            const core::FileMeta& meta);
 
-  InsertResult InsertChunk(sim::NodeId owner, size_t chunk_index, Bytes blob,
-                           uint32_t header_len, bool prefetched = false,
-                           Nanos ready_at = 0);
+  /// One coalesced multi-get against remote `owner` for `subs` (positions
+  /// into `metas`/`out`). Mirrors GetFileSlice's breaker/retry handling at
+  /// batch granularity; sub-requests it could not serve are left unset in
+  /// `out` for the caller's per-file fallback.
+  struct BatchSub {
+    size_t pos = 0;          // index into metas/out
+    size_t chunk_index = 0;  // resolved chunk of metas[pos]
+  };
+  void FetchOwnerBatch(sim::VirtualClock& clock, net::EndpointId requester,
+                       sim::NodeId owner, std::span<const BatchSub> subs,
+                       std::span<const core::FileMeta> metas,
+                       std::vector<Result<core::FileSlice>>& out);
+
+  InsertResult InsertChunk(sim::NodeId owner, size_t chunk_index,
+                           core::ChunkBuffer buffer, bool prefetched = false,
+                           Nanos ready_at = 0,
+                           std::vector<bool> verified = {});
 
   /// Victim-scan over `part.fifo` (deterministic order) with `part.mutex`
   /// held: FIFO picks the first unpinned entry; with an oracle installed,

@@ -1,0 +1,119 @@
+// Shared, immutable chunk blobs and zero-copy file slices (hot read path).
+//
+// The task-grained cache used to hand every read a freshly copied Bytes cut
+// out of the cached chunk. On the hot path (cache hit, CRC already checked)
+// that memcpy dominates wall-clock cost. ChunkBuffer puts the chunk blob
+// behind a shared_ptr<const Bytes>; FileSlice is a view into that blob which
+// holds a reference, so an evicted or migrated chunk's bytes stay alive for
+// exactly as long as any outstanding slice needs them — no copy, no
+// use-after-free.
+//
+// Virtual-time neutrality: slicing is a host-side memory operation; the
+// simulated cost of a read (NIC/membus/device serves) is charged by the
+// cache/fabric exactly as before, so switching callers from Bytes to
+// FileSlice changes no simulated timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace diesel::core {
+
+/// One parsed chunk blob (header + payload) behind shared ownership.
+/// Copying a ChunkBuffer bumps a refcount; the bytes are immutable for the
+/// buffer's whole life.
+class ChunkBuffer {
+ public:
+  ChunkBuffer() = default;
+
+  /// Take ownership of a freshly fetched blob. `header_len` is the parsed
+  /// header length (payload starts there).
+  static ChunkBuffer Wrap(Bytes blob, uint32_t header_len) {
+    ChunkBuffer b;
+    b.blob_ = std::make_shared<const Bytes>(std::move(blob));
+    b.header_len_ = header_len;
+    return b;
+  }
+
+  bool valid() const { return blob_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  const Bytes& blob() const { return *blob_; }
+  const std::shared_ptr<const Bytes>& shared_blob() const { return blob_; }
+  uint32_t header_len() const { return header_len_; }
+  uint64_t size() const { return blob_ ? blob_->size() : 0; }
+
+  /// Number of owners (buffer copies + live slices). A cache entry whose
+  /// count is 1 can be dropped without stranding any reader.
+  long use_count() const { return blob_ ? blob_.use_count() : 0; }
+
+  void reset() {
+    blob_.reset();
+    header_len_ = 0;
+  }
+
+ private:
+  std::shared_ptr<const Bytes> blob_;
+  uint32_t header_len_ = 0;
+};
+
+/// Zero-copy view of one file's content inside a shared blob. The slice
+/// keeps the underlying blob alive, so it stays valid after the cache entry
+/// it came from is evicted or migrated away.
+class FileSlice {
+ public:
+  FileSlice() = default;
+
+  /// View [begin, begin + length) of `buf`'s blob. Caller has bounds-checked.
+  static FileSlice FromBuffer(const ChunkBuffer& buf, uint64_t begin,
+                              uint64_t length) {
+    FileSlice s;
+    s.owner_ = buf.shared_blob();
+    s.offset_ = begin;
+    s.length_ = length;
+    return s;
+  }
+
+  /// Adopt an owned buffer whole (degraded reads and server paths that
+  /// already materialized the content return these).
+  static FileSlice Own(Bytes content) {
+    FileSlice s;
+    s.length_ = content.size();
+    s.owner_ = std::make_shared<const Bytes>(std::move(content));
+    return s;
+  }
+
+  bool valid() const { return owner_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  const uint8_t* data() const {
+    return owner_ ? owner_->data() + offset_ : nullptr;
+  }
+
+  BytesView view() const {
+    return owner_ ? BytesView(owner_->data() + offset_, length_) : BytesView();
+  }
+
+  /// Materialize an owned copy (compatibility with Bytes-returning APIs).
+  Bytes ToBytes() const {
+    return owner_ ? Bytes(owner_->begin() + static_cast<ptrdiff_t>(offset_),
+                          owner_->begin() +
+                              static_cast<ptrdiff_t>(offset_ + length_))
+                  : Bytes();
+  }
+
+  const std::shared_ptr<const Bytes>& shared_owner() const { return owner_; }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  uint64_t offset_ = 0;
+  uint64_t length_ = 0;
+};
+
+}  // namespace diesel::core

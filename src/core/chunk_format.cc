@@ -8,14 +8,31 @@ namespace diesel::core {
 
 uint64_t ChunkBuilder::Add(std::string name, BytesView content) {
   uint64_t offset = payload_.size();
+  // Reserve the whole chunk target (or a doubling past it) the first time
+  // capacity runs out, so filling a 4MB chunk file-by-file never re-copies
+  // the accumulated payload.
+  size_t needed = payload_.size() + content.size();
+  if (payload_.capacity() < needed) {
+    payload_.reserve(std::max({needed, static_cast<size_t>(target_),
+                               payload_.capacity() * 2}));
+  }
+  name_bytes_ += name.size();
   entries_.push_back({std::move(name), offset, content.size(),
                       Crc32c(content)});
   payload_.insert(payload_.end(), content.begin(), content.end());
   return offset;
 }
 
+uint64_t ChunkBuilder::SerializedHeaderBytes() const {
+  // magic + version + header_len (12) | chunk id (16) | create_ts (8) |
+  // num_files + num_deleted (8) | bitmap | per entry: u32 name length +
+  // name + offset/length/crc (20) | header crc (4).
+  return 48 + (entries_.size() + 7) / 8 + name_bytes_ + 24 * entries_.size();
+}
+
 Bytes ChunkBuilder::Finish(const ChunkId& id, uint64_t create_ts_ns) {
-  BinaryWriter w(payload_.size() + 64 * entries_.size() + 128);
+  // Exact output size from the running totals: one allocation, no growth.
+  BinaryWriter w(SerializedHeaderBytes() + payload_.size());
   w.PutU32(kChunkMagic);
   w.PutU32(kChunkVersion);
   size_t header_len_pos = w.size();
@@ -43,6 +60,8 @@ Bytes ChunkBuilder::Finish(const ChunkId& id, uint64_t create_ts_ns) {
 
   entries_.clear();
   payload_.clear();
+  payload_.shrink_to_fit();  // don't pin a chunk-sized buffer on idle builders
+  name_bytes_ = 0;
   return std::move(w).Take();
 }
 
@@ -152,10 +171,26 @@ Result<Bytes> ChunkView::ExtractFile(size_t index) const {
 }
 
 const ChunkFileEntry* ChunkView::FindEntry(std::string_view name) const {
-  for (const auto& e : entries_) {
-    if (e.name == name) return &e;
+  // Lazily build a name-sorted index on the first lookup: parsing stays
+  // index-free (recovery scans parse thousands of headers and never call
+  // FindEntry), while repeated lookups pay O(log n) instead of a linear
+  // scan over the file table. Lazy init is not synchronized — a ChunkView
+  // is a value type; don't share one instance across threads.
+  if (name_index_.size() != entries_.size()) {
+    name_index_.resize(entries_.size());
+    for (uint32_t i = 0; i < name_index_.size(); ++i) name_index_[i] = i;
+    std::sort(name_index_.begin(), name_index_.end(),
+              [this](uint32_t a, uint32_t b) {
+                return entries_[a].name < entries_[b].name;
+              });
   }
-  return nullptr;
+  auto it = std::lower_bound(
+      name_index_.begin(), name_index_.end(), name,
+      [this](uint32_t idx, std::string_view key) {
+        return entries_[idx].name < key;
+      });
+  if (it == name_index_.end() || entries_[*it].name != name) return nullptr;
+  return &entries_[*it];
 }
 
 Result<Bytes> CompactChunk(BytesView chunk, const std::vector<uint8_t>& bitmap,

@@ -54,10 +54,15 @@ class ChunkBuilder {
   /// Serialize into a self-contained chunk and reset the builder.
   Bytes Finish(const ChunkId& id, uint64_t create_ts_ns);
 
+  /// Exact serialized header size for the current entries (running totals;
+  /// lets Finish size its output buffer in one allocation).
+  uint64_t SerializedHeaderBytes() const;
+
  private:
   uint64_t target_;
   std::vector<ChunkFileEntry> entries_;
   Bytes payload_;
+  uint64_t name_bytes_ = 0;  // running total of entry name lengths
 };
 
 /// Parsed, validated view over a serialized chunk. Owns nothing; the caller
@@ -87,7 +92,9 @@ class ChunkView {
   /// Fails FailedPrecondition when constructed header-only.
   Result<Bytes> ExtractFile(size_t index) const;
 
-  /// Find a file entry by exact name; nullptr if absent.
+  /// Find a file entry by exact name; nullptr if absent. O(log n) via a
+  /// name-sorted index built lazily on the first lookup (parse stays
+  /// index-free). Not safe to call concurrently on one shared instance.
   const ChunkFileEntry* FindEntry(std::string_view name) const;
 
   /// Total serialized size (header + payload) when payload present.
@@ -104,6 +111,8 @@ class ChunkView {
   uint32_t num_deleted_ = 0;
   std::vector<uint8_t> bitmap_;
   std::vector<ChunkFileEntry> entries_;
+  /// Entry indices sorted by name; built lazily by FindEntry.
+  mutable std::vector<uint32_t> name_index_;
 };
 
 /// Rewrite a chunk dropping the files marked deleted in `bitmap` (house-

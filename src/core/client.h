@@ -38,6 +38,11 @@ class DatasetCacheInterface {
   virtual ~DatasetCacheInterface() = default;
   virtual Result<Bytes> GetFile(sim::VirtualClock& clock,
                                 const FileMeta& meta) = 0;
+  /// Batched read. The default loops GetFile; the task cache overrides it to
+  /// coalesce the files into one multi-get RPC per owner node, amortizing
+  /// the per-RPC overhead across the batch. Results are in input order.
+  virtual Result<std::vector<Bytes>> GetFiles(sim::VirtualClock& clock,
+                                              std::span<const FileMeta> metas);
 };
 
 struct ClientOptions {

@@ -91,6 +91,19 @@ class DieselServer {
   Result<Bytes> ReadChunk(sim::VirtualClock& clock, sim::NodeId client,
                           const std::string& dataset, const ChunkId& id);
 
+  /// Fetch several whole chunks in ONE coalesced RPC (shuffle group windows,
+  /// preload bursts). The request goes out as a Fabric::CallBatch — the
+  /// per-RPC overhead is paid once for the batch — and the server pulls the
+  /// blobs from the store on `fetch_streams` parallel service streams, so
+  /// the backend parallelism matches `ids.size()` unbatched calls issued
+  /// from that many client streams. Results are in input order; a missing
+  /// chunk fails the whole call, like the per-chunk path would.
+  Result<std::vector<Bytes>> ReadChunks(sim::VirtualClock& clock,
+                                        sim::NodeId client,
+                                        const std::string& dataset,
+                                        std::span<const ChunkId> ids,
+                                        size_t fetch_streams = 8);
+
   Result<FileMeta> StatFile(sim::VirtualClock& clock, sim::NodeId client,
                             const std::string& dataset,
                             const std::string& path);

@@ -88,6 +88,9 @@ Fabric::LinkMetrics& Fabric::LinkMetricsFor(sim::NodeId src, sim::NodeId dst) {
     lm.drops = &reg.GetCounter("net.rpc.drops", link);
     lm.flap_rejects = &reg.GetCounter("net.rpc.flap_rejects", link);
     lm.latency_ns = &reg.GetHistogram("net.rpc.latency_ns", link);
+    lm.batch_calls = &reg.GetCounter("net.batch.calls", link);
+    lm.batch_subrequests = &reg.GetCounter("net.batch.subrequests", link);
+    lm.batch_size = &reg.GetHistogram("net.batch.size", link);
     it = link_metrics_.emplace(key, lm).first;
   }
   return it->second;
@@ -97,6 +100,13 @@ std::string Fabric::SpanName(const char* kind, sim::NodeId src,
                              sim::NodeId dst) {
   return std::string(kind) + ":" + cluster_.node(src).name() + "->" +
          cluster_.node(dst).name();
+}
+
+obs::ScopedSpan Fabric::RpcSpan(const char* kind, sim::VirtualClock& clock,
+                                sim::NodeId src, sim::NodeId dst) {
+  // Guaranteed copy elision: both branches construct the span in place.
+  if (tracer_ == nullptr) return obs::ScopedSpan();
+  return obs::ScopedSpan(tracer_, SpanName(kind, src, dst), clock, src);
 }
 
 Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
@@ -136,13 +146,13 @@ Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
   return Status::Ok();
 }
 
-Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
-                    uint64_t req_bytes, uint64_t resp_bytes,
-                    const std::function<Nanos(Nanos)>& handler) {
+Status Fabric::CallImpl(sim::VirtualClock& clock, sim::NodeId src,
+                        sim::NodeId dst, size_t k, uint64_t req_bytes,
+                        uint64_t resp_bytes,
+                        const std::function<Nanos(Nanos)>& handler) {
   LinkMetrics& link = LinkMetricsFor(src, dst);
-  obs::ScopedSpan span(tracer_,
-                       tracer_ ? SpanName("rpc", src, dst) : std::string(),
-                       clock, src);
+  obs::ScopedSpan span = RpcSpan(k > 1 ? "batch" : "rpc", clock, src, dst);
+  if (k > 1) span.Note("batch k=" + std::to_string(k));
   if (!cluster_.node(src).up()) {
     span.Note("unavailable: source down");
     return Status::Unavailable("source node down: " + cluster_.node(src).name());
@@ -159,13 +169,23 @@ Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
   link.calls->Inc();
   link.req_bytes->Inc(req_bytes);
   link.resp_bytes->Inc(resp_bytes);
+  if (k > 1) {
+    link.batch_calls->Inc();
+    link.batch_subrequests->Inc(k);
+    link.batch_size->Observe(static_cast<double>(k));
+  }
   const Nanos issued = clock.now();
+
+  // The fixed per-RPC CPU overhead is paid once per endpoint traversal; each
+  // extra coalesced sub-request only adds its marginal marshalling cost.
+  const Nanos setup = sim::kRpcCpuOverhead +
+                      static_cast<Nanos>(k - 1) * sim::kRpcBatchSubRequestCost;
 
   if (src == dst) {
     // Loopback: no NIC traversal, just serialization overhead + handler.
-    Nanos arrival = clock.now() + sim::kRpcCpuOverhead;
+    Nanos arrival = clock.now() + setup;
     Nanos done = handler(arrival);
-    clock.AdvanceTo(done + sim::kRpcCpuOverhead);
+    clock.AdvanceTo(done + setup);
     link.latency_ns->Observe(static_cast<double>(clock.now() - issued));
     return Status::Ok();
   }
@@ -174,24 +194,50 @@ Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
   sim::SimNode& d = cluster_.node(dst);
   Nanos wire = wire_latency_ + spike;
 
-  Nanos t = s.nic().Serve(clock.now(), req_bytes, sim::kRpcCpuOverhead);
+  // A batched leg streams: the endpoint marshals and transmits sub-requests
+  // one after another, so its NIC time is k chained small serves (totalling
+  // `setup` + the transfer) rather than one monolithic slot. Identical cost
+  // on an idle NIC, but the pieces can backfill short gaps in a busy
+  // timeline where a contiguous (k-1)-subrequest slot would have to wait.
+  auto leg = [&](sim::SimNode& node, Nanos at, uint64_t bytes) -> Nanos {
+    if (k == 1) return node.nic().Serve(at, bytes, setup);
+    uint64_t per = bytes / k;
+    Nanos t = node.nic().Serve(at, per + bytes % k, sim::kRpcCpuOverhead);
+    for (size_t i = 1; i < k; ++i)
+      t = node.nic().Serve(t, per, sim::kRpcBatchSubRequestCost);
+    return t;
+  };
+
+  Nanos t = leg(s, clock.now(), req_bytes);
   t += wire;
-  t = d.nic().Serve(t, req_bytes, sim::kRpcCpuOverhead);
+  t = leg(d, t, req_bytes);
   Nanos done = handler(t);
-  t = d.nic().Serve(done, resp_bytes, sim::kRpcCpuOverhead);
+  t = leg(d, done, resp_bytes);
   t += wire;
-  t = s.nic().Serve(t, resp_bytes, sim::kRpcCpuOverhead);
+  t = leg(s, t, resp_bytes);
   clock.AdvanceTo(t);
   link.latency_ns->Observe(static_cast<double>(clock.now() - issued));
   return Status::Ok();
 }
 
+Status Fabric::Call(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+                    uint64_t req_bytes, uint64_t resp_bytes,
+                    const std::function<Nanos(Nanos)>& handler) {
+  return CallImpl(clock, src, dst, /*k=*/1, req_bytes, resp_bytes, handler);
+}
+
+Status Fabric::CallBatch(sim::VirtualClock& clock, sim::NodeId src,
+                         sim::NodeId dst, size_t k, uint64_t req_bytes,
+                         uint64_t resp_bytes,
+                         const std::function<Nanos(Nanos)>& handler) {
+  if (k == 0) return Status::InvalidArgument("CallBatch: empty batch");
+  return CallImpl(clock, src, dst, k, req_bytes, resp_bytes, handler);
+}
+
 Status Fabric::Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
                     uint64_t bytes, const std::function<void(Nanos)>& deliver) {
   LinkMetrics& link = LinkMetricsFor(src, dst);
-  obs::ScopedSpan span(tracer_,
-                       tracer_ ? SpanName("send", src, dst) : std::string(),
-                       clock, src);
+  obs::ScopedSpan span = RpcSpan("send", clock, src, dst);
   if (!cluster_.node(src).up()) {
     span.Note("unavailable: source down");
     return Status::Unavailable("source node down");

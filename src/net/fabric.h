@@ -101,6 +101,20 @@ class Fabric {
               uint64_t req_bytes, uint64_t resp_bytes,
               const std::function<Nanos(Nanos)>& handler);
 
+  /// Batched RPC round trip carrying `k` coalesced sub-requests in ONE wire
+  /// exchange. `req_bytes`/`resp_bytes` are the summed payloads of every
+  /// sub-request; the per-RPC CPU overhead is paid once per endpoint plus a
+  /// small marginal marshalling cost per extra sub-request
+  /// (sim::kRpcBatchSubRequestCost), so a k-way multi-get amortizes the
+  /// fixed RPC cost across all k files. Counts as ONE issued RPC. Fault
+  /// injection gates the whole exchange: a dropped batch fails every
+  /// sub-request at once, exactly like k dropped singles would — callers
+  /// retry or degrade per sub-request on failure. `k == 0` is invalid;
+  /// `k == 1` degenerates to Call().
+  Status CallBatch(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+                   size_t k, uint64_t req_bytes, uint64_t resp_bytes,
+                   const std::function<Nanos(Nanos)>& handler);
+
   /// Fire-and-forget one-way message (used for background cache pushes).
   Status Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
               uint64_t bytes, const std::function<void(Nanos)>& deliver);
@@ -118,6 +132,9 @@ class Fabric {
     obs::Counter* drops;
     obs::Counter* flap_rejects;
     obs::Histo* latency_ns;
+    obs::Counter* batch_calls;        // net.batch.calls
+    obs::Counter* batch_subrequests;  // net.batch.subrequests
+    obs::Histo* batch_size;           // net.batch.size
   };
 
   /// Injector gate shared by Call/Send: fires due flap teardowns, refuses
@@ -130,6 +147,17 @@ class Fabric {
 
   LinkMetrics& LinkMetricsFor(sim::NodeId src, sim::NodeId dst);
   std::string SpanName(const char* kind, sim::NodeId src, sim::NodeId dst);
+
+  /// Span for one RPC exchange. With no tracer attached this constructs an
+  /// inert span and — critically — never calls SpanName, so the untraced
+  /// fast path allocates no string and touches no node names.
+  obs::ScopedSpan RpcSpan(const char* kind, sim::VirtualClock& clock,
+                          sim::NodeId src, sim::NodeId dst);
+
+  /// Shared body of Call/CallBatch (k == 1 for a plain call).
+  Status CallImpl(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
+                  size_t k, uint64_t req_bytes, uint64_t resp_bytes,
+                  const std::function<Nanos(Nanos)>& handler);
 
   sim::Cluster& cluster_;
   Nanos wire_latency_;

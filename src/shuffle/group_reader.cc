@@ -56,28 +56,31 @@ void GroupWindowReader::FreeWindow() {
 
 Result<Nanos> GroupWindowReader::FetchGroup(Nanos start, size_t group,
                                             Window& out) {
-  // `fetch_streams_` concurrent chunk fetches; done when the slowest ends.
-  std::vector<sim::VirtualClock> streams(fetch_streams_,
-                                         sim::VirtualClock(start));
-  for (uint32_t ci : plan_.group_chunks.at(group)) {
-    size_t s = 0;
-    for (size_t k = 1; k < streams.size(); ++k) {
-      if (streams[k].now() < streams[s].now()) s = k;
-    }
-    const core::ChunkId& id = snapshot_.chunks().at(ci);
-    DIESEL_ASSIGN_OR_RETURN(
-        Bytes blob,
-        server_.ReadChunk(streams[s], node_, snapshot_.dataset(), id));
+  // The whole group goes out as ONE coalesced multi-chunk RPC: the per-RPC
+  // overhead is paid once per group instead of once per chunk, while the
+  // server still pulls the blobs on `fetch_streams_` parallel store streams.
+  const std::vector<uint32_t>& chunk_list = plan_.group_chunks.at(group);
+  if (chunk_list.empty()) return start;
+  std::vector<core::ChunkId> ids;
+  ids.reserve(chunk_list.size());
+  for (uint32_t ci : chunk_list) ids.push_back(snapshot_.chunks().at(ci));
+  sim::VirtualClock clock(start);
+  DIESEL_ASSIGN_OR_RETURN(
+      std::vector<Bytes> blobs,
+      server_.ReadChunks(clock, node_, snapshot_.dataset(), ids,
+                         fetch_streams_));
+  for (size_t i = 0; i < chunk_list.size(); ++i) {
+    Bytes& blob = blobs[i];
     DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
     Counters().chunk_fetches.Inc();
     Counters().chunk_bytes.Inc(blob.size());
     stats_.chunk_bytes_fetched += blob.size();
     ++stats_.chunk_fetches;
-    out.emplace(ci, WindowChunk{std::move(blob), view.header_len()});
+    out.emplace(chunk_list[i],
+                WindowChunk{core::ChunkBuffer::Wrap(std::move(blob),
+                                                    view.header_len())});
   }
-  Nanos done = start;
-  for (const auto& s : streams) done = std::max(done, s.now());
-  return done;
+  return clock.now();
 }
 
 Status GroupWindowReader::LoadGroup(sim::VirtualClock& clock, size_t group) {
@@ -99,7 +102,7 @@ Status GroupWindowReader::LoadGroup(sim::VirtualClock& clock, size_t group) {
     clock.AdvanceTo(done);
   }
   window_bytes_ = 0;
-  for (const auto& [ci, wc] : window_) window_bytes_ += wc.blob.size();
+  for (const auto& [ci, wc] : window_) window_bytes_ += wc.buffer.size();
 
   // Kick off the next group's background fetch.
   if (prefetch_next_ && group + 1 < plan_.num_groups()) {
@@ -109,7 +112,7 @@ Status GroupWindowReader::LoadGroup(sim::VirtualClock& clock, size_t group) {
     prefetch_group_ = group + 1;
     uint64_t prefetched_bytes = 0;
     for (const auto& [ci, wc] : prefetched_) {
-      prefetched_bytes += wc.blob.size();
+      prefetched_bytes += wc.buffer.size();
     }
     stats_.peak_window_bytes = std::max(
         stats_.peak_window_bytes, window_bytes_ + prefetched_bytes);
@@ -127,6 +130,11 @@ Result<uint32_t> GroupWindowReader::PeekIndex() const {
 }
 
 Result<Bytes> GroupWindowReader::Next(sim::VirtualClock& clock) {
+  DIESEL_ASSIGN_OR_RETURN(core::FileSlice slice, NextSlice(clock));
+  return slice.ToBytes();
+}
+
+Result<core::FileSlice> GroupWindowReader::NextSlice(sim::VirtualClock& clock) {
   if (Done()) return Status::OutOfRange("epoch exhausted");
   size_t group = plan_.GroupOf(pos_);
   if (group != current_group_) {
@@ -139,16 +147,15 @@ Result<Bytes> GroupWindowReader::Next(sim::VirtualClock& clock) {
     return Status::Internal("file's chunk missing from group window: " +
                             meta.full_name);
   const WindowChunk& wc = it->second;
-  uint64_t begin = wc.header_len + meta.offset;
-  if (begin + meta.length > wc.blob.size())
+  uint64_t begin = wc.buffer.header_len() + meta.offset;
+  if (begin + meta.length > wc.buffer.size())
     return Status::Corruption("file range past chunk end: " + meta.full_name);
   ++pos_;
   Counters().files_read.Inc();
   Counters().bytes_read.Inc(meta.length);
   ++stats_.files_read;
   stats_.bytes_read += meta.length;
-  return Bytes(wc.blob.begin() + static_cast<ptrdiff_t>(begin),
-               wc.blob.begin() + static_cast<ptrdiff_t>(begin + meta.length));
+  return core::FileSlice::FromBuffer(wc.buffer, begin, meta.length);
 }
 
 }  // namespace diesel::shuffle

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "core/chunk_buffer.h"
 #include "core/chunk_format.h"
 #include "core/server.h"
 #include "core/snapshot.h"
@@ -57,6 +58,10 @@ class GroupWindowReader {
   /// entry (charging `clock` with the chunk-wise reads).
   Result<Bytes> Next(sim::VirtualClock& clock);
 
+  /// Zero-copy variant of Next(): the returned slice shares the window
+  /// chunk's blob and stays valid after the window rotates past it.
+  Result<core::FileSlice> NextSlice(sim::VirtualClock& clock);
+
   /// Index (into snapshot.files()) of the file Next() will return.
   Result<uint32_t> PeekIndex() const;
 
@@ -64,8 +69,7 @@ class GroupWindowReader {
 
  private:
   struct WindowChunk {
-    Bytes blob;
-    uint32_t header_len = 0;
+    core::ChunkBuffer buffer;  // shared blob + header length
   };
   using Window = std::unordered_map<uint32_t, WindowChunk>;
 

@@ -27,6 +27,13 @@ inline DeviceSpec NicSpec(std::string name) {
 /// Per-RPC software overhead on each endpoint (Thrift serialize + syscall).
 constexpr Nanos kRpcCpuOverhead = Micros(8);
 
+/// Marginal endpoint cost of one extra sub-request coalesced into a batched
+/// RPC (Fabric::CallBatch): the wire round trip, syscall and dispatch are
+/// paid once per batch, so each additional sub-request only adds its own
+/// marshalling work. Calibrated well below kRpcCpuOverhead — that gap is
+/// exactly the amortization a multi-get buys.
+constexpr Nanos kRpcBatchSubRequestCost = Micros(1);
+
 /// Time a caller spends detecting a lost RPC or a flapped node before the
 /// call fails Unavailable (connect timeout; the Thrift clients fail much
 /// faster than libMemcached's kMcDeadInstanceCost below because DIESEL

@@ -124,7 +124,12 @@ int Usage() {
                "prefixed by subsystem: net.* (fabric RPCs), kv.* (metadata\n"
                "tier), core.* (server/client), cache.* (task cache),\n"
                "shuffle.* (chunk-wise shuffle), dlt.* (training pipeline),\n"
-               "prefetch.* (clairvoyant prefetch scheduler).\n");
+               "prefetch.* (clairvoyant prefetch scheduler).\n"
+               "hot read path counters: net.batch.calls / .subrequests /\n"
+               ".size (per-link coalesced multi-gets and their fan-in),\n"
+               "cache.slice.views (zero-copy slice reads), cache.slice.copies\n"
+               "(materialized GetFile copies), cache.slice.crc_verified /\n"
+               ".crc_skipped (per-residency CRC memoization hit rate).\n");
   return 2;
 }
 

@@ -90,6 +90,47 @@ TEST(ChunkFormatTest, FindEntryByName) {
   EXPECT_EQ(view->FindEntry("/x/zzz"), nullptr);
 }
 
+TEST(ChunkFormatTest, FindEntryIndexedLookupCoversAllNames) {
+  // The lazily built name index must agree with a straight linear scan for
+  // every file, probed in an order unrelated to insertion order.
+  ChunkBuilder b(0);
+  Rng rng(11);
+  constexpr size_t kFiles = 257;  // odd, not a power of two
+  for (size_t i = 0; i < kFiles; ++i) {
+    // Names deliberately NOT in lexicographic insert order.
+    b.Add("/t/cls" + std::to_string((i * 7) % 10) + "/img" +
+              std::to_string((i * 131) % kFiles),
+          RandomContent(rng, 16));
+  }
+  Bytes chunk = b.Finish(TestId(), 1);
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());
+  for (const ChunkFileEntry& e : view->entries()) {
+    const ChunkFileEntry* hit = view->FindEntry(e.name);
+    ASSERT_NE(hit, nullptr) << e.name;
+    EXPECT_EQ(hit->offset, e.offset);
+    EXPECT_EQ(hit->length, e.length);
+    EXPECT_EQ(hit->crc, e.crc);
+  }
+  EXPECT_EQ(view->FindEntry("/t/cls0/never-written"), nullptr);
+  EXPECT_EQ(view->FindEntry(""), nullptr);
+}
+
+TEST(ChunkBuilderTest, SerializedHeaderBytesIsExact) {
+  ChunkBuilder b(0);
+  Rng rng(12);
+  b.Add("/a", RandomContent(rng, 5));
+  b.Add("/some/longer/name.jpg", RandomContent(rng, 7));
+  b.Add("/x", RandomContent(rng, 3));
+  uint64_t predicted = b.SerializedHeaderBytes();
+  uint64_t payload = b.payload_bytes();
+  Bytes chunk = b.Finish(TestId(), 42);
+  auto view = ChunkView::Parse(chunk);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->header_len(), predicted);
+  EXPECT_EQ(chunk.size(), predicted + payload);
+}
+
 TEST(ChunkFormatTest, EmptyChunkIsValid) {
   ChunkBuilder b(0);
   Bytes chunk = b.Finish(TestId(), 1);

@@ -107,6 +107,73 @@ TEST_F(FabricTest, RpcCounterIncrements) {
   EXPECT_EQ(fabric_.rpcs_issued(), before + 2);
 }
 
+TEST_F(FabricTest, CallBatchEmptyIsInvalidArgument) {
+  sim::VirtualClock clock;
+  Status st = fabric_.CallBatch(clock, 0, 1, /*k=*/0, 0, 0,
+                                [](Nanos a) { return a; });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST_F(FabricTest, CallBatchOfOneMatchesCall) {
+  sim::VirtualClock single, batch;
+  ASSERT_TRUE(fabric_.Call(single, 0, 1, 96, 4096,
+                           [](Nanos a) { return a + 100; }).ok());
+  ASSERT_TRUE(fabric_.CallBatch(batch, 0, 1, /*k=*/1, 96, 4096,
+                                [](Nanos a) { return a + 100; }).ok());
+  EXPECT_EQ(batch.now(), single.now());
+}
+
+TEST_F(FabricTest, CallBatchAmortizesPerRpcOverhead) {
+  // k files as one batch must be much cheaper than k singles: the fixed
+  // per-RPC CPU overhead is paid once plus a small marginal cost per extra
+  // sub-request, instead of k times.
+  constexpr size_t kK = 16;
+  constexpr uint64_t kResp = 4096;
+  sim::VirtualClock singles, batch;
+  for (size_t i = 0; i < kK; ++i) {
+    ASSERT_TRUE(fabric_.Call(singles, 0, 1, 96, kResp,
+                             [](Nanos a) { return a; }).ok());
+  }
+  ASSERT_TRUE(fabric_.CallBatch(batch, 0, 1, kK, 96 * kK, kResp * kK,
+                                [](Nanos a) { return a; }).ok());
+  EXPECT_LT(batch.now(), singles.now());
+  // Per-file latency must drop too, not just the total.
+  EXPECT_LT(batch.now() / kK, singles.now() / kK);
+  // The saving is at least the amortized fixed overhead: (k-1) singles'
+  // setup minus the batch's marginal sub-request cost, across the NIC
+  // serves on the round trip.
+  Nanos amortized = (kK - 1) * (sim::kRpcCpuOverhead -
+                                sim::kRpcBatchSubRequestCost);
+  EXPECT_GE(singles.now() - batch.now(), amortized);
+}
+
+TEST_F(FabricTest, CallBatchCountsOneRpcAndBatchMetrics) {
+  const obs::Labels link{{"link", "n0->n1"}};
+  uint64_t rpcs_before = fabric_.rpcs_issued();
+  uint64_t calls_before =
+      obs::Metrics().GetCounter("net.batch.calls", link).value();
+  uint64_t subs_before =
+      obs::Metrics().GetCounter("net.batch.subrequests", link).value();
+  sim::VirtualClock clock;
+  ASSERT_TRUE(fabric_.CallBatch(clock, 0, 1, /*k=*/8, 96 * 8, 4096 * 8,
+                                [](Nanos a) { return a; }).ok());
+  EXPECT_EQ(fabric_.rpcs_issued(), rpcs_before + 1);
+  EXPECT_EQ(obs::Metrics().GetCounter("net.batch.calls", link).value(),
+            calls_before + 1);
+  EXPECT_EQ(obs::Metrics().GetCounter("net.batch.subrequests", link).value(),
+            subs_before + 8);
+}
+
+TEST_F(FabricTest, CallBatchToDownNodeFailsUnavailable) {
+  cluster_.FailNode(1);
+  sim::VirtualClock clock;
+  Status st = fabric_.CallBatch(clock, 0, 1, /*k=*/4, 0, 0,
+                                [](Nanos a) { return a; });
+  EXPECT_TRUE(st.IsUnavailable());
+  cluster_.RecoverNode(1);
+}
+
 TEST_F(FabricTest, BigPayloadTakesLongerThanSmall) {
   sim::VirtualClock small, big;
   ASSERT_TRUE(fabric_.Call(small, 0, 1, 64, 64,
