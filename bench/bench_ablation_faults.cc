@@ -34,7 +34,8 @@ struct FaultRun {
 };
 
 FaultRun RunSchedule(double drop_prob, bool with_flap,
-                     const dlt::DatasetSpec& spec) {
+                     const dlt::DatasetSpec& spec,
+                     const std::string& section) {
   core::DeploymentOptions opts;
   opts.num_client_nodes = kNodes;
   core::Deployment dep(opts);
@@ -91,6 +92,11 @@ FaultRun RunSchedule(double drop_prob, bool with_flap,
   FaultRun run;
   Rng rng(5);
   Nanos train_start = 0;
+  bench::OpenTimeline(0, Millis(1));
+  if (with_flap) {
+    bench::TimelineNote(Millis(2), "flap: n1 down");
+    bench::TimelineNote(Millis(12), "flap: n1 up");
+  }
   for (int epoch = 0; epoch < kEpochs; ++epoch) {
     std::vector<uint32_t> order(snap.num_files());
     for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -106,12 +112,15 @@ FaultRun RunSchedule(double drop_prob, bool with_flap,
       const core::FileMeta& fm = snap.files()[order[cursor++]];
       auto r = cache.GetFile(clocks[next], clients[next]->endpoint(), fm);
       if (!r.ok()) run.all_reads_ok = false;
+      bench::TimelineTick(clocks[next].now());
     }
     Nanos end = train_start;
     for (const auto& c : clocks) end = std::max(end, c.now());
+    bench::TimelineNote(end, "epoch " + std::to_string(epoch + 1) + " done");
     (epoch == 0 ? run.epoch1_s : run.epoch2_s) = ToSeconds(end - train_start);
     train_start = end;
   }
+  bench::CloseTimeline(section, train_start);
 
   auto fstats = inj.stats();
   run.rpc_drops = fstats.rpc_drops;
@@ -153,7 +162,9 @@ void Run() {
                       "reg hit rate", "reg ok", "ok"});
   for (double drop : {0.0, 0.001, 0.01, 0.05}) {
     for (bool flap : {false, true}) {
-      FaultRun r = RunSchedule(drop, flap, spec);
+      std::string section = "d" + bench::Fmt("%g", drop * 100) + "pct" +
+                            (flap ? ".flap" : "");
+      FaultRun r = RunSchedule(drop, flap, spec, section);
       table.AddRow({bench::Fmt("%.1f%%", drop * 100), flap ? "yes" : "no",
                     bench::Fmt("%.3f", r.epoch1_s),
                     bench::Fmt("%.3f", r.epoch2_s),
@@ -165,8 +176,7 @@ void Run() {
                     bench::Fmt("%.3f", r.reg_hit_rate),
                     r.registry_consistent ? "yes" : "NO",
                     r.all_reads_ok ? "yes" : "NO"});
-      std::string tag = "d" + bench::Fmt("%g", drop * 100) + "pct" +
-                        (flap ? ".flap" : "");
+      const std::string& tag = section;
       bench::Metric("epoch1_s." + tag, "s", r.epoch1_s,
                     obs::Direction::kLowerIsBetter);
       bench::Metric("epoch2_s." + tag, "s", r.epoch2_s,

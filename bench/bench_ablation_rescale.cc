@@ -137,7 +137,8 @@ struct DipShape {
 /// membership table only `detect` later — the unplanned-loss detection
 /// window a planned drain never pays.
 EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
-                  Nanos detect, Nanos window, const dlt::DatasetSpec& spec) {
+                  Nanos detect, Nanos window, const dlt::DatasetSpec& spec,
+                  const std::string& section = "") {
   constexpr size_t kNodes = 8;
   constexpr size_t kClientsPerNode = 2;
 
@@ -210,6 +211,17 @@ EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
   dep.fabric().set_fault_injector(&inj);
   size_t next_event = 0;
 
+  if (!section.empty()) {
+    bench::OpenTimeline(0, Millis(1));
+    if (kind == ChurnKind::kDrain) {
+      bench::TimelineNote(event_at, "drain start: n3");
+      bench::TimelineNote(event_at + drain_grace, "drain complete: n3");
+    } else if (kind == ChurnKind::kCrash) {
+      bench::TimelineNote(event_at, "crash: n3 down");
+      bench::TimelineNote(event_at + detect, "crash detected");
+    }
+  }
+
   EpochRun run;
   Rng rng(5);
   std::vector<uint32_t> order(snap.num_files());
@@ -239,6 +251,7 @@ EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
     }
     const core::FileMeta& fm = snap.files()[order[cursor++]];
     auto r = cache.GetFile(clocks[next], clients[next]->endpoint(), fm);
+    if (!section.empty()) bench::TimelineTick(clocks[next].now());
     if (!r.ok()) {
       ++run.failed_reads;
       continue;
@@ -249,6 +262,7 @@ EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
   }
   while (next_event < events.size()) events[next_event++].fire();
   for (const auto& c : clocks) run.epoch_end = std::max(run.epoch_end, c.now());
+  if (!section.empty()) bench::CloseTimeline(section, run.epoch_end);
   dep.fabric().set_fault_injector(nullptr);
   return run;
 }
@@ -332,11 +346,12 @@ void Run() {
   Nanos event_at = static_cast<Nanos>(clean.epoch_end * 2 / 5);
   Nanos grace = std::max<Nanos>(Millis(1), clean.epoch_end / 20);
   Nanos detect = std::max<Nanos>(Millis(1), clean.epoch_end / 10);
-  clean = RunEpoch(ChurnKind::kNone, 0, 0, 0, window, spec);
+  clean = RunEpoch(ChurnKind::kNone, 0, 0, 0, window, spec, "clean");
   EpochRun drain =
-      RunEpoch(ChurnKind::kDrain, event_at, grace, 0, window, spec);
+      RunEpoch(ChurnKind::kDrain, event_at, grace, 0, window, spec, "drain");
   EpochRun crash =
-      RunEpoch(ChurnKind::kCrash, event_at, grace, detect, window, spec);
+      RunEpoch(ChurnKind::kCrash, event_at, grace, detect, window, spec,
+               "crash");
   DipShape ddip = AnalyzeDip(drain, event_at, window);
   DipShape cdip = AnalyzeDip(crash, event_at, window);
 

@@ -19,6 +19,7 @@
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/timeline.h"
 #include "sim/clock.h"
 
 namespace diesel::bench {
@@ -191,6 +192,9 @@ inline std::string DumpMetricsJson(const std::string& bench_name) {
 namespace detail {
 inline obs::BenchReport g_report;   // NOLINT(misc-definitions-in-headers)
 inline bool g_report_open = false;  // NOLINT(misc-definitions-in-headers)
+inline obs::Timeline g_timeline;    // NOLINT(misc-definitions-in-headers)
+// NOLINTNEXTLINE(misc-definitions-in-headers)
+inline std::vector<std::string> g_timeline_sections;
 }  // namespace detail
 
 /// Begin the report for this bench run. `seed` is the master seed the run's
@@ -248,6 +252,66 @@ inline void AddEpochPhases(std::string label, int64_t epoch, int64_t fetch_ns,
 /// Accumulate simulated virtual time covered by the bench (informational).
 inline void AddVirtualTime(Nanos ns) { detail::g_report.virtual_ns += ns; }
 
+// ---------------------------------------------------------------------------
+// Timeline sections.
+//
+// Scenario loops that want time-resolved curves bracket each scenario with
+// OpenTimeline / CloseTimeline and call TimelineTick(now) once per operation.
+// Each scenario becomes a labeled section; CloseReport writes them all as one
+// `$DIESEL_BENCH_DIR/<bench>.timeline.json` (diesel.timeline/v1) next to the
+// report. Benches that never open a timeline emit no timeline artifact.
+// ---------------------------------------------------------------------------
+
+/// Begin a timeline section at virtual time `at` with the given bucket
+/// width. Restarts sampling; the previous section must be closed first.
+inline void OpenTimeline(Nanos at, Nanos bucket_ns = 1'000'000) {
+  obs::Timeline::Options opt;
+  opt.bucket_ns = bucket_ns;
+  detail::g_timeline = obs::Timeline(opt);
+  detail::g_timeline.Start(at);
+}
+
+/// Sample the registry if `now` crossed a bucket boundary (cheap otherwise).
+inline void TimelineTick(Nanos now) { detail::g_timeline.AdvanceTo(now); }
+
+/// Attach a labeled marker (fault window edge, membership change) to the
+/// open section.
+inline void TimelineNote(Nanos at, std::string text) {
+  detail::g_timeline.Note(at, std::move(text));
+}
+
+/// Close the open section as `label` and queue it for the document dump.
+inline void CloseTimeline(const std::string& label, Nanos now) {
+  if (!detail::g_timeline.started()) return;
+  detail::g_timeline.Finish(now);
+  detail::g_timeline_sections.push_back(detail::g_timeline.SectionJson(label));
+}
+
+namespace detail {
+// NOLINTNEXTLINE(misc-definitions-in-headers)
+inline int DumpTimelineDocument() {
+  if (g_timeline_sections.empty()) return 0;
+  std::string path =
+      ResolveDumpPath(g_report.bench, "DIESEL_BENCH_DIR", ".timeline.json");
+  std::vector<std::string> sections = std::move(g_timeline_sections);
+  g_timeline_sections.clear();
+  if (path.empty()) return 1;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << obs::TimelineDocumentJson(g_report.bench, sections) << "\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+    return 1;
+  }
+  std::printf("timeline: %s\n", path.c_str());
+  return 0;
+}
+}  // namespace detail
+
 /// Finish the report: embed the final registry snapshot, write
 /// `$DIESEL_BENCH_DIR/<bench>.report.json` and the legacy metrics dump.
 /// Returns the bench's exit code: 0 on success, 1 when an artifact could
@@ -256,6 +320,7 @@ inline int CloseReport() {
   if (!detail::g_report_open) return 0;
   detail::g_report_open = false;
   bool ok = !DumpMetricsJson(detail::g_report.bench).empty();
+  ok = detail::DumpTimelineDocument() == 0 && ok;
   auto registry = JsonValue::Parse(obs::Metrics().Json());
   if (registry.ok()) detail::g_report.registry = std::move(registry).value();
   std::string path = ResolveDumpPath(detail::g_report.bench, "DIESEL_BENCH_DIR",

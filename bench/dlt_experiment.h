@@ -79,6 +79,7 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
                                     .model = model, .overlap = false});
     Rng rng(555);
     Nanos start = 0;
+    OpenTimeline(0, Millis(100));
     for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
       std::vector<uint32_t> order(spec.total_files());
       for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -96,6 +97,7 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
               w.Advance(sim::kBusyLustrePerFileExtra +
                         sim::kImagePreprocessCost);
             }
+            TimelineTick(w.now());
             return Status::Ok();
           });
       if (!result.ok()) std::abort();
@@ -103,7 +105,9 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
       trace.lustre_phases.push_back(result->phases);
       trace.lustre_io_wait_s += result->total_data_wait_s;
       start = result->epoch_end;
+      TimelineNote(start, "epoch " + std::to_string(epoch + 1) + " done");
     }
+    CloseTimeline(std::string(model.name) + "/lustre", start);
     trace.lustre_total_s = ToSeconds(start);
   }
 
@@ -131,6 +135,7 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
           dep.server(0), snap.value(), 0));
     }
     Nanos start = 0;
+    OpenTimeline(0, Millis(100));
     for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
       shuffle::ShufflePlan plan = shuffle::ChunkWiseShuffle(
           *snap, {.group_size = cfg.shuffle_group}, rng);
@@ -154,6 +159,7 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
               w.Advance(2 * sim::kFuseCrossingCost +
                         sim::kImagePreprocessCost);
             }
+            TimelineTick(w.now());
             return Status::Ok();
           });
       if (!result.ok()) std::abort();
@@ -161,7 +167,9 @@ inline ModelTrace RunModel(const sim::ModelCompute& model,
       trace.diesel_phases.push_back(result->phases);
       trace.diesel_io_wait_s += result->total_data_wait_s;
       start = result->epoch_end;
+      TimelineNote(start, "epoch " + std::to_string(epoch + 1) + " done");
     }
+    CloseTimeline(std::string(model.name) + "/diesel", start);
     trace.diesel_total_s = ToSeconds(start);
   }
   return trace;

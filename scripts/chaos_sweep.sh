@@ -15,7 +15,7 @@ BUILD=build
 SEEDS=32
 FIRST=1
 OUT=chaos-sweep-out
-TESTS="integration_chaos_equivalence_test membership_churn_test integration_rescale_test"
+TESTS="integration_chaos_equivalence_test membership_churn_test integration_rescale_test integration_telemetry_determinism_test"
 
 while getopts "B:n:s:o:t:h" opt; do
   case "$opt" in
@@ -42,15 +42,22 @@ failed_seeds=""
 for ((i = 0; i < SEEDS; i++)); do
   seed=$((FIRST + i))
   seed_ok=1
+  # Failing tests auto-dump the flight recorder here (see
+  # tests/testutil/flightrec_listener.h); empty dirs are pruned below so
+  # only failures leave black boxes in the artifact.
+  flightdir="$OUT/seed${seed}_flightrec"
+  mkdir -p "$flightdir"
   for t in $TESTS; do
     log="$OUT/seed${seed}_${t}.log"
-    if DIESEL_CHAOS_SEED=$seed "$BUILD/tests/$t" >"$log" 2>&1; then
+    if DIESEL_CHAOS_SEED=$seed DIESEL_FLIGHTREC_DIR="$flightdir" \
+        "$BUILD/tests/$t" >"$log" 2>&1; then
       rm -f "$log"
     else
       seed_ok=0
       echo "FAIL seed=$seed $t (log kept: $log)"
     fi
   done
+  rmdir "$flightdir" 2>/dev/null || true
   if [ "$seed_ok" -eq 1 ]; then
     echo "seed $seed OK"
   else

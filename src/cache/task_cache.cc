@@ -5,6 +5,7 @@
 #include "common/crc32.h"
 #include "core/chunk_format.h"
 #include "net/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/calibration.h"
@@ -110,6 +111,34 @@ struct SliceCounters {
 SliceCounters& SlCounters() {
   static SliceCounters c;
   return c;
+}
+
+/// Critical-path attribution for the hot read path: every phase a
+/// GetFile/GetFiles request can spend virtual time in, observed as
+/// durations into "read.path.*" histograms. total_ns additionally captures
+/// tail exemplars (the active cache.get_file span id) so `dlcmd tail` can
+/// resolve a p99 read straight to its span tree. parse_ns exists for
+/// completeness: header parsing charges no virtual time under the current
+/// calibration, so it records zeros — the histogram documents that the
+/// phase is free, not that it is unmeasured.
+struct ReadPathMetrics {
+  obs::Histo& total_ns = obs::Metrics().GetHistogram("read.path.total_ns");
+  obs::Histo& local_ns = obs::Metrics().GetHistogram("read.path.local_ns");
+  obs::Histo& owner_wait_ns =
+      obs::Metrics().GetHistogram("read.path.owner_wait_ns");
+  obs::Histo& rpc_ns = obs::Metrics().GetHistogram("read.path.rpc_ns");
+  obs::Histo& device_ns = obs::Metrics().GetHistogram("read.path.device_ns");
+  obs::Histo& parse_ns = obs::Metrics().GetHistogram("read.path.parse_ns");
+  obs::Histo& slice_ns = obs::Metrics().GetHistogram("read.path.slice_ns");
+  obs::Histo& backoff_ns = obs::Metrics().GetHistogram("read.path.backoff_ns");
+  obs::Histo& degraded_ns =
+      obs::Metrics().GetHistogram("read.path.degraded_ns");
+  obs::Counter& retries = obs::Metrics().GetCounter("read.path.retries");
+};
+
+ReadPathMetrics& RpMetrics() {
+  static ReadPathMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -320,12 +349,21 @@ Result<Bytes> TaskCache::FetchChunkBlob(sim::VirtualClock& clock,
                                         sim::NodeId reader, size_t chunk_index,
                                         uint32_t* header_len) {
   const core::ChunkId& id = snapshot_.chunks().at(chunk_index);
+  const Nanos device0 = clock.now();
   DIESEL_ASSIGN_OR_RETURN(
       Bytes blob,
       options_.retry.RunResult<Bytes>(clock, [&]() -> Result<Bytes> {
         return server_.ReadChunk(clock, reader, snapshot_.dataset(), id);
       }));
+  RpMetrics().device_ns.Observe(static_cast<double>(clock.now() - device0));
+  if (fabric_.tracer() != nullptr) {
+    obs::ScopedSpan::NoteCurrent(
+        fabric_.tracer(), clock.now(),
+        "phase.device_read ns=" + std::to_string(clock.now() - device0));
+  }
+  const Nanos parse0 = clock.now();
   DIESEL_ASSIGN_OR_RETURN(core::ChunkView view, core::ChunkView::Parse(blob));
+  RpMetrics().parse_ns.Observe(static_cast<double>(clock.now() - parse0));
   *header_len = view.header_len();
   // The fabric never sees payloads, so scheduled corruption events land
   // here, on the chunk-fetch path; detection is CRC-driven in SliceFile.
@@ -335,6 +373,9 @@ Result<Bytes> TaskCache::FetchChunkBlob(sim::VirtualClock& clock,
       obs::ScopedSpan::NoteCurrent(
           fabric_.tracer(), clock.now(),
           "fault.corrupt chunk=" + std::to_string(chunk_index));
+      obs::Flight().Record(obs::FlightEventKind::kFault, clock.now(),
+                           "payload corruption: chunk " +
+                               std::to_string(chunk_index));
     }
   }
   return blob;
@@ -376,6 +417,12 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
         // remainder. Only the first read after the fill scores it.
         Nanos stall = cc.ready_at - clock.now();
         clock.AdvanceTo(cc.ready_at);
+        RpMetrics().owner_wait_ns.Observe(static_cast<double>(stall));
+        if (fabric_.tracer() != nullptr) {
+          obs::ScopedSpan::NoteCurrent(
+              fabric_.tracer(), clock.now(),
+              "phase.owner_wait ns=" + std::to_string(stall));
+        }
         if (cc.prefetched && !cc.accessed) {
           PfCounters().late.Inc();
           PfCounters().late_stall_ns.Observe(static_cast<double>(stall));
@@ -484,6 +531,20 @@ Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
                                                 const core::FileMeta& meta) {
   obs::ScopedSpan span(fabric_.tracer(), "cache.get_file", clock,
                        requester.node);
+  const Nanos t0 = clock.now();
+  Result<core::FileSlice> result = GetFileSliceImpl(clock, requester, meta,
+                                                    span);
+  // End-to-end request latency, with the span id riding along as a tail
+  // exemplar (span.id() is 0 without a tracer, which captures nothing).
+  RpMetrics().total_ns.Observe(static_cast<double>(clock.now() - t0),
+                               span.id(), static_cast<double>(clock.now()));
+  return result;
+}
+
+Result<core::FileSlice> TaskCache::GetFileSliceImpl(sim::VirtualClock& clock,
+                                                    net::EndpointId requester,
+                                                    const core::FileMeta& meta,
+                                                    obs::ScopedSpan& span) {
   size_t chunk_index = snapshot_.ChunkIndex(meta.chunk);
   if (chunk_index == static_cast<size_t>(-1))
     return Status::NotFound("chunk not in snapshot: " + meta.chunk.Encoded());
@@ -492,16 +553,27 @@ Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
   // degradation — a rescale never stalls the read path).
   DIESEL_ASSIGN_OR_RETURN(sim::NodeId owner,
                           ServingOwner(chunk_index, clock.now()));
+  if (span.active()) {
+    span.Note("phase.snapshot_lookup chunk=" + std::to_string(chunk_index) +
+              " owner=n" + std::to_string(owner));
+  }
 
   if (owner == requester.node) {
     // Local partition: memory-bus copy.
+    const Nanos local0 = clock.now();
     DIESEL_ASSIGN_OR_RETURN(core::FileSlice content,
                             ReadFromPartition(clock, owner, chunk_index, meta));
+    const Nanos slice0 = clock.now();
     Nanos t = fabric_.cluster().node(owner).membus().Serve(clock.now(),
                                                            meta.length);
     clock.AdvanceTo(t);
+    RpMetrics().slice_ns.Observe(static_cast<double>(clock.now() - slice0));
+    RpMetrics().local_ns.Observe(static_cast<double>(clock.now() - local0));
     Counters().local_hits.Inc();
     span.Note("cache.local_hit");
+    if (span.active()) {
+      span.Note("phase.slice ns=" + std::to_string(clock.now() - slice0));
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.local_hits;
@@ -525,20 +597,32 @@ Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
       break;
     }
     Result<core::FileSlice> content = Status::Internal("unset");
+    const Nanos rpc0 = clock.now();
+    if (attempt > 1) RpMetrics().retries.Inc();
     Status call = fabric_.Call(
         clock, requester.node, owner, kPeerRequestBytes, meta.length,
         [&](Nanos arrival) {
           sim::VirtualClock peer(arrival);
           content = ReadFromPartition(peer, owner, chunk_index, meta);
+          const Nanos slice0 = peer.now();
           Nanos t = fabric_.cluster().node(owner).membus().Serve(peer.now(),
                                                                  meta.length);
           peer.AdvanceTo(t);
+          RpMetrics().slice_ns.Observe(static_cast<double>(peer.now() - slice0));
           return peer.now();
         });
+    RpMetrics().rpc_ns.Observe(static_cast<double>(clock.now() - rpc0));
+    if (span.active()) {
+      span.Note("phase.rpc attempt=" + std::to_string(attempt) +
+                " ns=" + std::to_string(clock.now() - rpc0));
+    }
     if (call.ok() && !content.status().IsUnavailable()) {
       if (breaker.OnSuccess(clock.now()) ==
           CircuitBreaker::Transition::kRecovered) {
         span.Note("breaker.recovered node=" + std::to_string(owner));
+        obs::Flight().Record(obs::FlightEventKind::kBreaker, clock.now(),
+                             "breaker recovered: n" + std::to_string(owner),
+                             span.id());
         OnOwnerRecovered(owner, clock.now());
       }
       if (content.ok()) {
@@ -562,6 +646,9 @@ Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
         Counters().breaker_opens.Inc();
         BreakerGauge(owner).Set(1.0);
         span.Note("breaker.open node=" + std::to_string(owner));
+        obs::Flight().Record(obs::FlightEventKind::kBreaker, clock.now(),
+                             "breaker open: n" + std::to_string(owner),
+                             span.id());
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.breaker_opens;
       }
@@ -572,6 +659,10 @@ Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
         clock.now() - start + wait > retry.deadline_budget) {
       break;
     }
+    RpMetrics().backoff_ns.Observe(static_cast<double>(wait));
+    if (span.active()) {
+      span.Note("phase.backoff ns=" + std::to_string(wait));
+    }
     clock.Advance(wait);
   }
   if (!options_.degraded_reads) return last;
@@ -581,7 +672,12 @@ Result<core::FileSlice> TaskCache::GetFileSlice(sim::VirtualClock& clock,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.failovers;
   }
+  const Nanos degraded0 = clock.now();
   DIESEL_ASSIGN_OR_RETURN(Bytes content, DegradedRead(clock, requester, meta));
+  RpMetrics().degraded_ns.Observe(static_cast<double>(clock.now() - degraded0));
+  if (span.active()) {
+    span.Note("phase.degraded ns=" + std::to_string(clock.now() - degraded0));
+  }
   return core::FileSlice::Own(std::move(content));
 }
 
@@ -660,6 +756,8 @@ void TaskCache::FetchOwnerBatch(sim::VirtualClock& clock,
   const Nanos start = clock.now();
   for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (!breaker.AllowRequest(clock.now())) return;  // fallback handles it
+    const Nanos rpc0 = clock.now();
+    if (attempt > 1) RpMetrics().retries.Inc();
     Status call = fabric_.CallBatch(
         clock, requester.node, owner, subs.size(),
         kPeerRequestBytes * subs.size(), resp_bytes, [&](Nanos arrival) {
@@ -667,16 +765,27 @@ void TaskCache::FetchOwnerBatch(sim::VirtualClock& clock,
           for (size_t j = 0; j < subs.size(); ++j) {
             const core::FileMeta& meta = metas[subs[j].pos];
             out[j] = ReadFromPartition(peer, owner, subs[j].chunk_index, meta);
+            const Nanos slice0 = peer.now();
             Nanos t = fabric_.cluster().node(owner).membus().Serve(
                 peer.now(), meta.length);
             peer.AdvanceTo(t);
+            RpMetrics().slice_ns.Observe(
+                static_cast<double>(peer.now() - slice0));
           }
           return peer.now();
         });
+    RpMetrics().rpc_ns.Observe(static_cast<double>(clock.now() - rpc0));
+    if (span.active()) {
+      span.Note("phase.rpc attempt=" + std::to_string(attempt) +
+                " ns=" + std::to_string(clock.now() - rpc0));
+    }
     if (call.ok()) {
       if (breaker.OnSuccess(clock.now()) ==
           CircuitBreaker::Transition::kRecovered) {
         span.Note("breaker.recovered node=" + std::to_string(owner));
+        obs::Flight().Record(obs::FlightEventKind::kBreaker, clock.now(),
+                             "breaker recovered: n" + std::to_string(owner),
+                             span.id());
         OnOwnerRecovered(owner, clock.now());
       }
       uint64_t hits = 0;
@@ -702,6 +811,9 @@ void TaskCache::FetchOwnerBatch(sim::VirtualClock& clock,
         Counters().breaker_opens.Inc();
         BreakerGauge(owner).Set(1.0);
         span.Note("breaker.open node=" + std::to_string(owner));
+        obs::Flight().Record(obs::FlightEventKind::kBreaker, clock.now(),
+                             "breaker open: n" + std::to_string(owner),
+                             span.id());
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.breaker_opens;
       }
@@ -711,6 +823,10 @@ void TaskCache::FetchOwnerBatch(sim::VirtualClock& clock,
     if (retry.deadline_budget != 0 &&
         clock.now() - start + wait > retry.deadline_budget) {
       return;
+    }
+    RpMetrics().backoff_ns.Observe(static_cast<double>(wait));
+    if (span.active()) {
+      span.Note("phase.backoff ns=" + std::to_string(wait));
     }
     clock.Advance(wait);
   }
@@ -939,6 +1055,13 @@ void TaskCache::MigrateForChange(const membership::MembershipChange& change) {
         }
       }
     }
+  }
+
+  if (!moves.empty()) {
+    obs::Flight().Record(obs::FlightEventKind::kMigration, start,
+                         std::string(membership::ToString(change.kind)) +
+                             " n" + std::to_string(change.node) + ": " +
+                             std::to_string(moves.size()) + " chunks move");
   }
 
   Nanos end = start;

@@ -263,6 +263,15 @@ class TaskCache : public membership::MembershipListener {
   Result<Bytes> FetchChunkBlob(sim::VirtualClock& clock, sim::NodeId reader,
                                size_t chunk_index, uint32_t* header_len);
 
+  /// Body of GetFileSlice under its already-open span: phase annotations
+  /// and the read.path.* attribution attach to the request's span while the
+  /// wrapper observes end-to-end latency (with a tail exemplar carrying the
+  /// span id).
+  Result<core::FileSlice> GetFileSliceImpl(sim::VirtualClock& clock,
+                                           net::EndpointId requester,
+                                           const core::FileMeta& meta,
+                                           obs::ScopedSpan& span);
+
   CircuitBreaker& BreakerFor(sim::NodeId node);
 
   /// Peer-path fallback when the owner is unreachable: read the file range

@@ -11,6 +11,18 @@ constexpr int kSubBuckets = 16;       // per power of two
 constexpr int kOctaves = 64;          // covers [1, 2^64)
 constexpr size_t kNumBuckets = kSubBuckets * kOctaves + 1;  // +1 for v < 1
 
+/// Deterministic exemplar ordering: largest value first; ties broken by
+/// earliest timestamp, then smallest span id.
+bool ExemplarBefore(const HistogramExemplar& a, const HistogramExemplar& b) {
+  if (a.value != b.value) return a.value > b.value;
+  if (a.at != b.at) return a.at < b.at;
+  return a.trace_id < b.trace_id;
+}
+
+bool ExemplarEqual(const HistogramExemplar& a, const HistogramExemplar& b) {
+  return a.value == b.value && a.trace_id == b.trace_id && a.at == b.at;
+}
+
 }  // namespace
 
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
@@ -47,6 +59,20 @@ void Histogram::Add(double value) {
   ++buckets_[BucketFor(value)];
 }
 
+void Histogram::AddWithExemplar(double value, uint64_t trace_id, double at) {
+  Add(value);
+  if (trace_id == 0) return;
+  // Only tail observations become exemplars: at or above the threshold
+  // quantile of everything seen so far (the new value included).
+  if (count_ > 1 && value < Quantile(exemplar_quantile_)) return;
+  HistogramExemplar ex{value, trace_id, at};
+  auto pos = std::lower_bound(exemplars_.begin(), exemplars_.end(), ex,
+                              ExemplarBefore);
+  if (pos != exemplars_.end() && ExemplarEqual(*pos, ex)) return;
+  exemplars_.insert(pos, ex);
+  if (exemplars_.size() > kMaxExemplars) exemplars_.pop_back();
+}
+
 void Histogram::Merge(const Histogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
@@ -59,12 +85,22 @@ void Histogram::Merge(const Histogram& other) {
   count_ += other.count_;
   sum_ += other.sum_;
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (!other.exemplars_.empty()) {
+    exemplars_.insert(exemplars_.end(), other.exemplars_.begin(),
+                      other.exemplars_.end());
+    std::sort(exemplars_.begin(), exemplars_.end(), ExemplarBefore);
+    exemplars_.erase(std::unique(exemplars_.begin(), exemplars_.end(),
+                                 ExemplarEqual),
+                     exemplars_.end());
+    if (exemplars_.size() > kMaxExemplars) exemplars_.resize(kMaxExemplars);
+  }
 }
 
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
+  exemplars_.clear();
 }
 
 double Histogram::Quantile(double q) const {
@@ -84,6 +120,11 @@ double Histogram::Quantile(double q) const {
       double within = buckets_[i] > 1
           ? static_cast<double>(target - seen) / static_cast<double>(buckets_[i] - 1)
           : 0.0;
+      // Buckets are multiplicative, so interpolate in log space: the
+      // geometric path from lo to hi matches the bucket layout and lands on
+      // the geometric midpoint at within=0.5. Bucket 0 reaches down to zero
+      // where log space degenerates; fall back to linear there.
+      if (lo > 0.0 && hi > lo) return lo * std::pow(hi / lo, within);
       return lo + (hi - lo) * within;
     }
     seen += buckets_[i];
@@ -112,6 +153,19 @@ Histogram Histogram::DeltaSince(const Histogram& earlier) const {
   delta.max_ = last + 1 < buckets_.size() ? std::min(BucketLow(last + 1), max_)
                                           : max_;
   if (delta.max_ < delta.min_) delta.max_ = delta.min_;
+  delta.exemplar_quantile_ = exemplar_quantile_;
+  // Exemplars the earlier snapshot already held belong to the prefix, not
+  // the interval.
+  for (const HistogramExemplar& ex : exemplars_) {
+    bool in_earlier = false;
+    for (const HistogramExemplar& old : earlier.exemplars_) {
+      if (ExemplarEqual(ex, old)) {
+        in_earlier = true;
+        break;
+      }
+    }
+    if (!in_earlier) delta.exemplars_.push_back(ex);
+  }
   return delta;
 }
 
@@ -120,10 +174,25 @@ std::string Histogram::SummaryJson() const {
   std::snprintf(buf, sizeof(buf),
                 "{\"count\": %llu, \"sum\": %.6g, \"min\": %.6g, "
                 "\"max\": %.6g, \"mean\": %.6g, \"p50\": %.6g, "
-                "\"p90\": %.6g, \"p99\": %.6g}",
+                "\"p90\": %.6g, \"p99\": %.6g",
                 static_cast<unsigned long long>(count_), sum_, min(), max(),
                 Mean(), Median(), Quantile(0.9), P99());
-  return buf;
+  std::string out(buf);
+  if (!exemplars_.empty()) {
+    out += ", \"exemplars\": [";
+    for (size_t i = 0; i < exemplars_.size(); ++i) {
+      if (i > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"v\": %.6g, \"trace\": %llu, \"at\": %.6g}",
+                    exemplars_[i].value,
+                    static_cast<unsigned long long>(exemplars_[i].trace_id),
+                    exemplars_[i].at);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
 }
 
 std::string Histogram::Summary() const {

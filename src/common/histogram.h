@@ -10,11 +10,24 @@
 
 namespace diesel {
 
+/// A tail observation annotated with the trace span that produced it, so a
+/// p99 in a histogram can be resolved back to the request's span tree.
+struct HistogramExemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;  // span id; 0 = no active trace
+  double at = 0.0;        // virtual-time timestamp of the observation (ns)
+};
+
 class Histogram {
  public:
   Histogram();
 
   void Add(double value);
+  /// Add, and if `trace_id` is non-zero and `value` lands above the exemplar
+  /// threshold quantile, retain {value, trace_id, at} as a tail exemplar.
+  /// Keeps the `kMaxExemplars` largest observations (deterministic ordering:
+  /// value desc, then at asc, then trace_id asc).
+  void AddWithExemplar(double value, uint64_t trace_id, double at);
   void Merge(const Histogram& other);
   void Reset();
 
@@ -24,23 +37,36 @@ class Histogram {
   double max() const { return count_ ? max_ : 0.0; }
   double Mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
 
-  /// Quantile; linear interpolation inside the winning bucket. `q` is
-  /// clamped into [0,1] (NaN counts as 0), never used to index out of range.
+  /// Quantile; geometric (log-space) interpolation inside the winning log
+  /// bucket, matching the multiplicative bucket layout. `q` is clamped into
+  /// [0,1] (NaN counts as 0), never used to index out of range.
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
   double P99() const { return Quantile(0.99); }
+
+  /// Quantile above which AddWithExemplar retains observations. Default 0.99.
+  void SetExemplarQuantile(double q) { exemplar_quantile_ = q; }
+  double exemplar_quantile() const { return exemplar_quantile_; }
+  /// Retained tail exemplars, largest value first.
+  const std::vector<HistogramExemplar>& exemplars() const { return exemplars_; }
+
+  static constexpr size_t kMaxExemplars = 8;
 
   /// One-line summary "count=.. mean=.. p50=.. p99=.. max=..".
   std::string Summary() const;
 
   /// JSON object {"count":..,"sum":..,"min":..,"max":..,"mean":..,
-  /// "p50":..,"p90":..,"p99":..} with deterministic %.6g doubles.
+  /// "p50":..,"p90":..,"p99":..} with deterministic %.6g doubles. When tail
+  /// exemplars were captured, an "exemplars" array of {"v","trace","at"}
+  /// objects is appended (absent otherwise, keeping pre-exemplar output
+  /// byte-identical).
   std::string SummaryJson() const;
 
   /// Interval view: the histogram of values added after `earlier` was
   /// captured, assuming `earlier` is a prefix of this stream (bucket counts
   /// subtract; mismatches clamp to zero). min/max of the interval are
-  /// approximated from the surviving buckets' bounds.
+  /// approximated from the surviving buckets' bounds. Exemplars present in
+  /// `earlier` are dropped from the delta.
   Histogram DeltaSince(const Histogram& earlier) const;
 
  private:
@@ -52,6 +78,8 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double exemplar_quantile_ = 0.99;
+  std::vector<HistogramExemplar> exemplars_;
 };
 
 }  // namespace diesel

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace diesel::membership {
@@ -73,6 +74,9 @@ void MembershipTable::Bootstrap(const std::vector<sim::NodeId>& nodes,
     Counters().changes.Inc();
     Counters().epoch.Set(static_cast<double>(epoch_));
     Counters().active.Set(static_cast<double>(ring_.NumMembers()));
+    obs::Flight().Record(obs::FlightEventKind::kMembership, at,
+                         "bootstrap " + std::to_string(ring_.NumMembers()) +
+                             " nodes epoch=" + std::to_string(epoch_));
     listeners = listeners_;
   }
   for (MembershipListener* l : listeners) l->OnMembershipChange(change);
@@ -87,6 +91,10 @@ uint64_t MembershipTable::ApplyLocked(ChangeKind kind, sim::NodeId node,
   Counters().changes.Inc();
   Counters().epoch.Set(static_cast<double>(epoch_));
   Counters().active.Set(static_cast<double>(ring_.NumMembers()));
+  obs::Flight().Record(obs::FlightEventKind::kMembership, at,
+                       std::string(ToString(kind)) + " n" +
+                           std::to_string(node) + " epoch=" +
+                           std::to_string(epoch_));
   std::vector<MembershipListener*> listeners = listeners_;
   uint64_t epoch = epoch_;
   // Notify outside the table lock: listeners (cache migration, prefetch

@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include "net/fault_injector.h"
+#include "obs/flight_recorder.h"
 
 namespace diesel::net {
 
@@ -127,6 +128,9 @@ Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
     clock.Advance(injector_->plan().fault_detect_timeout);
     sim::NodeId down = injector_->NodeDown(src, now) ? src : dst;
     span.Note("fault.flap node=" + cluster_.node(down).name());
+    obs::Flight().Record(obs::FlightEventKind::kFault, now,
+                         "flap: node down: " + cluster_.node(down).name(),
+                         span.id());
     return Status::Unavailable("injected flap: node down: " +
                                cluster_.node(down).name());
   }
@@ -134,6 +138,10 @@ Status Fabric::ApplyInjectedFaults(sim::VirtualClock& clock, sim::NodeId src,
     link.drops->Inc();
     clock.Advance(injector_->plan().fault_detect_timeout);
     span.Note("fault.drop");
+    obs::Flight().Record(obs::FlightEventKind::kFault, now,
+                         "rpc drop: " + cluster_.node(src).name() + " -> " +
+                             cluster_.node(dst).name(),
+                         span.id());
     return Status::Unavailable("injected rpc drop: " +
                                cluster_.node(src).name() + " -> " +
                                cluster_.node(dst).name());
@@ -199,16 +207,36 @@ Status Fabric::CallImpl(sim::VirtualClock& clock, sim::NodeId src,
   // `setup` + the transfer) rather than one monolithic slot. Identical cost
   // on an idle NIC, but the pieces can backfill short gaps in a busy
   // timeline where a contiguous (k-1)-subrequest slot would have to wait.
-  auto leg = [&](sim::SimNode& node, Nanos at, uint64_t bytes) -> Nanos {
+  // `subs`, when non-null, receives each sub-request's serve completion time.
+  auto leg = [&](sim::SimNode& node, Nanos at, uint64_t bytes,
+                 std::vector<Nanos>* subs = nullptr) -> Nanos {
     if (k == 1) return node.nic().Serve(at, bytes, setup);
     uint64_t per = bytes / k;
     Nanos t = node.nic().Serve(at, per + bytes % k, sim::kRpcCpuOverhead);
-    for (size_t i = 1; i < k; ++i)
+    if (subs != nullptr) subs->push_back(t);
+    for (size_t i = 1; i < k; ++i) {
       t = node.nic().Serve(t, per, sim::kRpcBatchSubRequestCost);
+      if (subs != nullptr) subs->push_back(t);
+    }
     return t;
   };
 
-  Nanos t = leg(s, clock.now(), req_bytes);
+  // When tracing a batch, the sender's request leg materializes each
+  // coalesced sub-request as a child span under the batch span, so the trace
+  // shows the streamed marshal windows rather than one opaque slot.
+  std::vector<Nanos> sub_done;
+  Nanos t = leg(s, clock.now(), req_bytes,
+                span.active() && k > 1 ? &sub_done : nullptr);
+  if (!sub_done.empty()) {
+    Nanos prev = issued;
+    for (size_t i = 0; i < sub_done.size(); ++i) {
+      uint64_t child = tracer_->Begin("batch.sub", prev, src, span.id());
+      tracer_->Note(child, prev,
+                    "sub=" + std::to_string(i) + "/" + std::to_string(k));
+      tracer_->End(child, sub_done[i]);
+      prev = sub_done[i];
+    }
+  }
   t += wire;
   t = leg(d, t, req_bytes);
   Nanos done = handler(t);

@@ -58,6 +58,16 @@ void Gauge::Reset() {
   value_ = 0.0;
 }
 
+void Histo::Observe(double v, uint64_t trace_id, double at) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hist_.AddWithExemplar(v, trace_id, at);
+}
+
+void Histo::SetExemplarQuantile(double q) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hist_.SetExemplarQuantile(q);
+}
+
 void Histo::Observe(double v) {
   std::lock_guard<std::mutex> lock(mutex_);
   hist_.Add(v);

@@ -52,6 +52,11 @@ class Gauge {
 class Histo {
  public:
   void Observe(double v);
+  /// Exemplar-capturing observe: when `trace_id` is non-zero and `v` lands
+  /// above the exemplar threshold quantile, the span id rides along so
+  /// `dlcmd tail` can resolve the tail observation to its span tree.
+  void Observe(double v, uint64_t trace_id, double at);
+  void SetExemplarQuantile(double q);
   Histogram Snapshot() const;
   void Reset();
 

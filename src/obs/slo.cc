@@ -1,0 +1,546 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace diesel::obs {
+namespace {
+
+std::string FmtValue(double v) {
+  char buf[48];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+Result<SloSource> ParseSource(const std::string& s) {
+  if (s == "metric") return SloSource::kMetric;
+  if (s == "counter") return SloSource::kCounter;
+  if (s == "histogram_quantile") return SloSource::kHistogramQuantile;
+  if (s == "stall_fraction") return SloSource::kStallFraction;
+  if (s == "timeline_burn") return SloSource::kTimelineBurn;
+  return Status::InvalidArgument("slo: unknown source: " + s);
+}
+
+/// Registry histograms export fixed quantile fields; map the requested
+/// quantile onto one of them.
+Result<std::string> QuantileField(double q) {
+  if (q == 0.5) return std::string("p50");
+  if (q == 0.9) return std::string("p90");
+  if (q == 0.99) return std::string("p99");
+  return Status::InvalidArgument("slo: quantile must be 0.5, 0.9 or 0.99");
+}
+
+/// Value of a counter / histogram-quantile signal inside one JSON object
+/// holding "counters"/"histograms" maps (a registry snapshot or a timeline
+/// bucket). Missing signal reads as 0 with found=false.
+double SignalValue(const JsonValue& holder, SloSource source,
+                   const std::string& key, const std::string& qfield,
+                   bool* found) {
+  *found = false;
+  if (source == SloSource::kCounter) {
+    const JsonValue* counters = holder.Find("counters");
+    const JsonValue* v = counters ? counters->Find(key) : nullptr;
+    if (v == nullptr || !v->is_number()) return 0.0;
+    *found = true;
+    return v->number_value();
+  }
+  const JsonValue* hists = holder.Find("histograms");
+  const JsonValue* h = hists ? hists->Find(key) : nullptr;
+  if (h == nullptr || !h->is_object()) return 0.0;
+  const JsonValue* v = h->Find(qfield);
+  if (v == nullptr || !v->is_number()) return 0.0;
+  *found = true;
+  return v->number_value();
+}
+
+bool Meets(bool upper_bound, double value, double threshold) {
+  return upper_bound ? value <= threshold : value >= threshold;
+}
+
+/// Burn-rate display: how much of the objective the value consumes
+/// (>1 = violated). Degenerate thresholds fall back to 0-or-2 so the table
+/// still reads correctly.
+double BurnOf(bool upper_bound, double value, double threshold) {
+  if (upper_bound) {
+    if (threshold > 0.0) return value / threshold;
+    return value <= threshold ? 0.0 : 2.0;
+  }
+  if (value > 0.0) return threshold / value;
+  return threshold <= 0.0 ? 0.0 : 2.0;
+}
+
+SloResult EvaluateTimelineBurn(
+    const SloSpec& spec,
+    const std::vector<std::pair<std::string, JsonValue>>& timelines) {
+  SloResult r;
+  r.name = spec.name;
+  r.bench = spec.bench;
+  const JsonValue* doc = nullptr;
+  for (const auto& [bench, timeline] : timelines) {
+    if (bench == spec.bench) {
+      doc = &timeline;
+      break;
+    }
+  }
+  if (doc == nullptr) {
+    r.detail = "no timeline for bench " + spec.bench;
+    return r;
+  }
+  const JsonValue* sections = doc->Find("sections");
+  const JsonValue* section = nullptr;
+  if (sections != nullptr && sections->is_array()) {
+    for (const JsonValue& s : sections->array()) {
+      if (s.GetString("label", "") == spec.section) {
+        section = &s;
+        break;
+      }
+    }
+  }
+  if (section == nullptr) {
+    r.detail = "no timeline section '" + spec.section + "'";
+    return r;
+  }
+  const JsonValue* buckets = section->Find("buckets");
+  if (buckets == nullptr || !buckets->is_array() || buckets->array().empty()) {
+    r.detail = "timeline section '" + spec.section + "' has no buckets";
+    return r;
+  }
+  std::string qfield = "p99";
+  if (spec.signal == SloSource::kHistogramQuantile) {
+    auto qf = QuantileField(spec.quantile);
+    if (!qf.ok()) {
+      r.detail = qf.status().message();
+      return r;
+    }
+    qfield = qf.value();
+  }
+  std::vector<bool> violating;
+  violating.reserve(buckets->array().size());
+  for (const JsonValue& b : buckets->array()) {
+    bool found = false;
+    double v = SignalValue(b, spec.signal, spec.key, qfield, &found);
+    // A bucket with no signal observed cannot violate a bound.
+    violating.push_back(found && !Meets(spec.upper_bound, v, spec.threshold));
+  }
+  size_t window = std::min(std::max<size_t>(spec.window_buckets, 1),
+                           violating.size());
+  size_t bad_in_window = 0, worst = 0;
+  for (size_t i = 0; i < violating.size(); ++i) {
+    bad_in_window += violating[i] ? 1 : 0;
+    if (i >= window) bad_in_window -= violating[i - window] ? 1 : 0;
+    if (i + 1 >= window) worst = std::max(worst, bad_in_window);
+  }
+  double worst_fraction =
+      static_cast<double>(worst) / static_cast<double>(window);
+  double budget = spec.error_budget > 0.0 ? spec.error_budget : 1.0;
+  r.value = worst_fraction;
+  r.burn_rate = worst_fraction / budget;
+  r.pass = r.burn_rate <= spec.max_burn_rate;
+  r.detail = "worst window " + std::to_string(worst) + "/" +
+             std::to_string(window) + " buckets violating over " +
+             std::to_string(violating.size()) + " total";
+  return r;
+}
+
+SloResult EvaluateRunLevel(
+    const SloSpec& spec, const SuiteReport& suite) {
+  SloResult r;
+  r.name = spec.name;
+  r.bench = spec.bench;
+  const BenchReport* report = suite.FindBench(spec.bench);
+  if (report == nullptr) {
+    r.detail = "no report for bench " + spec.bench;
+    return r;
+  }
+  double value = 0.0;
+  switch (spec.source) {
+    case SloSource::kMetric: {
+      const BenchMetric* m = report->FindMetric(spec.key);
+      if (m == nullptr) {
+        r.detail = "no metric '" + spec.key + "'";
+        return r;
+      }
+      value = m->value;
+      break;
+    }
+    case SloSource::kCounter:
+    case SloSource::kHistogramQuantile: {
+      if (report->registry.is_null()) {
+        r.detail = "report has no embedded registry";
+        return r;
+      }
+      std::string qfield = "p99";
+      if (spec.source == SloSource::kHistogramQuantile) {
+        auto qf = QuantileField(spec.quantile);
+        if (!qf.ok()) {
+          r.detail = qf.status().message();
+          return r;
+        }
+        qfield = qf.value();
+      }
+      bool found = false;
+      value = SignalValue(report->registry, spec.source, spec.key, qfield,
+                          &found);
+      if (!found) {
+        r.detail = "no registry entry '" + spec.key + "'";
+        return r;
+      }
+      break;
+    }
+    case SloSource::kStallFraction: {
+      int64_t fetch = 0, total = 0;
+      for (const EpochPhases& e : report->epochs) {
+        if (e.label != spec.key) continue;
+        fetch += e.fetch_ns;
+        total += e.TotalNs();
+      }
+      if (total == 0) {
+        r.detail = "no epochs for arm '" + spec.key + "'";
+        return r;
+      }
+      value = static_cast<double>(fetch) / static_cast<double>(total);
+      break;
+    }
+    case SloSource::kTimelineBurn:
+      r.detail = "timeline_burn handled separately";
+      return r;
+  }
+  r.value = value;
+  r.burn_rate = BurnOf(spec.upper_bound, value, spec.threshold);
+  r.pass = Meets(spec.upper_bound, value, spec.threshold);
+  r.detail = std::string(spec.upper_bound ? "<= " : ">= ") +
+             FmtValue(spec.threshold);
+  return r;
+}
+
+Result<JsonValue> LoadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return JsonValue::Parse(buf.str());
+}
+
+}  // namespace
+
+Result<std::vector<SloSpec>> ParseSloSpecs(const JsonValue& doc) {
+  if (doc.GetString("schema", "") != "diesel.slo/v1") {
+    return Status::InvalidArgument("slo: not a diesel.slo/v1 document");
+  }
+  const JsonValue* slos = doc.Find("slos");
+  if (slos == nullptr || !slos->is_array()) {
+    return Status::InvalidArgument("slo: missing 'slos' array");
+  }
+  std::vector<SloSpec> specs;
+  for (const JsonValue& s : slos->array()) {
+    SloSpec spec;
+    spec.name = s.GetString("name", "");
+    spec.bench = s.GetString("bench", "");
+    if (spec.name.empty() || spec.bench.empty()) {
+      return Status::InvalidArgument("slo: every slo needs name and bench");
+    }
+    auto source = ParseSource(s.GetString("source", "metric"));
+    if (!source.ok()) return source.status();
+    spec.source = source.value();
+    spec.key = s.GetString("key", "");
+    spec.quantile = s.GetNumber("quantile", 0.99);
+    std::string objective = s.GetString("objective", "<=");
+    if (objective != "<=" && objective != ">=") {
+      return Status::InvalidArgument("slo: objective must be <= or >=: " +
+                                     spec.name);
+    }
+    spec.upper_bound = objective == "<=";
+    const JsonValue* threshold = s.Find("threshold");
+    if (threshold == nullptr || !threshold->is_number()) {
+      return Status::InvalidArgument("slo: missing threshold: " + spec.name);
+    }
+    spec.threshold = threshold->number_value();
+    if (spec.source == SloSource::kTimelineBurn) {
+      spec.section = s.GetString("section", "");
+      if (spec.section.empty()) {
+        return Status::InvalidArgument("slo: timeline_burn needs section: " +
+                                       spec.name);
+      }
+      auto signal = ParseSource(s.GetString("signal", "counter"));
+      if (!signal.ok()) return signal.status();
+      spec.signal = signal.value();
+      if (spec.signal != SloSource::kCounter &&
+          spec.signal != SloSource::kHistogramQuantile) {
+        return Status::InvalidArgument(
+            "slo: signal must be counter or histogram_quantile: " + spec.name);
+      }
+      spec.error_budget = s.GetNumber("error_budget", 0.1);
+      spec.window_buckets =
+          static_cast<size_t>(s.GetNumber("window_buckets", 8));
+      spec.max_burn_rate = s.GetNumber("max_burn_rate", 1.0);
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) return Status::InvalidArgument("slo: empty 'slos' array");
+  return specs;
+}
+
+SloEval EvaluateSlos(const std::vector<SloSpec>& specs,
+                     const SuiteReport& suite,
+                     const std::vector<std::pair<std::string, JsonValue>>&
+                         timelines) {
+  SloEval eval;
+  for (const SloSpec& spec : specs) {
+    SloResult r = spec.source == SloSource::kTimelineBurn
+                      ? EvaluateTimelineBurn(spec, timelines)
+                      : EvaluateRunLevel(spec, suite);
+    (r.pass ? eval.passed : eval.failed)++;
+    eval.results.push_back(std::move(r));
+  }
+  return eval;
+}
+
+std::string SloEval::Table() const {
+  size_t name_w = 4;
+  for (const SloResult& r : results) name_w = std::max(name_w, r.name.size());
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %10s  %8s  %-7s  %s\n",
+                static_cast<int>(name_w), "slo", "value", "burn", "verdict",
+                "detail");
+  out += line;
+  for (const SloResult& r : results) {
+    std::snprintf(line, sizeof(line), "%-*s  %10s  %8s  %-7s  %s\n",
+                  static_cast<int>(name_w), r.name.c_str(),
+                  FmtValue(r.value).c_str(), FmtValue(r.burn_rate).c_str(),
+                  r.pass ? "ok" : "BREACH", r.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string SloEval::Summary() const {
+  return "slo: " + std::to_string(passed) + " met, " + std::to_string(failed) +
+         " breached";
+}
+
+int SloCommand(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  std::string dir;
+  std::string spec_path = "bench/slo.json";
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--slo") {
+      if (i + 1 >= args.size()) {
+        err << "slo: --slo needs a path\n";
+        return 2;
+      }
+      spec_path = args[++i];
+    } else if (a == "-v" || a == "--verbose") {
+      // The table always prints every row; accepted for symmetry with perf.
+    } else if (!a.empty() && a[0] == '-') {
+      err << "slo: unknown flag " << a << "\n";
+      return 2;
+    } else if (dir.empty()) {
+      dir = a;
+    } else {
+      err << "slo: unexpected argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    err << "usage: slo <dir> [--slo spec.json]\n";
+    return 2;
+  }
+
+  auto spec_doc = LoadJsonFile(spec_path);
+  if (!spec_doc.ok()) {
+    err << "slo: " << spec_doc.status().ToString() << "\n";
+    return 2;
+  }
+  auto specs = ParseSloSpecs(spec_doc.value());
+  if (!specs.ok()) {
+    err << "slo: " << specs.status().ToString() << "\n";
+    return 2;
+  }
+
+  std::error_code ec;
+  std::vector<std::string> report_files, timeline_files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    auto ends_with = [&name](const char* suffix) {
+      size_t n = std::string(suffix).size();
+      return name.size() > n &&
+             name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (ends_with(".report.json")) report_files.push_back(entry.path().string());
+    if (ends_with(".timeline.json")) {
+      timeline_files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    err << "slo: cannot read " << dir << ": " << ec.message() << "\n";
+    return 2;
+  }
+  std::sort(report_files.begin(), report_files.end());
+  std::sort(timeline_files.begin(), timeline_files.end());
+
+  SuiteReport suite;
+  if (report_files.empty()) {
+    // Fall back to a merged suite document if per-bench reports are absent.
+    auto merged = LoadJsonFile(
+        (std::filesystem::path(dir) / "BENCH_RESULTS.json").string());
+    if (!merged.ok()) {
+      err << "slo: no *.report.json in " << dir << " and no BENCH_RESULTS.json\n";
+      return 2;
+    }
+    auto parsed = SuiteReport::FromJson(merged.value());
+    if (!parsed.ok()) {
+      err << "slo: " << parsed.status().ToString() << "\n";
+      return 2;
+    }
+    suite = std::move(parsed).value();
+  } else {
+    for (const std::string& path : report_files) {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto report = BenchReport::Parse(buf.str());
+      if (!report.ok()) {
+        err << "slo: " << path << ": " << report.status().ToString() << "\n";
+        return 2;
+      }
+      suite.Merge(std::move(report).value());
+    }
+  }
+
+  std::vector<std::pair<std::string, JsonValue>> timelines;
+  for (const std::string& path : timeline_files) {
+    auto doc = LoadJsonFile(path);
+    if (!doc.ok()) {
+      err << "slo: " << path << ": " << doc.status().ToString() << "\n";
+      return 2;
+    }
+    std::string bench = doc.value().GetString("bench", "");
+    if (bench.empty()) {
+      bench = std::filesystem::path(path).filename().string();
+      bench = bench.substr(0, bench.size() - std::string(".timeline.json").size());
+    }
+    timelines.emplace_back(bench, std::move(doc).value());
+  }
+
+  SloEval eval = EvaluateSlos(specs.value(), suite, timelines);
+  out << eval.Table();
+  out << eval.Summary() << "\n";
+  return eval.ok() ? 0 : 1;
+}
+
+int TimelineCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  std::string path, key, section_filter;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--key") {
+      if (i + 1 >= args.size()) {
+        err << "timeline: --key needs a name\n";
+        return 2;
+      }
+      key = args[++i];
+    } else if (a == "--section") {
+      if (i + 1 >= args.size()) {
+        err << "timeline: --section needs a label\n";
+        return 2;
+      }
+      section_filter = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      err << "timeline: unknown flag " << a << "\n";
+      return 2;
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      err << "timeline: unexpected argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    err << "usage: timeline <file.timeline.json> [--section S] [--key K]\n";
+    return 2;
+  }
+  auto doc = LoadJsonFile(path);
+  if (!doc.ok()) {
+    err << "timeline: " << doc.status().ToString() << "\n";
+    return 2;
+  }
+  if (doc.value().GetString("schema", "") != "diesel.timeline/v1") {
+    err << "timeline: not a diesel.timeline/v1 document\n";
+    return 2;
+  }
+  const JsonValue* sections = doc.value().Find("sections");
+  if (sections == nullptr || !sections->is_array()) {
+    err << "timeline: missing sections\n";
+    return 2;
+  }
+  out << "timeline: " << doc.value().GetString("bench", "?") << "\n";
+  for (const JsonValue& s : sections->array()) {
+    std::string label = s.GetString("label", "?");
+    if (!section_filter.empty() && label != section_filter) continue;
+    const JsonValue* buckets = s.Find("buckets");
+    size_t n = buckets != nullptr && buckets->is_array()
+                   ? buckets->array().size()
+                   : 0;
+    out << "section " << label << ": " << n << " buckets x "
+        << s.GetNumber("bucket_ns", 0) / 1e6 << "ms\n";
+    if (n == 0) continue;
+    if (key.empty()) {
+      // No key chosen: list the counters seen in this section with totals.
+      std::vector<std::pair<std::string, double>> totals;
+      for (const JsonValue& b : buckets->array()) {
+        const JsonValue* counters = b.Find("counters");
+        if (counters == nullptr || !counters->is_object()) continue;
+        for (const auto& [k, v] : counters->object()) {
+          bool merged = false;
+          for (auto& [tk, tv] : totals) {
+            if (tk == k) {
+              tv += v.number_value();
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) totals.emplace_back(k, v.number_value());
+        }
+      }
+      std::sort(totals.begin(), totals.end());
+      for (const auto& [k, total] : totals) {
+        out << "  " << k << " total=" << FmtValue(total) << "\n";
+      }
+      continue;
+    }
+    // Curve of one counter (or histogram p99) across buckets, with bars.
+    std::vector<double> curve;
+    double peak = 0.0;
+    for (const JsonValue& b : buckets->array()) {
+      bool found = false;
+      double v = SignalValue(b, SloSource::kCounter, key, "p99", &found);
+      if (!found) v = SignalValue(b, SloSource::kHistogramQuantile, key, "p99",
+                                  &found);
+      curve.push_back(v);
+      peak = std::max(peak, v);
+    }
+    for (size_t i = 0; i < curve.size(); ++i) {
+      const JsonValue& b = buckets->array()[i];
+      int bar = peak > 0.0 ? static_cast<int>(curve[i] / peak * 40.0) : 0;
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %8.2fms %12s |%s\n",
+                    b.GetNumber("t", 0) / 1e6, FmtValue(curve[i]).c_str(),
+                    std::string(static_cast<size_t>(bar), '#').c_str());
+      out << line;
+    }
+  }
+  return 0;
+}
+
+}  // namespace diesel::obs

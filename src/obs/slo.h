@@ -1,0 +1,99 @@
+// Declarative SLO engine for the bench suite.
+//
+// `bench/slo.json` declares service-level objectives over the artifacts a
+// suite run leaves behind: end-of-run values read from a bench report (a
+// gated metric, a registry counter, a histogram quantile, an arm's stall
+// fraction) and burn rates evaluated over `diesel.timeline/v1` windows — a
+// window "burns" when the fraction of violating buckets inside it exceeds
+// the declared error budget. Unlike the perf gate (relative drift against a
+// committed baseline), SLOs are absolute contracts: the numbers come from
+// the paper's claims and the roadmap's recovery-time objectives, not from
+// yesterday's run. `dlcmd slo <dir>` and the CI `slo-gate` job evaluate the
+// committed spec against a suite output directory and exit 0/1; since every
+// input is virtual-time deterministic, the verdict is too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/report.h"
+
+namespace diesel::obs {
+
+/// What a run-level SLO (or a timeline burn signal) measures.
+enum class SloSource {
+  kMetric,             // gated bench metric by name
+  kCounter,            // registry counter by full key (labels included)
+  kHistogramQuantile,  // registry histogram quantile (0.5 / 0.9 / 0.99)
+  kStallFraction,      // sum(fetch_ns)/sum(total_ns) of one epoch arm
+  kTimelineBurn,       // burn rate over timeline windows (see SloSpec)
+};
+
+struct SloSpec {
+  std::string name;
+  std::string bench;
+  SloSource source = SloSource::kMetric;
+  std::string key;       // metric/counter/histogram key or epoch arm label
+  double quantile = 0.99;
+  bool upper_bound = true;  // objective "<=" (true) or ">=" (false)
+  double threshold = 0.0;
+
+  // kTimelineBurn only: which section, which per-bucket signal, and the
+  // burn-rate contract.
+  std::string section;
+  SloSource signal = SloSource::kCounter;  // kCounter or kHistogramQuantile
+  double error_budget = 0.1;   // allowed violating-bucket fraction per window
+  size_t window_buckets = 8;   // sliding window width
+  double max_burn_rate = 1.0;  // fail when any window burns faster
+};
+
+struct SloResult {
+  std::string name;
+  std::string bench;
+  double value = 0.0;      // measured value (worst window fraction for burn)
+  double burn_rate = 0.0;  // value/threshold-style consumption, >1 = violated
+  bool pass = false;
+  std::string detail;      // human-readable evidence / failure reason
+};
+
+struct SloEval {
+  std::vector<SloResult> results;
+  int passed = 0;
+  int failed = 0;
+
+  bool ok() const { return failed == 0; }
+  /// Fixed-width verdict table (all rows; SLOs are few and absolute).
+  std::string Table() const;
+  std::string Summary() const;
+};
+
+Result<std::vector<SloSpec>> ParseSloSpecs(const JsonValue& doc);
+
+/// Evaluate `specs` against a suite: reports by bench name, timelines as
+/// parsed `diesel.timeline/v1` documents keyed by bench name. A spec whose
+/// bench/key/section cannot be resolved fails (a silently missing signal is
+/// itself an SLO breach).
+SloEval EvaluateSlos(const std::vector<SloSpec>& specs,
+                     const SuiteReport& suite,
+                     const std::vector<std::pair<std::string, JsonValue>>&
+                         timelines);
+
+/// `dlcmd slo` entry point (also called directly by tests):
+///   slo <dir> [--slo <spec.json>] [-v]
+/// Loads *.report.json and *.timeline.json from <dir>, evaluates the spec
+/// (default: bench/slo.json relative to the current directory), prints the
+/// verdict table. Returns the process exit code (0 = all SLOs met).
+int SloCommand(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+
+/// `dlcmd timeline` entry point:
+///   timeline <file.timeline.json> [--key K] [--section S]
+/// Pretty-prints a `diesel.timeline/v1` document: per-section bucket curves
+/// (ops and key counters, or the curve of one counter/histogram `--key`).
+int TimelineCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace diesel::obs

@@ -1,0 +1,176 @@
+#include "obs/timeline.h"
+
+#include <cstdio>
+
+namespace diesel::obs {
+namespace {
+
+struct TimelineCounters {
+  Counter& samples = Metrics().GetCounter("timeline.samples");
+  Counter& closed = Metrics().GetCounter("timeline.buckets");
+  Counter& dropped = Metrics().GetCounter("timeline.dropped");
+};
+
+TimelineCounters& Counters() {
+  static TimelineCounters c;
+  return c;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Timeline::Timeline(Options options) : options_(options) {
+  if (options_.bucket_ns <= 0) options_.bucket_ns = 1'000'000;
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void Timeline::Start(Nanos at) {
+  started_ = true;
+  section_start_ = at;
+  cursor_ = at;
+  last_ = Metrics().Snapshot();
+  ring_.clear();
+  notes_.clear();
+  dropped_ = 0;
+}
+
+void Timeline::AdvanceTo(Nanos now) {
+  if (!started_ || cursor_ + options_.bucket_ns > now) return;
+  // One registry snapshot per boundary-crossing call: the delta lands in the
+  // first crossed bucket, any further buckets crossed by the same call stay
+  // empty (nothing sampled them in between).
+  MetricsSnapshot snap = Metrics().Snapshot();
+  bool first = true;
+  while (cursor_ + options_.bucket_ns <= now) {
+    Nanos end = cursor_ + options_.bucket_ns;
+    Bucket b;
+    b.start = cursor_;
+    b.end = end;
+    if (first) {
+      b.delta = snap.DeltaSince(last_);
+      first = false;
+    }
+    ring_.push_back(std::move(b));
+    if (ring_.size() > options_.capacity) {
+      ring_.erase(ring_.begin());
+      ++dropped_;
+      Counters().dropped.Inc();
+    }
+    Counters().closed.Inc();
+    cursor_ = end;
+  }
+  last_ = std::move(snap);
+  Counters().samples.Inc();
+}
+
+void Timeline::Finish(Nanos now) {
+  if (!started_ || now <= cursor_) {
+    started_ = false;
+    return;
+  }
+  AdvanceTo(now);
+  if (now > cursor_) {
+    Bucket b;
+    b.start = cursor_;
+    b.end = now;
+    MetricsSnapshot snap = Metrics().Snapshot();
+    b.delta = snap.DeltaSince(last_);
+    last_ = std::move(snap);
+    ring_.push_back(std::move(b));
+    if (ring_.size() > options_.capacity) {
+      ring_.erase(ring_.begin());
+      ++dropped_;
+      Counters().dropped.Inc();
+    }
+    Counters().closed.Inc();
+    cursor_ = now;
+  }
+  started_ = false;
+}
+
+void Timeline::Note(Nanos at, std::string text) {
+  notes_.push_back({at, std::move(text)});
+}
+
+std::string Timeline::SectionJson(const std::string& label) const {
+  std::string out = "    {\n      \"label\": \"" + JsonEscape(label) + "\",\n";
+  out += "      \"bucket_ns\": " + std::to_string(options_.bucket_ns) + ",\n";
+  out += "      \"start\": " + std::to_string(section_start_) + ",\n";
+  out += "      \"dropped\": " + std::to_string(dropped_) + ",\n";
+  out += "      \"buckets\": [";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Bucket& b = ring_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\"t\": " + std::to_string(b.start) +
+           ", \"end\": " + std::to_string(b.end);
+    bool first = true;
+    for (const auto& [key, value] : b.delta.counters) {
+      if (value == 0) continue;
+      out += first ? ", \"counters\": {" : ", ";
+      first = false;
+      out += "\"" + JsonEscape(key) + "\": " + std::to_string(value);
+    }
+    if (!first) out += "}";
+    first = true;
+    for (const auto& [key, value] : b.delta.gauges) {
+      if (value == 0.0) continue;
+      out += first ? ", \"gauges\": {" : ", ";
+      first = false;
+      out += "\"" + JsonEscape(key) + "\": " + FmtDouble(value);
+    }
+    if (!first) out += "}";
+    first = true;
+    for (const auto& [key, hist] : b.delta.histograms) {
+      if (hist.count() == 0) continue;
+      out += first ? ", \"histograms\": {" : ", ";
+      first = false;
+      out += "\"" + JsonEscape(key) + "\": " + hist.SummaryJson();
+    }
+    if (!first) out += "}";
+    out += "}";
+  }
+  out += ring_.empty() ? "],\n" : "\n      ],\n";
+  out += "      \"notes\": [";
+  for (size_t i = 0; i < notes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"at\": " + std::to_string(notes_[i].first) + ", \"text\": \"" +
+           JsonEscape(notes_[i].second) + "\"}";
+  }
+  out += "]\n    }";
+  return out;
+}
+
+std::string TimelineDocumentJson(const std::string& bench,
+                                 const std::vector<std::string>& sections) {
+  std::string out = "{\n  \"schema\": \"diesel.timeline/v1\",\n";
+  out += "  \"bench\": \"" + JsonEscape(bench) + "\",\n";
+  out += "  \"sections\": [";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += sections[i];
+  }
+  out += sections.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace diesel::obs

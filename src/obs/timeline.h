@@ -1,0 +1,87 @@
+// Time-resolved metrics: a Timeline samples the process-wide MetricsRegistry
+// into a ring of fixed-width virtual-time buckets, each holding the interval
+// delta (counters subtracted, histograms bucket-wise) since the previous
+// sample. Chaos / churn / rescale runs export the ring as a byte-stable
+// `diesel.timeline/v1` JSON next to the bench report, so degradation and
+// recovery show up as curves instead of one end-of-run number.
+//
+// There are no background threads — virtual time only moves when the
+// workload advances a clock, so the workload drives sampling explicitly:
+// call AdvanceTo(now) from the driver loop (cheap no-op until a bucket
+// boundary is crossed) and Finish(now) at the end of the run. One registry
+// snapshot is taken per boundary-crossing call; when a single call crosses
+// several boundaries the whole delta is charged to the first crossed bucket
+// (the later ones saw no sampling opportunity and export empty).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace diesel::obs {
+
+class Timeline {
+ public:
+  struct Options {
+    Nanos bucket_ns = 1'000'000;  // 1 virtual ms per bucket
+    size_t capacity = 4096;       // oldest buckets evicted beyond this
+  };
+
+  Timeline() : Timeline(Options()) {}
+  explicit Timeline(Options options);
+
+  /// Begin sampling: snapshots the registry as the base state and opens the
+  /// first bucket at `at`. Calling Start again rewinds to a fresh run.
+  void Start(Nanos at);
+
+  /// Close every bucket whose window has fully passed `now`. No-op before
+  /// Start or until a boundary is crossed, so it is safe (and intended) to
+  /// call once per operation in the driver loop.
+  void AdvanceTo(Nanos now);
+
+  /// Close the trailing partial bucket at end of run (no-op if empty).
+  void Finish(Nanos now);
+
+  /// Attach a labeled marker (membership change, fault window edge, breaker
+  /// event) so exported curves can be aligned with causes.
+  void Note(Nanos at, std::string text);
+
+  bool started() const { return started_; }
+  size_t buckets() const { return ring_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  Nanos bucket_ns() const { return options_.bucket_ns; }
+
+  /// Byte-stable JSON for one timeline section:
+  /// {"label":..,"bucket_ns":..,"start":..,"dropped":..,
+  ///  "buckets":[{"t":..,"counters":{..},"gauges":{..},"histograms":{..}}],
+  ///  "notes":[{"at":..,"text":..}]}
+  /// Only non-zero counter/gauge deltas and non-empty histogram deltas are
+  /// emitted per bucket.
+  std::string SectionJson(const std::string& label) const;
+
+ private:
+  struct Bucket {
+    Nanos start = 0;
+    Nanos end = 0;
+    MetricsSnapshot delta;
+  };
+
+  Options options_;
+  bool started_ = false;
+  Nanos section_start_ = 0;
+  Nanos cursor_ = 0;  // start of the currently open bucket
+  MetricsSnapshot last_;
+  std::vector<Bucket> ring_;  // oldest first
+  uint64_t dropped_ = 0;
+  std::vector<std::pair<Nanos, std::string>> notes_;
+};
+
+/// Assemble a full `diesel.timeline/v1` document from labeled sections
+/// (each produced by Timeline::SectionJson).
+std::string TimelineDocumentJson(const std::string& bench,
+                                 const std::vector<std::string>& sections);
+
+}  // namespace diesel::obs

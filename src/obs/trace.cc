@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/ambient.h"
+#include "obs/flight_recorder.h"
 
 namespace diesel::obs {
 namespace {
@@ -31,8 +32,19 @@ uint64_t Tracer::Begin(std::string name, Nanos start, uint32_t node,
 
 void Tracer::End(uint64_t id, Nanos end) {
   if (id == kNoSpan) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (id <= spans_.size()) spans_[id - 1].end = end;
+  Span completed;
+  FlightRecorder* recorder = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id > spans_.size()) return;
+    spans_[id - 1].end = end;
+    if (flight_recorder_ != nullptr) {
+      completed = spans_[id - 1];
+      recorder = flight_recorder_;
+    }
+  }
+  // Mirror outside the lock: the recorder has its own mutex.
+  if (recorder != nullptr) recorder->RecordSpan(completed);
 }
 
 void Tracer::Note(uint64_t id, Nanos at, std::string text) {
@@ -58,15 +70,30 @@ void Tracer::Clear() {
   spans_.clear();
 }
 
-std::string Tracer::TextDump() const {
-  std::vector<Span> all = spans();
-  // Children index; roots are parent == kNoSpan.
+uint64_t Tracer::CurrentSpanId() { return CurrentFor(this); }
+
+bool Tracer::Find(uint64_t id, Span* out) const {
+  if (id == kNoSpan) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id > spans_.size()) return false;
+  *out = spans_[id - 1];
+  return true;
+}
+
+void Tracer::set_flight_recorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flight_recorder_ = recorder;
+}
+
+namespace {
+
+/// Shared forest printer for TextDump/TreeDump: children ordered by
+/// (start, id), two-space indent per depth, annotations inline.
+std::string DumpForest(const std::vector<Span>& all,
+                       std::vector<size_t> roots) {
   std::vector<std::vector<size_t>> children(all.size() + 1);
-  std::vector<size_t> roots;
   for (size_t i = 0; i < all.size(); ++i) {
-    if (all[i].parent == kNoSpan || all[i].parent > all.size()) {
-      roots.push_back(i);
-    } else {
+    if (all[i].parent != kNoSpan && all[i].parent <= all.size()) {
       children[all[i].parent].push_back(i);
     }
   }
@@ -99,6 +126,32 @@ std::string Tracer::TextDump() const {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string Tracer::TextDump() const {
+  std::vector<Span> all = spans();
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].parent == kNoSpan || all[i].parent > all.size()) {
+      roots.push_back(i);
+    }
+  }
+  return DumpForest(all, std::move(roots));
+}
+
+std::string Tracer::TreeDump(uint64_t id) const {
+  std::vector<Span> all = spans();
+  if (id == kNoSpan || id > all.size()) return "";
+  // Walk up to the root; parent ids are always smaller than the child's, so
+  // the walk terminates even if a stale parent id were recorded.
+  size_t i = id - 1;
+  while (all[i].parent != kNoSpan && all[i].parent <= all.size() &&
+         all[i].parent < all[i].id) {
+    i = all[i].parent - 1;
+  }
+  return DumpForest(all, {i});
 }
 
 std::string Tracer::JsonDump() const {

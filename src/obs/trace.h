@@ -45,6 +45,8 @@ struct Span {
   std::vector<SpanNote> notes;
 };
 
+class FlightRecorder;
+
 class Tracer {
  public:
   Tracer() = default;
@@ -62,15 +64,29 @@ class Tracer {
   std::vector<Span> spans() const;
   void Clear();
 
+  /// Innermost open span of this tracer on the calling thread (kNoSpan when
+  /// nothing is open) — the trace id that histogram exemplars capture.
+  uint64_t CurrentSpanId();
+
+  /// Copy of span `id`; returns false for kNoSpan or ids never issued.
+  bool Find(uint64_t id, Span* out) const;
+
+  /// Completed spans are mirrored into `recorder`'s ring (nullptr detaches).
+  void set_flight_recorder(FlightRecorder* recorder);
+
   /// Deterministic tree dump: roots and children ordered by (start, id),
   /// two-space indent per depth, annotations inline.
   std::string TextDump() const;
+  /// The tree containing span `id`: walks up to the root, then dumps that
+  /// root's subtree in TextDump format. Empty for unknown ids.
+  std::string TreeDump(uint64_t id) const;
   /// Flat JSON array of spans in id order.
   std::string JsonDump() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<Span> spans_;  // spans_[id - 1]
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 /// RAII span bound to a virtual clock: start is stamped at construction and

@@ -14,19 +14,28 @@
 //   dlcmd --root DIR recover <dataset>
 //   dlcmd --root DIR stats <dataset>
 //   dlcmd --root DIR trace <dataset> <diesel-path>
+//   dlcmd --root DIR tail <dataset>
 //   dlcmd --root DIR prefetch <dataset> [group-size] [nodes] [seed]
 //   dlcmd perf merge <dir> [-o out.json] [--strip-registry]
 //   dlcmd perf diff <baseline.json> <current.json> [--tol X] [--allow-missing]
+//   dlcmd slo <report-dir> [--slo spec.json] [-v]
+//   dlcmd timeline <file.timeline.json> [--section S] [--key K]
 //   dlcmd membership <nodes> [target] [chunks] [seed]
 //
 // `stats` runs a small metadata workload (recover + list) and prints the
 // process-wide metrics registry; `trace` reads one file with the span
-// tracer attached and prints the resulting virtual-time span tree;
-// `prefetch` draws one epoch's chunk-wise shuffle plan and prints the
-// clairvoyant access schedule the prefetch scheduler would execute. `perf`
-// operates on bench report files and needs no --root: `merge` combines
-// per-bench `*.report.json` into one suite document, `diff` gates a suite
-// against a committed baseline (non-zero exit on regression). `membership`
+// tracer attached and prints the resulting virtual-time span tree; `tail`
+// runs a cached read workload with exemplar capture on and resolves the
+// worst `read.path.total_ns` tail observations back to their span trees
+// (phase-annotated critical path of a p99 GetFile); `prefetch` draws one
+// epoch's chunk-wise shuffle plan and prints the clairvoyant access
+// schedule the prefetch scheduler would execute. `perf` operates on bench
+// report files and needs no --root: `merge` combines per-bench
+// `*.report.json` into one suite document, `diff` gates a suite against a
+// committed baseline (non-zero exit on regression). `slo` (root-less)
+// evaluates the declarative objectives in bench/slo.json against a
+// directory of reports + timelines and exits non-zero on breach;
+// `timeline` pretty-prints a `diesel.timeline/v1` dump. `membership`
 // (also root-less) inspects the elastic-membership ring: ownership balance
 // at <nodes> members, the chunk-move fraction of a planned rescale to
 // [target] members versus the consistent-hashing ideal, and a seeded churn
@@ -44,6 +53,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/registry.h"
+#include "cache/task_cache.h"
 #include "common/rng.h"
 #include "core/client.h"
 #include "core/housekeeping.h"
@@ -54,6 +65,7 @@
 #include "net/fabric.h"
 #include "obs/metrics.h"
 #include "obs/perf_diff.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "ostore/dir_store.h"
 #include "prefetch/access_schedule.h"
@@ -115,10 +127,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dlcmd --root DIR "
                "{put|put-tree|get|ls|stat|del|purge|save-meta|recover|"
-               "stats|trace|prefetch} ...\n"
+               "stats|trace|tail|prefetch} ...\n"
                "       dlcmd --root DIR prefetch <dataset> "
                "[group-size] [nodes] [seed]\n"
                "       dlcmd perf {merge|diff} ...\n"
+               "       dlcmd slo <report-dir> [--slo spec.json] [-v]\n"
+               "       dlcmd timeline <file.timeline.json> "
+               "[--section S] [--key K]\n"
                "       dlcmd membership <nodes> [target] [chunks] [seed]\n"
                "stats prints the process-wide metrics registry; names are\n"
                "prefixed by subsystem: net.* (fabric RPCs), kv.* (metadata\n"
@@ -129,7 +144,13 @@ int Usage() {
                ".size (per-link coalesced multi-gets and their fan-in),\n"
                "cache.slice.views (zero-copy slice reads), cache.slice.copies\n"
                "(materialized GetFile copies), cache.slice.crc_verified /\n"
-               ".crc_skipped (per-residency CRC memoization hit rate).\n");
+               ".crc_skipped (per-residency CRC memoization hit rate).\n"
+               "critical-path histograms: read.path.total_ns (end-to-end\n"
+               "GetFile) decomposed into read.path.{local,owner_wait,rpc,\n"
+               "device,parse,slice,backoff,degraded}_ns plus\n"
+               "read.path.retries; tail observations carry span-id exemplars\n"
+               "(see `tail`). timeline.samples / .buckets / .dropped count\n"
+               "Timeline sampler activity behind *.timeline.json dumps.\n");
   return 2;
 }
 
@@ -255,6 +276,15 @@ int Main(int argc, char** argv) {
   // `membership` inspects the elastic-membership ring — no deployment either.
   if (!args.empty() && args[0] == "membership") {
     return MembershipCommand({args.begin() + 1, args.end()});
+  }
+  // `slo` gates report/timeline artifacts; `timeline` pretty-prints one.
+  if (!args.empty() && args[0] == "slo") {
+    return obs::SloCommand({args.begin() + 1, args.end()}, std::cout,
+                           std::cerr);
+  }
+  if (!args.empty() && args[0] == "timeline") {
+    return obs::TimelineCommand({args.begin() + 1, args.end()}, std::cout,
+                                std::cerr);
   }
   if (args.size() < 3 || args[0] != "--root") return Usage();
   fs::path root = args[1];
@@ -405,6 +435,66 @@ int Main(int argc, char** argv) {
     std::printf("%s", tracer.TextDump().c_str());
     std::printf("%zu spans, %zu bytes read\n", tracer.size(), data->size());
     cli.fabric.set_tracer(nullptr);
+    return 0;
+  }
+
+  if (cmd == "tail" && args.size() == 1) {
+    // Tail-latency attribution demo: run a cached read workload over the
+    // persisted dataset with the span tracer attached (exemplar capture
+    // needs live span ids), then resolve the worst read.path.total_ns
+    // observations back to their phase-annotated span trees.
+    obs::Tracer tracer;
+    cli.fabric.set_tracer(&tracer);
+    if (Status st = cli.Bootstrap(args[0]); !st.ok()) return fail(st);
+    core::ClientOptions copts;
+    copts.dataset = args[0];
+    copts.node = 0;
+    core::DieselClient c0(cli.fabric, {&cli.server}, copts);
+    copts.client_index = 1;
+    core::DieselClient c1(cli.fabric, {&cli.server}, copts);
+    if (Status st = c0.FetchSnapshot(); !st.ok()) return fail(st);
+    const core::MetadataSnapshot& snap = *c0.snapshot();
+    if (snap.num_files() == 0)
+      return fail(Status::NotFound("dataset has no files"));
+
+    cache::TaskRegistry registry;
+    registry.Register(c0.endpoint());
+    registry.Register(c1.endpoint());
+    cache::TaskCacheOptions tcopts;
+    tcopts.policy = cache::CachePolicy::kOneshot;
+    cache::TaskCache cache(cli.fabric, cli.server, snap, registry, tcopts);
+    cache.EstablishConnections();
+
+    sim::VirtualClock clk0, clk1;
+    for (uint32_t i = 0; i < snap.num_files(); ++i) {
+      const core::FileMeta& fm = snap.files()[i];
+      bool even = (i % 2) == 0;
+      auto r = cache.GetFile(even ? clk0 : clk1,
+                             even ? c0.endpoint() : c1.endpoint(), fm);
+      if (!r.ok()) return fail(r.status());
+    }
+    cli.fabric.set_tracer(nullptr);
+
+    obs::MetricsSnapshot snap_m = obs::Metrics().Snapshot();
+    auto it = snap_m.histograms.find("read.path.total_ns");
+    if (it == snap_m.histograms.end() || it->second.count() == 0)
+      return fail(Status::Internal("no read.path.total_ns observations"));
+    const Histogram& h = it->second;
+    std::printf("read.path.total_ns: %llu reads, p50 %.0f ns, p99 %.0f ns\n",
+                static_cast<unsigned long long>(h.count()), h.Quantile(0.5),
+                h.Quantile(0.99));
+    const auto& exemplars = h.exemplars();
+    if (exemplars.empty())
+      return fail(Status::Internal("no tail exemplars captured"));
+    std::printf("%zu tail exemplars above the q=%.2f threshold:\n",
+                exemplars.size(), h.exemplar_quantile());
+    for (const auto& ex : exemplars) {
+      std::printf("  %.0f ns @ %.0f ns span %llu\n", ex.value, ex.at,
+                  static_cast<unsigned long long>(ex.trace_id));
+    }
+    std::printf("\nworst read (span %llu):\n",
+                static_cast<unsigned long long>(exemplars.front().trace_id));
+    std::printf("%s", tracer.TreeDump(exemplars.front().trace_id).c_str());
     return 0;
   }
 

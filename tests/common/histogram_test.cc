@@ -1,5 +1,6 @@
 #include "common/histogram.h"
 
+#include <cmath>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -166,6 +167,111 @@ TEST(HistogramTest, DeltaSinceSubtractsPrefix) {
   // No growth since checkpoint: empty interval.
   Histogram zero = h.DeltaSince(h);
   EXPECT_EQ(zero.count(), 0u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  // Values spread inside ONE bucket (1000 and 1020 both land in [992,1024))
+  // must not snap every quantile to the same edge: quantiles interpolate
+  // across the observed [min, max] range, strictly increasing with q.
+  Histogram h;
+  for (int i = 0; i < 500; ++i) {
+    h.Add(1000.0);
+    h.Add(1020.0);
+  }
+  double q10 = h.Quantile(0.1);
+  double q50 = h.Quantile(0.5);
+  double q90 = h.Quantile(0.9);
+  EXPECT_LT(q10, q50);
+  EXPECT_LT(q50, q90);
+  EXPECT_GE(q10, 1000.0);
+  EXPECT_LE(q90, 1020.0);
+
+  // A true point mass collapses the bucket to the exact value: the
+  // interpolation range is clamped to the observed extremes.
+  Histogram point;
+  for (int i = 0; i < 1000; ++i) point.Add(1000.0);
+  EXPECT_DOUBLE_EQ(point.Quantile(0.1), 1000.0);
+  EXPECT_DOUBLE_EQ(point.Quantile(0.9), 1000.0);
+}
+
+TEST(HistogramTest, QuantileGeometricMidpointMatchesLogBuckets) {
+  // Geometric interpolation: the mid-range quantile is the geometric (not
+  // arithmetic) mean of the interpolation endpoints. Three same-bucket
+  // values put the median exactly halfway along the log-space path.
+  Histogram h;
+  h.Add(1000.0);
+  h.Add(1010.0);
+  h.Add(1020.0);
+  double q50 = h.Quantile(0.5);
+  EXPECT_NEAR(q50, 1000.0 * std::sqrt(1020.0 / 1000.0), 1e-6);
+  EXPECT_LT(q50, 1010.0);  // geometric mean sits below the arithmetic one
+}
+
+TEST(HistogramTest, ExemplarRequiresTraceId) {
+  Histogram h;
+  h.AddWithExemplar(100.0, 0, 5.0);  // no active span: plain Add
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_TRUE(h.exemplars().empty());
+}
+
+TEST(HistogramTest, ExemplarCapturesTailObservations) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(100.0);
+  // Far above p99: captured with its span id.
+  h.AddWithExemplar(10000.0, 7, 1.5);
+  ASSERT_EQ(h.exemplars().size(), 1u);
+  EXPECT_DOUBLE_EQ(h.exemplars()[0].value, 10000.0);
+  EXPECT_EQ(h.exemplars()[0].trace_id, 7u);
+  EXPECT_DOUBLE_EQ(h.exemplars()[0].at, 1.5);
+  // Below the threshold quantile: traced but not retained.
+  h.AddWithExemplar(1.0, 8, 2.0);
+  EXPECT_EQ(h.exemplars().size(), 1u);
+  EXPECT_EQ(h.count(), 1002u);
+}
+
+TEST(HistogramTest, ExemplarsOrderedAndBounded) {
+  Histogram h;
+  h.SetExemplarQuantile(0.0);  // retain every traced observation
+  for (uint64_t i = 1; i <= 2 * Histogram::kMaxExemplars; ++i) {
+    h.AddWithExemplar(static_cast<double>(i * 1000), i,
+                      static_cast<double>(i));
+  }
+  ASSERT_EQ(h.exemplars().size(), Histogram::kMaxExemplars);
+  // Largest value first, and only the largest half survived.
+  for (size_t i = 0; i + 1 < h.exemplars().size(); ++i) {
+    EXPECT_GT(h.exemplars()[i].value, h.exemplars()[i + 1].value);
+  }
+  EXPECT_DOUBLE_EQ(h.exemplars().front().value, 16000.0);
+  EXPECT_DOUBLE_EQ(h.exemplars().back().value, 9000.0);
+}
+
+TEST(HistogramTest, ExemplarsSurviveMergeAndDelta) {
+  Histogram a, b;
+  a.SetExemplarQuantile(0.0);
+  b.SetExemplarQuantile(0.0);
+  a.AddWithExemplar(500.0, 1, 1.0);
+  b.AddWithExemplar(900.0, 2, 2.0);
+  a.Merge(b);
+  ASSERT_EQ(a.exemplars().size(), 2u);
+  EXPECT_EQ(a.exemplars()[0].trace_id, 2u);  // larger value first
+
+  Histogram earlier = a;
+  a.AddWithExemplar(700.0, 3, 3.0);
+  Histogram delta = a.DeltaSince(earlier);
+  ASSERT_EQ(delta.exemplars().size(), 1u);  // only the new exemplar
+  EXPECT_EQ(delta.exemplars()[0].trace_id, 3u);
+}
+
+TEST(HistogramTest, SummaryJsonEmitsExemplarsOnlyWhenPresent) {
+  Histogram plain;
+  plain.Add(10.0);
+  EXPECT_EQ(plain.SummaryJson().find("exemplars"), std::string::npos);
+
+  Histogram traced;
+  traced.AddWithExemplar(10.0, 42, 1.0);
+  std::string json = traced.SummaryJson();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": 42"), std::string::npos);
 }
 
 }  // namespace

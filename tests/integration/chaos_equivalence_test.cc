@@ -20,6 +20,7 @@
 #include "net/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tests/testutil/flightrec_listener.h"
 
 namespace diesel {
 namespace {
@@ -212,9 +213,14 @@ TEST(ChaosEquivalenceTest, FaultScheduleNeverChangesWhatIsRead) {
     EXPECT_EQ(chaos.crcs[e], baseline.crcs[e]) << "epoch " << e;
   }
 
-  // The schedule actually fired: every fault category is visible.
+  // The schedule actually fired: every fault category is visible. Random
+  // drops are probabilistic — a sweep seed can legitimately roll zero —
+  // so like corruption detection below they are only required under the
+  // pinned default seed; schedule-driven categories hold for every seed.
   EXPECT_EQ(chaos.fault_stats.flaps_fired, 1u);
-  EXPECT_GT(chaos.fault_stats.rpc_drops, 0u);
+  if (std::getenv("DIESEL_CHAOS_SEED") == nullptr) {
+    EXPECT_GT(chaos.fault_stats.rpc_drops, 0u);
+  }
   EXPECT_GT(chaos.fault_stats.down_node_rejections, 0u);
   EXPECT_GT(chaos.fault_stats.latency_spike_hits, 0u);
   EXPECT_EQ(chaos.fault_stats.corruptions_injected, 1u);
@@ -238,9 +244,12 @@ TEST(ChaosEquivalenceTest, FaultScheduleNeverChangesWhatIsRead) {
   // Faults cost virtual time, never correctness.
   EXPECT_GT(chaos.epoch_end.back(), baseline.epoch_end.back());
 
-  // Every injected fault category is visible in the span tree.
+  // Every injected fault category is visible in the span tree (drops only
+  // under the pinned seed, for the reason above).
   EXPECT_FALSE(chaos.trace_dump.empty());
-  EXPECT_NE(chaos.trace_dump.find("fault.drop"), std::string::npos);
+  if (std::getenv("DIESEL_CHAOS_SEED") == nullptr) {
+    EXPECT_NE(chaos.trace_dump.find("fault.drop"), std::string::npos);
+  }
   EXPECT_NE(chaos.trace_dump.find("fault.flap"), std::string::npos);
   EXPECT_NE(chaos.trace_dump.find("fault.latency_spike"), std::string::npos);
   EXPECT_NE(chaos.trace_dump.find("fault.corrupt"), std::string::npos);

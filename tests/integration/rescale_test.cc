@@ -16,6 +16,7 @@
 #include "dlt/dataset_gen.h"
 #include "membership/membership.h"
 #include "obs/metrics.h"
+#include "tests/testutil/flightrec_listener.h"
 
 namespace diesel {
 namespace {

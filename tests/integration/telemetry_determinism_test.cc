@@ -1,0 +1,227 @@
+// Telemetry determinism: for a fixed seed, the observability plane itself is
+// part of the reproducible output. The virtual-time timeline export and the
+// flight-recorder dump must be byte-identical across two same-seed chaos
+// runs, and histogram tail exemplars captured under faults must resolve —
+// via the recorded span id — to a connected, phase-annotated span tree.
+// The chaos seed is sweepable via DIESEL_CHAOS_SEED like the other
+// integration chaos suites.
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/task_cache.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "net/fault_injector.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "tests/testutil/flightrec_listener.h"
+
+namespace diesel {
+namespace {
+
+constexpr int kEpochs = 2;
+constexpr uint32_t kClientNodes = 2;
+
+uint64_t ChaosSeed(uint64_t fallback) {
+  const char* env = std::getenv("DIESEL_CHAOS_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : fallback;
+}
+
+dlt::DatasetSpec MakeSpec() {
+  dlt::DatasetSpec spec;
+  spec.name = "telemetry";
+  spec.num_classes = 2;
+  spec.files_per_class = 30;
+  spec.mean_file_bytes = 2048;
+  return spec;
+}
+
+struct TelemetryRun {
+  std::string timeline_json;
+  std::string flightrec_json;
+  std::vector<Nanos> epoch_end;
+  obs::MetricsSnapshot delta;
+  // Traced runs only: the worst captured read.path.total_ns exemplar.
+  size_t exemplar_count = 0;
+  uint64_t exemplar_trace = 0;
+  std::string exemplar_tree;
+};
+
+/// Ingest, preload a oneshot cache over 2 nodes, then read every file for
+/// kEpochs epochs while a Timeline samples the registry each read. `plan`
+/// attaches the fault injector for the read phase; `trace` attaches a
+/// tracer (which makes tail observations carry exemplars — exemplar capture
+/// depends on cumulative histogram state, so the byte-stability runs stay
+/// tracerless).
+TelemetryRun RunWorkload(const net::FaultPlan* plan, bool trace) {
+  TelemetryRun out;
+  // Each run models a fresh process invocation of a bench binary: zero the
+  // cumulative registry so interval extremes and exemplar thresholds do not
+  // leak across runs, and rewind the flight-recorder rings.
+  obs::Metrics().ResetAll();
+  obs::MetricsSnapshot before = obs::Metrics().Snapshot();
+  obs::Flight().Clear();  // fresh rings, sequence numbers rewound
+  dlt::DatasetSpec spec = MakeSpec();
+
+  core::DeploymentOptions dopts;
+  dopts.num_client_nodes = kClientNodes;
+  core::Deployment dep(dopts);
+
+  auto writer = dep.MakeClient(0, 0, spec.name, 16 * 1024);
+  EXPECT_TRUE(dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+                return writer->Put(f.path, f.content);
+              }).ok());
+  EXPECT_TRUE(writer->Flush().ok());
+
+  std::vector<std::unique_ptr<core::DieselClient>> clients;
+  cache::TaskRegistry registry;
+  for (uint32_t n = 0; n < kClientNodes; ++n) {
+    clients.push_back(dep.MakeClient(n, 0, spec.name));
+    registry.Register(clients.back()->endpoint());
+  }
+  for (auto& c : clients) EXPECT_TRUE(c->FetchSnapshot().ok());
+
+  cache::TaskCacheOptions copts;
+  copts.policy = cache::CachePolicy::kOneshot;
+  copts.retry.max_attempts = 8;
+  copts.retry.initial_backoff = Micros(100);
+  copts.breaker.cooldown = Micros(500);
+  cache::TaskCache cache(dep.fabric(), dep.server(0),
+                         *clients[0]->snapshot(), registry, copts);
+  cache.EstablishConnections();
+  EXPECT_TRUE(cache.Preload(0).ok());
+
+  std::vector<std::unique_ptr<core::DatasetCacheInterface>> handles;
+  for (auto& c : clients) {
+    handles.push_back(cache.HandleFor(c->endpoint()));
+    c->AttachCache(handles.back().get());
+  }
+
+  std::unique_ptr<net::FaultInjector> inj;
+  obs::Tracer tracer;
+  if (plan != nullptr) {
+    inj = std::make_unique<net::FaultInjector>(*plan);
+    dep.fabric().set_fault_injector(inj.get());
+  }
+  if (trace) dep.fabric().set_tracer(&tracer);
+
+  obs::Timeline::Options topt;
+  topt.bucket_ns = Millis(1);
+  obs::Timeline timeline(topt);
+  timeline.Start(0);
+
+  const size_t n = spec.total_files();
+  Nanos end = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    for (size_t k = 0; k < n; ++k) {
+      size_t file = (k + static_cast<size_t>(epoch) * 13) % n;
+      auto& client = clients[k % clients.size()];
+      auto content = client->Get(dlt::FilePath(spec, file));
+      EXPECT_TRUE(content.ok())
+          << "epoch " << epoch << " file " << file << ": "
+          << content.status().ToString();
+      timeline.AdvanceTo(client->clock().now());
+    }
+    end = 0;
+    for (auto& c : clients) end = std::max(end, c->clock().now());
+    out.epoch_end.push_back(end);
+    timeline.Note(end, "epoch " + std::to_string(epoch + 1) + " done");
+  }
+  timeline.Finish(end);
+
+  out.timeline_json = timeline.SectionJson("chaos");
+  out.flightrec_json = obs::Flight().Json();
+  out.delta = obs::Metrics().Snapshot().DeltaSince(before);
+  if (trace) {
+    auto it = out.delta.histograms.find("read.path.total_ns");
+    if (it != out.delta.histograms.end() && !it->second.exemplars().empty()) {
+      out.exemplar_count = it->second.exemplars().size();
+      out.exemplar_trace = it->second.exemplars().front().trace_id;
+      out.exemplar_tree = tracer.TreeDump(out.exemplar_trace);
+    }
+  }
+  dep.fabric().set_fault_injector(nullptr);
+  dep.fabric().set_tracer(nullptr);
+  return out;
+}
+
+net::FaultPlan MakePlan(const TelemetryRun& baseline) {
+  Nanos e1 = baseline.epoch_end[0];
+  Nanos e2 = baseline.epoch_end[1];
+  net::FaultPlan plan;
+  plan.seed = ChaosSeed(20260808);
+  plan.rpc_drop_prob = 0.02;
+  plan.fault_detect_timeout = Micros(200);
+  // Flap a client node inside epoch 1; spike latency in epoch 2. The chaos
+  // run is slower than the baseline, so the windows land earlier in its
+  // epochs — reads span them either way.
+  plan.node_flaps.push_back({.node = 1, .down_at = e1 / 2, .up_at = e1});
+  plan.latency_spikes.push_back(
+      {.start = e1, .end = e1 + (e2 - e1) / 2, .extra = Micros(25)});
+  return plan;
+}
+
+TEST(TelemetryDeterminismTest, TimelineAndFlightRecorderAreByteStable) {
+  TelemetryRun baseline = RunWorkload(nullptr, /*trace=*/false);
+  ASSERT_EQ(baseline.epoch_end.size(), static_cast<size_t>(kEpochs));
+  net::FaultPlan plan = MakePlan(baseline);
+
+  TelemetryRun a = RunWorkload(&plan, /*trace=*/false);
+  TelemetryRun b = RunWorkload(&plan, /*trace=*/false);
+
+  // Same seed, same bytes: the exported section and the black box both
+  // reproduce exactly, including every fault event and note.
+  EXPECT_EQ(a.timeline_json, b.timeline_json);
+  EXPECT_EQ(a.flightrec_json, b.flightrec_json);
+  EXPECT_EQ(a.epoch_end, b.epoch_end);
+
+  // The telemetry carries real evidence, not just empty buckets: the
+  // timeline saw the hot read path and both epoch markers, the flight
+  // recorder retained the injected faults.
+  EXPECT_NE(a.timeline_json.find("read.path.total_ns"), std::string::npos);
+  EXPECT_NE(a.timeline_json.find("epoch 1 done"), std::string::npos);
+  EXPECT_NE(a.timeline_json.find("epoch 2 done"), std::string::npos);
+  EXPECT_NE(a.flightrec_json.find("\"kind\": \"fault\""), std::string::npos);
+  // The flap window rejects RPCs on the flapped node at deterministic
+  // virtual times, so this holds for every sweep seed; random drops
+  // (p=0.02) may add to it but some seeds legitimately roll zero.
+  EXPECT_GT(a.delta.SumCounters("net.rpc.flap_rejects") +
+                a.delta.SumCounters("net.rpc.drops"),
+            0u);
+
+  // A different fault schedule diverges the telemetry — the byte-equality
+  // above is not vacuous. Doubling the detect timeout is guaranteed to
+  // diverge for every sweep seed: run c replays run a exactly up to the
+  // first flap reject / drop (which the assertion above proves exists),
+  // then pays a different timeout there. Reseeding p=0.02 drops would not
+  // be: two seeds can both roll zero drops.
+  net::FaultPlan other = plan;
+  other.fault_detect_timeout *= 2;
+  TelemetryRun c = RunWorkload(&other, /*trace=*/false);
+  EXPECT_NE(c.timeline_json, a.timeline_json);
+}
+
+TEST(TelemetryDeterminismTest, TailExemplarsResolveToSpanTreesUnderFaults) {
+  TelemetryRun baseline = RunWorkload(nullptr, /*trace=*/false);
+  net::FaultPlan plan = MakePlan(baseline);
+
+  TelemetryRun traced = RunWorkload(&plan, /*trace=*/true);
+  // Fault-slowed reads are far above the tail threshold, so the worst ones
+  // were captured with their span ids.
+  ASSERT_GT(traced.exemplar_count, 0u);
+  ASSERT_NE(traced.exemplar_trace, obs::kNoSpan);
+  // The span id resolves to a connected tree rooted at the read, with the
+  // critical-path phases annotated inline.
+  ASSERT_FALSE(traced.exemplar_tree.empty());
+  EXPECT_NE(traced.exemplar_tree.find("cache.get_file"), std::string::npos);
+  EXPECT_NE(traced.exemplar_tree.find("phase."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diesel

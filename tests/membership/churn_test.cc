@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "tests/testutil/flightrec_listener.h"
+
 namespace diesel::membership {
 namespace {
 

@@ -1,0 +1,108 @@
+// Trace-shape contract for the fabric: a plain Call emits one "rpc:*" span,
+// a CallBatch emits one "batch:*" span whose k coalesced sub-requests
+// materialize as contiguous "batch.sub" child spans — the streamed marshal
+// windows — so a tail batch resolves to per-sub-request evidence.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "obs/trace.h"
+
+namespace diesel::net {
+namespace {
+
+class TraceShapeTest : public ::testing::Test {
+ protected:
+  TraceShapeTest() : cluster_(3), fabric_(cluster_) {
+    fabric_.set_tracer(&tracer_);
+  }
+
+  std::vector<obs::Span> SpansNamed(const std::string& name) {
+    std::vector<obs::Span> out;
+    for (const obs::Span& s : tracer_.spans()) {
+      if (s.name == name) out.push_back(s);
+    }
+    return out;
+  }
+
+  sim::Cluster cluster_;
+  Fabric fabric_;
+  obs::Tracer tracer_;
+};
+
+TEST_F(TraceShapeTest, PlainCallEmitsRpcSpanWithoutChildren) {
+  sim::VirtualClock clock;
+  ASSERT_TRUE(
+      fabric_.Call(clock, 0, 1, 64, 64, [](Nanos a) { return a; }).ok());
+  auto rpcs = SpansNamed("rpc:node0->node1");
+  ASSERT_EQ(rpcs.size(), 1u);
+  EXPECT_EQ(rpcs.front().parent, obs::kNoSpan);
+  EXPECT_TRUE(SpansNamed("batch.sub").empty());
+  EXPECT_TRUE(SpansNamed("batch:node0->node1").empty());
+}
+
+TEST_F(TraceShapeTest, BatchEmitsContiguousChildPerSubRequest) {
+  sim::VirtualClock clock;
+  const size_t k = 4;
+  ASSERT_TRUE(fabric_.CallBatch(clock, 0, 1, k, 4096, 4096,
+                                [](Nanos a) { return a; })
+                  .ok());
+  auto batches = SpansNamed("batch:node0->node1");
+  ASSERT_EQ(batches.size(), 1u);
+  const obs::Span& batch = batches.front();
+  ASSERT_FALSE(batch.notes.empty());
+  EXPECT_EQ(batch.notes.front().text, "batch k=4");
+
+  auto subs = SpansNamed("batch.sub");
+  ASSERT_EQ(subs.size(), k);
+  Nanos prev = batch.start;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].parent, batch.id);
+    EXPECT_EQ(subs[i].start, prev);  // marshal windows chain back-to-back
+    EXPECT_GT(subs[i].end, subs[i].start);
+    ASSERT_EQ(subs[i].notes.size(), 1u);
+    EXPECT_EQ(subs[i].notes.front().text,
+              "sub=" + std::to_string(i) + "/" + std::to_string(k));
+    prev = subs[i].end;
+  }
+  EXPECT_LE(prev, batch.end);  // children stay inside the parent window
+
+  // The tree containing any sub-request is rooted at the batch span.
+  std::string tree = tracer_.TreeDump(subs.front().id);
+  EXPECT_NE(tree.find("batch:node0->node1"), std::string::npos);
+  EXPECT_NE(tree.find("batch.sub"), std::string::npos);
+}
+
+TEST_F(TraceShapeTest, SingletonBatchDegeneratesToRpc) {
+  sim::VirtualClock clock;
+  ASSERT_TRUE(fabric_.CallBatch(clock, 0, 1, 1, 64, 64,
+                                [](Nanos a) { return a; })
+                  .ok());
+  EXPECT_EQ(SpansNamed("rpc:node0->node1").size(), 1u);
+  EXPECT_TRUE(SpansNamed("batch:node0->node1").empty());
+  EXPECT_TRUE(SpansNamed("batch.sub").empty());
+}
+
+TEST_F(TraceShapeTest, LoopbackBatchHasNoSubSpans) {
+  sim::VirtualClock clock;
+  ASSERT_TRUE(fabric_.CallBatch(clock, 0, 0, 3, 300, 300,
+                                [](Nanos a) { return a; })
+                  .ok());
+  // Loopback never touches a NIC, so there are no marshal windows to show.
+  ASSERT_EQ(SpansNamed("batch:node0->node0").size(), 1u);
+  EXPECT_TRUE(SpansNamed("batch.sub").empty());
+}
+
+TEST_F(TraceShapeTest, DetachedTracerRecordsNothing) {
+  fabric_.set_tracer(nullptr);
+  sim::VirtualClock clock;
+  ASSERT_TRUE(fabric_.CallBatch(clock, 0, 1, 2, 128, 128,
+                                [](Nanos a) { return a; })
+                  .ok());
+  EXPECT_EQ(tracer_.size(), 0u);
+}
+
+}  // namespace
+}  // namespace diesel::net

@@ -1,0 +1,277 @@
+#include "obs/slo.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/report.h"
+
+namespace diesel::obs {
+namespace {
+
+JsonValue ParseOrDie(const std::string& text) {
+  auto parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+std::vector<SloSpec> SpecsOrDie(const std::string& text) {
+  auto specs = ParseSloSpecs(ParseOrDie(text));
+  EXPECT_TRUE(specs.ok()) << specs.status().ToString();
+  return std::move(specs).value();
+}
+
+// A one-bench suite with a gated metric, two epoch arms, and an embedded
+// registry carrying a counter and a histogram.
+SuiteReport UnitSuite() {
+  BenchReport report;
+  report.bench = "unit";
+  report.seed = 1;
+  report.metrics.push_back(
+      {.name = "speedup", .unit = "x", .value = 2.0,
+       .direction = Direction::kHigherIsBetter});
+  report.epochs.push_back({.label = "arm", .epoch = 0, .fetch_ns = 250,
+                           .shuffle_ns = 250, .train_ns = 400,
+                           .other_ns = 100});
+  report.registry = ParseOrDie(
+      "{\"counters\": {\"c.ops\": 42}, \"gauges\": {}, "
+      "\"histograms\": {\"lat_ns\": {\"count\": 3, \"p50\": 10, "
+      "\"p90\": 20, \"p99\": 30}}}");
+  SuiteReport suite;
+  suite.Merge(std::move(report));
+  return suite;
+}
+
+TEST(SloSpecTest, ParsesEverySourceKind) {
+  std::vector<SloSpec> specs = SpecsOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [
+      {"name": "a", "bench": "b", "source": "metric", "key": "m",
+       "objective": ">=", "threshold": 1.5},
+      {"name": "c", "bench": "b", "source": "histogram_quantile",
+       "key": "lat_ns", "quantile": 0.9, "objective": "<=", "threshold": 99},
+      {"name": "d", "bench": "b", "source": "timeline_burn", "section": "s",
+       "signal": "counter", "key": "errs", "objective": "<=", "threshold": 3,
+       "error_budget": 0.5, "window_buckets": 2, "max_burn_rate": 1.0}
+    ]})");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].source, SloSource::kMetric);
+  EXPECT_FALSE(specs[0].upper_bound);
+  EXPECT_EQ(specs[1].source, SloSource::kHistogramQuantile);
+  EXPECT_DOUBLE_EQ(specs[1].quantile, 0.9);
+  EXPECT_EQ(specs[2].source, SloSource::kTimelineBurn);
+  EXPECT_EQ(specs[2].section, "s");
+  EXPECT_EQ(specs[2].signal, SloSource::kCounter);
+  EXPECT_EQ(specs[2].window_buckets, 2u);
+  EXPECT_DOUBLE_EQ(specs[2].error_budget, 0.5);
+}
+
+TEST(SloSpecTest, RejectsMalformedSpecs) {
+  // Wrong schema.
+  EXPECT_FALSE(
+      ParseSloSpecs(ParseOrDie("{\"schema\": \"nope\", \"slos\": []}")).ok());
+  // Empty slos array.
+  EXPECT_FALSE(ParseSloSpecs(ParseOrDie(
+                   "{\"schema\": \"diesel.slo/v1\", \"slos\": []}"))
+                   .ok());
+  // Missing threshold.
+  EXPECT_FALSE(ParseSloSpecs(ParseOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [{"name": "a", "bench": "b", "key": "m"}]})"))
+                   .ok());
+  // Bad objective.
+  EXPECT_FALSE(ParseSloSpecs(ParseOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [{"name": "a", "bench": "b", "key": "m", "objective": "==",
+              "threshold": 1}]})"))
+                   .ok());
+  // timeline_burn without a section.
+  EXPECT_FALSE(ParseSloSpecs(ParseOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [{"name": "a", "bench": "b", "source": "timeline_burn",
+              "key": "m", "threshold": 1}]})"))
+                   .ok());
+  // timeline_burn signal must be counter or histogram_quantile.
+  EXPECT_FALSE(ParseSloSpecs(ParseOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [{"name": "a", "bench": "b", "source": "timeline_burn",
+              "section": "s", "signal": "metric", "key": "m",
+              "threshold": 1}]})"))
+                   .ok());
+}
+
+TEST(SloEvalTest, RunLevelSourcesAgainstSuite) {
+  SuiteReport suite = UnitSuite();
+  std::vector<SloSpec> specs = SpecsOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [
+      {"name": "metric_ok", "bench": "unit", "source": "metric",
+       "key": "speedup", "objective": ">=", "threshold": 1.5},
+      {"name": "metric_breach", "bench": "unit", "source": "metric",
+       "key": "speedup", "objective": ">=", "threshold": 3.0},
+      {"name": "counter_ok", "bench": "unit", "source": "counter",
+       "key": "c.ops", "objective": "<=", "threshold": 50},
+      {"name": "hist_p99", "bench": "unit", "source": "histogram_quantile",
+       "key": "lat_ns", "quantile": 0.99, "objective": "<=", "threshold": 30},
+      {"name": "stall", "bench": "unit", "source": "stall_fraction",
+       "key": "arm", "objective": "<=", "threshold": 0.3},
+      {"name": "no_bench", "bench": "ghost", "source": "metric",
+       "key": "speedup", "objective": ">=", "threshold": 1},
+      {"name": "no_key", "bench": "unit", "source": "counter",
+       "key": "ghost.ops", "objective": "<=", "threshold": 1}
+    ]})");
+  SloEval eval = EvaluateSlos(specs, suite, {});
+  ASSERT_EQ(eval.results.size(), 7u);
+  EXPECT_EQ(eval.passed, 4);
+  EXPECT_EQ(eval.failed, 3);
+  EXPECT_TRUE(eval.results[0].pass);
+  EXPECT_DOUBLE_EQ(eval.results[0].value, 2.0);
+  EXPECT_FALSE(eval.results[1].pass);
+  EXPECT_TRUE(eval.results[2].pass);
+  EXPECT_DOUBLE_EQ(eval.results[2].value, 42.0);
+  EXPECT_TRUE(eval.results[3].pass);
+  EXPECT_DOUBLE_EQ(eval.results[3].value, 30.0);
+  // 250 fetch / 1000 total = 0.25.
+  EXPECT_TRUE(eval.results[4].pass);
+  EXPECT_DOUBLE_EQ(eval.results[4].value, 0.25);
+  // A missing bench or registry key is itself a breach, with evidence.
+  EXPECT_FALSE(eval.results[5].pass);
+  EXPECT_NE(eval.results[5].detail.find("no report"), std::string::npos);
+  EXPECT_FALSE(eval.results[6].pass);
+  EXPECT_NE(eval.results[6].detail.find("ghost.ops"), std::string::npos);
+  EXPECT_NE(eval.Table().find("BREACH"), std::string::npos);
+  EXPECT_EQ(eval.Summary(), "slo: 4 met, 3 breached");
+}
+
+TEST(SloEvalTest, TimelineBurnSlidingWindows) {
+  // errs per bucket: 5, 1, (absent), 7 against "<= 3": violating pattern
+  // T F F T. Window of 2 -> worst window has 1/2 violating buckets.
+  JsonValue timeline = ParseOrDie(R"({
+    "schema": "diesel.timeline/v1",
+    "bench": "unit",
+    "sections": [
+      {"label": "s", "bucket_ns": 10, "start": 0, "dropped": 0,
+       "buckets": [
+         {"t": 0, "end": 10, "counters": {"errs": 5}},
+         {"t": 10, "end": 20, "counters": {"errs": 1}},
+         {"t": 20, "end": 30},
+         {"t": 30, "end": 40, "counters": {"errs": 7}}
+       ],
+       "notes": []}
+    ]})");
+  std::vector<std::pair<std::string, JsonValue>> timelines;
+  timelines.emplace_back("unit", std::move(timeline));
+
+  std::vector<SloSpec> specs = SpecsOrDie(R"({
+    "schema": "diesel.slo/v1",
+    "slos": [
+      {"name": "within_budget", "bench": "unit", "source": "timeline_burn",
+       "section": "s", "signal": "counter", "key": "errs",
+       "objective": "<=", "threshold": 3,
+       "error_budget": 0.5, "window_buckets": 2, "max_burn_rate": 1.0},
+      {"name": "over_budget", "bench": "unit", "source": "timeline_burn",
+       "section": "s", "signal": "counter", "key": "errs",
+       "objective": "<=", "threshold": 3,
+       "error_budget": 0.25, "window_buckets": 2, "max_burn_rate": 1.0},
+      {"name": "no_section", "bench": "unit", "source": "timeline_burn",
+       "section": "ghost", "signal": "counter", "key": "errs",
+       "objective": "<=", "threshold": 3},
+      {"name": "no_timeline", "bench": "ghost", "source": "timeline_burn",
+       "section": "s", "signal": "counter", "key": "errs",
+       "objective": "<=", "threshold": 3}
+    ]})");
+  SloEval eval = EvaluateSlos(specs, SuiteReport{}, timelines);
+  ASSERT_EQ(eval.results.size(), 4u);
+  // worst fraction 0.5 over budget 0.5 -> burn rate 1.0: exactly at contract.
+  EXPECT_TRUE(eval.results[0].pass);
+  EXPECT_DOUBLE_EQ(eval.results[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(eval.results[0].burn_rate, 1.0);
+  EXPECT_NE(eval.results[0].detail.find("1/2 buckets violating over 4 total"),
+            std::string::npos);
+  // Same signal against a tighter budget burns at 2x: breach.
+  EXPECT_FALSE(eval.results[1].pass);
+  EXPECT_DOUBLE_EQ(eval.results[1].burn_rate, 2.0);
+  // Missing section / timeline are breaches, not skips.
+  EXPECT_FALSE(eval.results[2].pass);
+  EXPECT_FALSE(eval.results[3].pass);
+}
+
+TEST(SloCommandTest, EvaluatesDirectoryAndExitsZeroOrOne) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "slo_cmd_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  BenchReport report;
+  report.bench = "unit";
+  report.seed = 1;
+  report.metrics.push_back({.name = "speedup", .unit = "x", .value = 2.0,
+                            .direction = Direction::kHigherIsBetter});
+  std::ofstream(dir / "unit.report.json") << report.Json();
+
+  fs::path spec = dir / "spec.json";
+  std::ofstream(spec) << R"({
+    "schema": "diesel.slo/v1",
+    "slos": [{"name": "speedup_floor", "bench": "unit", "source": "metric",
+              "key": "speedup", "objective": ">=", "threshold": 1.5}]})";
+
+  std::ostringstream out, err;
+  int rc = SloCommand({dir.string(), "--slo", spec.string()}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("slo: 1 met, 0 breached"), std::string::npos);
+
+  // Tighten the objective past the measured value: deterministic exit 1.
+  std::ofstream(spec, std::ios::trunc) << R"({
+    "schema": "diesel.slo/v1",
+    "slos": [{"name": "speedup_floor", "bench": "unit", "source": "metric",
+              "key": "speedup", "objective": ">=", "threshold": 3.0}]})";
+  std::ostringstream out2, err2;
+  EXPECT_EQ(SloCommand({dir.string(), "--slo", spec.string()}, out2, err2), 1);
+  EXPECT_NE(out2.str().find("BREACH"), std::string::npos);
+
+  // Usage / IO errors exit 2, distinct from an SLO breach.
+  std::ostringstream out3, err3;
+  EXPECT_EQ(SloCommand({}, out3, err3), 2);
+  std::ostringstream out4, err4;
+  EXPECT_EQ(SloCommand({dir.string(), "--slo",
+                        (dir / "missing.json").string()},
+                       out4, err4),
+            2);
+  fs::remove_all(dir);
+}
+
+TEST(TimelineCommandTest, PrintsSectionsAndCurves) {
+  namespace fs = std::filesystem;
+  fs::path path = fs::path(::testing::TempDir()) / "unit.timeline.json";
+  std::ofstream(path) << R"({
+    "schema": "diesel.timeline/v1",
+    "bench": "unit",
+    "sections": [
+      {"label": "s", "bucket_ns": 1000000, "start": 0, "dropped": 0,
+       "buckets": [
+         {"t": 0, "end": 1000000, "counters": {"errs": 5}},
+         {"t": 1000000, "end": 2000000, "counters": {"errs": 1}}
+       ],
+       "notes": []}
+    ]})";
+  std::ostringstream out, err;
+  int rc = TimelineCommand({path.string(), "--section", "s", "--key", "errs"},
+                           out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("section s: 2 buckets"), std::string::npos);
+  EXPECT_NE(out.str().find('#'), std::string::npos);  // bar chart rendered
+
+  // Not a timeline document: usage error.
+  std::ofstream(path, std::ios::trunc) << "{\"schema\": \"nope\"}";
+  std::ostringstream out2, err2;
+  EXPECT_EQ(TimelineCommand({path.string()}, out2, err2), 2);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace diesel::obs

@@ -1,0 +1,144 @@
+#include "obs/timeline.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace diesel::obs {
+namespace {
+
+TEST(TimelineTest, ClosesBucketsOnBoundaryCrossings) {
+  Counter& ops = Metrics().GetCounter("tltest.ops");
+  Timeline::Options opt;
+  opt.bucket_ns = 100;
+  Timeline tl(opt);
+  EXPECT_FALSE(tl.started());
+  tl.Start(0);
+  EXPECT_TRUE(tl.started());
+  ops.Inc(3);
+  tl.AdvanceTo(50);  // still inside the first bucket: nothing closes
+  EXPECT_EQ(tl.buckets(), 0u);
+  tl.AdvanceTo(150);  // crosses t=100: closes [0,100) holding the delta
+  EXPECT_EQ(tl.buckets(), 1u);
+  ops.Inc(2);
+  tl.Finish(180);  // trailing partial bucket [100,180)
+  EXPECT_EQ(tl.buckets(), 2u);
+  EXPECT_FALSE(tl.started());
+  std::string json = tl.SectionJson("unit");
+  EXPECT_NE(json.find("\"tltest.ops\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"tltest.ops\": 2"), std::string::npos);
+  EXPECT_NE(json.find("{\"t\": 100, \"end\": 180"), std::string::npos);
+}
+
+TEST(TimelineTest, MultiBoundaryCrossingChargesFirstBucket) {
+  Counter& burst = Metrics().GetCounter("tltest.burst");
+  Timeline::Options opt;
+  opt.bucket_ns = 100;
+  Timeline tl(opt);
+  tl.Start(0);
+  burst.Inc(7);
+  tl.AdvanceTo(350);  // one call crosses three boundaries
+  EXPECT_EQ(tl.buckets(), 3u);
+  std::string json = tl.SectionJson("burst");
+  // The whole delta lands in the first crossed bucket; the later buckets had
+  // no sampling opportunity and export empty.
+  EXPECT_NE(json.find("{\"t\": 0, \"end\": 100, \"counters\": "
+                      "{\"tltest.burst\": 7}}"),
+            std::string::npos);
+  size_t pos = json.find("\"tltest.burst\"");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(json.find("\"tltest.burst\"", pos + 1), std::string::npos);
+}
+
+TEST(TimelineTest, CapacityEvictsOldestAndCountsDropped) {
+  Timeline::Options opt;
+  opt.bucket_ns = 10;
+  opt.capacity = 4;
+  Timeline tl(opt);
+  tl.Start(0);
+  for (Nanos t = 10; t <= 100; t += 10) tl.AdvanceTo(t);
+  EXPECT_EQ(tl.buckets(), 4u);
+  EXPECT_EQ(tl.dropped(), 6u);
+  std::string json = tl.SectionJson("ring");
+  EXPECT_EQ(json.find("\"t\": 0,"), std::string::npos);  // oldest evicted
+  EXPECT_NE(json.find("\"t\": 90"), std::string::npos);  // newest retained
+  EXPECT_NE(json.find("\"dropped\": 6"), std::string::npos);
+}
+
+TEST(TimelineTest, NotesExportAndRestartIsByteStable) {
+  Counter& stable = Metrics().GetCounter("tltest.stable");
+  auto run = [&stable] {
+    Timeline::Options opt;
+    opt.bucket_ns = 100;
+    Timeline tl(opt);
+    tl.Start(0);
+    tl.Note(5, "window \"open\"");
+    stable.Inc();
+    tl.AdvanceTo(120);
+    stable.Inc(4);
+    tl.Note(130, "recovered");
+    tl.Finish(250);
+    return tl.SectionJson("stable");
+  };
+  // Start() rebases on the live registry, so replaying the same virtual-time
+  // schedule yields a byte-identical section even though the underlying
+  // counters kept their cumulative values.
+  std::string first = run();
+  std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"text\": \"window \\\"open\\\"\""), std::string::npos);
+  EXPECT_NE(first.find("{\"at\": 130, \"text\": \"recovered\"}"),
+            std::string::npos);
+}
+
+TEST(TimelineTest, PublishesSamplerActivityCounters) {
+  MetricsSnapshot before = Metrics().Snapshot();
+  Timeline::Options opt;
+  opt.bucket_ns = 10;
+  opt.capacity = 2;
+  Timeline tl(opt);
+  tl.Start(0);
+  for (Nanos t = 10; t <= 50; t += 10) tl.AdvanceTo(t);
+  tl.Finish(55);
+  MetricsSnapshot delta = Metrics().Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("timeline.samples"), 5u);
+  EXPECT_EQ(delta.counters.at("timeline.buckets"), 6u);  // 5 full + 1 partial
+  EXPECT_EQ(delta.counters.at("timeline.dropped"), 4u);
+  EXPECT_EQ(tl.dropped(), 4u);
+}
+
+TEST(TimelineTest, HistogramDeltasRideBuckets) {
+  Histo& h = Metrics().GetHistogram("tltest.lat_ns");
+  Timeline::Options opt;
+  opt.bucket_ns = 100;
+  Timeline tl(opt);
+  tl.Start(0);
+  h.Observe(500.0);
+  h.Observe(700.0);
+  tl.AdvanceTo(150);
+  std::string json = tl.SectionJson("hist");
+  size_t key = json.find("\"tltest.lat_ns\"");
+  ASSERT_NE(key, std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2", key), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 1200", key), std::string::npos);
+}
+
+TEST(TimelineTest, DocumentJsonWrapsSections) {
+  Timeline tl;
+  tl.Start(0);
+  tl.Finish(1);
+  std::string doc =
+      TimelineDocumentJson("unit_bench", {tl.SectionJson("only")});
+  EXPECT_NE(doc.find("\"schema\": \"diesel.timeline/v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"bench\": \"unit_bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"label\": \"only\""), std::string::npos);
+  EXPECT_EQ(doc.back(), '\n');
+
+  std::string empty = TimelineDocumentJson("none", {});
+  EXPECT_NE(empty.find("\"sections\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diesel::obs

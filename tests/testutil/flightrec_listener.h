@@ -1,0 +1,48 @@
+// gtest listener that dumps the process-wide flight recorder when a test
+// fails, so CI and chaos sweeps keep the black box next to the failure log.
+// Opt-in via the environment: set DIESEL_FLIGHTREC_DIR to a writable
+// directory and every failing test writes
+//   $DIESEL_FLIGHTREC_DIR/<Suite>.<Name>.flightrec.json
+// With the variable unset the listener is inert, so local runs stay clean.
+//
+// Include this header from a test's .cc file to register the listener; the
+// registration is idempotent per process.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.h"
+
+namespace diesel::testutil {
+
+class FlightRecorderOnFailure : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (!info.result()->Failed()) return;
+    const char* dir = std::getenv("DIESEL_FLIGHTREC_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    std::string name =
+        std::string(info.test_suite_name()) + "." + info.name();
+    obs::Flight().Record(obs::FlightEventKind::kChaos, 0,
+                         "test failure: " + name);
+    // Best-effort: a failed dump must not obscure the test failure itself.
+    (void)obs::Flight().DumpToFile(std::string(dir) + "/" + name +
+                                   ".flightrec.json");
+  }
+};
+
+inline bool RegisterFlightRecorderOnFailure() {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightRecorderOnFailure);
+  return true;
+}
+
+// One registration per process, performed at static-init time of the first
+// translation unit that includes this header.
+inline const bool kFlightRecorderListenerRegistered =
+    RegisterFlightRecorderOnFailure();
+
+}  // namespace diesel::testutil
