@@ -136,9 +136,15 @@ struct DipShape {
 /// crash goes down in the FaultInjector at `event_at` but reaches the
 /// membership table only `detect` later — the unplanned-loss detection
 /// window a planned drain never pays.
+/// When `view_out` is non-null it receives the epoch's cluster utilization
+/// view (deltaed against the registry state at epoch start). Sections also
+/// refresh the derived cluster.*.util gauges once per virtual millisecond so
+/// the timeline buckets carry per-node utilization curves across the churn
+/// event.
 EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
                   Nanos detect, Nanos window, const dlt::DatasetSpec& spec,
-                  const std::string& section = "") {
+                  const std::string& section = "",
+                  obs::ClusterView* view_out = nullptr) {
   constexpr size_t kNodes = 8;
   constexpr size_t kClientsPerNode = 2;
 
@@ -222,6 +228,9 @@ EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
     }
   }
 
+  obs::MetricsSnapshot util_base = obs::Metrics().Snapshot();
+  Nanos next_util = section.empty() ? ~Nanos{0} : Millis(1);
+
   EpochRun run;
   Rng rng(5);
   std::vector<uint32_t> order(snap.num_files());
@@ -251,6 +260,10 @@ EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
     }
     const core::FileMeta& fm = snap.files()[order[cursor++]];
     auto r = cache.GetFile(clocks[next], clients[next]->endpoint(), fm);
+    if (clocks[next].now() >= next_util) {
+      bench::ExportClusterUtil(clocks[next].now(), &util_base);
+      next_util = clocks[next].now() + Millis(1);
+    }
     if (!section.empty()) bench::TimelineTick(clocks[next].now());
     if (!r.ok()) {
       ++run.failed_reads;
@@ -262,6 +275,11 @@ EpochRun RunEpoch(ChurnKind kind, Nanos event_at, Nanos drain_grace,
   }
   while (next_event < events.size()) events[next_event++].fire();
   for (const auto& c : clocks) run.epoch_end = std::max(run.epoch_end, c.now());
+  if (view_out != nullptr) {
+    *view_out = bench::ExportClusterUtil(run.epoch_end, &util_base);
+  } else if (!section.empty()) {
+    bench::ExportClusterUtil(run.epoch_end, &util_base);
+  }
   if (!section.empty()) bench::CloseTimeline(section, run.epoch_end);
   dep.fabric().set_fault_injector(nullptr);
   return run;
@@ -346,12 +364,15 @@ void Run() {
   Nanos event_at = static_cast<Nanos>(clean.epoch_end * 2 / 5);
   Nanos grace = std::max<Nanos>(Millis(1), clean.epoch_end / 20);
   Nanos detect = std::max<Nanos>(Millis(1), clean.epoch_end / 10);
-  clean = RunEpoch(ChurnKind::kNone, 0, 0, 0, window, spec, "clean");
+  obs::ClusterView clean_view;
+  obs::ClusterView crash_view;
+  clean = RunEpoch(ChurnKind::kNone, 0, 0, 0, window, spec, "clean",
+                   &clean_view);
   EpochRun drain =
       RunEpoch(ChurnKind::kDrain, event_at, grace, 0, window, spec, "drain");
   EpochRun crash =
       RunEpoch(ChurnKind::kCrash, event_at, grace, detect, window, spec,
-               "crash");
+               "crash", &crash_view);
   DipShape ddip = AnalyzeDip(drain, event_at, window);
   DipShape cdip = AnalyzeDip(crash, event_at, window);
 
@@ -391,6 +412,14 @@ void Run() {
   bench::Info("crash_dip_duration_s", "s", cdip.duration_s);
   bench::Info("drain_dip_depth", "frac", ddip.depth);
   bench::Info("crash_dip_depth", "frac", cdip.depth);
+  // Per-node utilization skew: the clean epoch sets the balanced reference;
+  // the crash epoch shows how far the re-own traffic tilts the survivors.
+  bench::MetricImbalance("cluster.imbalance.clean", clean_view);
+  bench::MetricImbalance("cluster.imbalance.crash", crash_view);
+  std::printf("\nClean-epoch cluster utilization:\n%s",
+              clean_view.Render(6).c_str());
+  std::printf("\nCrash-epoch cluster utilization:\n%s",
+              crash_view.Render(6).c_str());
   bench::AddVirtualTime(clean.epoch_end + drain.epoch_end + crash.epoch_end);
 
   std::printf("\nA join moves ~1/(N+1) of the chunks (consistent hashing); "

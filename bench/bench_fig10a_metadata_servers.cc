@@ -3,11 +3,13 @@
 // servers the server service loop saturates early; with more servers the
 // curve climbs until the KV tier's ~1M QPS ceiling.
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/deployment.h"
 #include "dlt/dataset_gen.h"
+#include "obs/hotspot.h"
 
 namespace diesel {
 namespace {
@@ -17,7 +19,7 @@ constexpr size_t kOpsPerThread = 150;
 constexpr size_t kMaxNodes = 10;
 
 double MeasureQps(size_t num_servers, size_t client_nodes,
-                  const dlt::DatasetSpec& spec) {
+                  const dlt::DatasetSpec& spec, Nanos* end_out = nullptr) {
   core::DeploymentOptions opts;
   opts.num_client_nodes = kMaxNodes;
   opts.num_servers = num_servers;
@@ -60,6 +62,7 @@ double MeasureQps(size_t num_servers, size_t client_nodes,
     --remaining;
     end = std::max(end, clients[next]->clock().now());
   }
+  if (end_out != nullptr) *end_out = end;
   return static_cast<double>(num_clients * kOpsPerThread) / ToSeconds(end);
 }
 
@@ -88,6 +91,46 @@ void Run() {
   std::printf(
       "\nPaper shape: 1 server flattens from ~2 client nodes; 3 servers from "
       "~7 nodes; 5 servers approach the KV ceiling (~0.97M QPS).\n");
+
+  // Dedicated hotspot profile, run last on a clean registry so the report's
+  // embedded telemetry reflects exactly this pass: 1 server under the full
+  // client fleet is well past the saturation knee, and `dlcmd hotspots` on
+  // the report must rank the metadata-server service device top. The sweep
+  // above accumulated counters across 30 deployments whose virtual clocks
+  // all restarted at zero; without the reset those overlapping busy windows
+  // make the derived utilizations meaningless.
+  obs::Metrics().ResetAll();
+  Nanos window = 0;
+  double qps = MeasureQps(1, kMaxNodes, spec, &window);
+  bench::Info("hotspot.profile.qps", "qps", qps);
+  obs::ClusterView view = bench::ExportClusterUtil(window);
+  bench::MetricImbalance("cluster.imbalance", view);
+  obs::HotspotReport hotspots =
+      obs::HotspotReport::Build(view, obs::Metrics().Snapshot());
+  std::printf("\nHotspot profile (1 server, %zu client nodes, past knee):\n%s",
+              kMaxNodes, hotspots.Render(8).c_str());
+  // Past the knee the metadata server must be the top hotspot: its NIC and
+  // service loop trade places depending on calibration, but the charged
+  // node is the server's either way.
+  core::DeploymentOptions layout;
+  layout.num_client_nodes = kMaxNodes;
+  std::string server_node =
+      "n" + std::to_string(kMaxNodes + 1 + layout.num_kv_nodes);
+  if (hotspots.entries().empty()) std::abort();
+  const obs::HotspotEntry& top = hotspots.entries().front();
+  if (top.resource.node != server_node) {
+    std::fprintf(stderr,
+                 "FAIL: expected a metadata-server (%s) device as top "
+                 "hotspot, got '%s' on %s\n",
+                 server_node.c_str(), top.resource.name.c_str(),
+                 top.resource.node.c_str());
+    std::abort();
+  }
+  if (view.imbalance().max_node != server_node) {
+    std::fprintf(stderr, "FAIL: hottest node %s is not the server %s\n",
+                 view.imbalance().max_node.c_str(), server_node.c_str());
+    std::abort();
+  }
 }
 
 }  // namespace

@@ -26,7 +26,11 @@ struct Row {
   double lustre_mb = 0, lustre_files = 0;
 };
 
-Row Measure(uint64_t file_size, size_t num_files) {
+/// When non-null, `api_view` receives the per-node utilization view of the
+/// DIESEL-API variant (deltaed against the registry state at its start, so
+/// earlier configurations don't bleed in).
+Row Measure(uint64_t file_size, size_t num_files,
+            obs::ClusterView* api_view = nullptr) {
   Row row;
   dlt::DatasetSpec spec;
   spec.name = "f12";
@@ -53,6 +57,7 @@ Row Measure(uint64_t file_size, size_t num_files) {
 
     for (bool fuse : {false, true}) {
       dep.ResetDevices();  // independent virtual-time run per variant
+      obs::MetricsSnapshot base = obs::Metrics().Snapshot();
       Rng rng(41);
       // Single-chunk groups: with a scaled-down dataset this keeps enough
       // groups that all 160 reader threads have work.
@@ -91,6 +96,9 @@ Row Measure(uint64_t file_size, size_t num_files) {
       Nanos end = 0;
       for (auto& c : clocks) end = std::max(end, c.now());
       double secs = ToSeconds(end);
+      if (!fuse && api_view != nullptr) {
+        *api_view = bench::ExportClusterUtil(end, &base);
+      }
       if (fuse) {
         row.diesel_fuse_mb = static_cast<double>(bytes) / 1e6 / secs;
         row.diesel_fuse_files = static_cast<double>(files) / secs;
@@ -145,7 +153,8 @@ void Run() {
   };
   for (const Cfg& cfg : {Cfg{"4KB", 4096, 160000},
                          Cfg{"128KB", 128 * 1024, 8000}}) {
-    Row row = Measure(cfg.size, cfg.files);
+    obs::ClusterView api_view;
+    Row row = Measure(cfg.size, cfg.files, &api_view);
     table.AddRow({cfg.label, "DIESEL-API", bench::Fmt("%.1f", row.diesel_api_mb),
                   bench::FmtCount(row.diesel_api_files),
                   bench::Fmt("%.1fx", row.diesel_api_mb / row.lustre_mb)});
@@ -164,6 +173,9 @@ void Run() {
                   obs::Direction::kHigherIsBetter);
     bench::Metric("files_per_s.api." + tag, "files/s", row.diesel_api_files,
                   obs::Direction::kHigherIsBetter);
+    bench::MetricImbalance("cluster.imbalance.api." + tag, api_view);
+    std::printf("\nDIESEL-API %s cluster utilization:\n%s", cfg.label,
+                api_view.Render(6).c_str());
   }
   table.Print();
   std::printf("\nPaper: 4KB -> Lustre 60.2MB/s vs DIESEL-API 4317MB/s (71.7x)"

@@ -17,6 +17,7 @@
 
 #include "common/json.h"
 #include "common/units.h"
+#include "obs/cluster_view.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/timeline.h"
@@ -251,6 +252,36 @@ inline void AddEpochPhases(std::string label, int64_t epoch, int64_t fetch_ns,
 
 /// Accumulate simulated virtual time covered by the bench (informational).
 inline void AddVirtualTime(Nanos ns) { detail::g_report.virtual_ns += ns; }
+
+/// Derive the cluster utilization view from the current registry (deltaed
+/// against `base` when non-null) over `window_ns` of virtual time, and
+/// publish the derived gauges (sim.device.util / net.link.util /
+/// cluster.node.util / cluster.imbalance.*) so they land in the report's
+/// embedded registry for `dlcmd util` / `dlcmd hotspots` and the SLO gate.
+inline obs::ClusterView ExportClusterUtil(Nanos window_ns,
+                                          const obs::MetricsSnapshot* base =
+                                              nullptr) {
+  obs::ClusterView view =
+      obs::ClusterView::Compute(obs::Metrics().Snapshot(), base, window_ns);
+  view.ExportGauges();
+  return view;
+}
+
+/// Record the standard gated skew rows from a computed view under
+/// `prefix` (e.g. "cluster.imbalance"). Ratios are gated tightly — the
+/// virtual-time workload is deterministic, so drift means a real change in
+/// load distribution — while max utilization gates downward-is-better.
+inline void MetricImbalance(const std::string& prefix,
+                            const obs::ClusterView& view,
+                            double tolerance = 0.02) {
+  const obs::ImbalanceStats& s = view.imbalance();
+  Metric(prefix + ".max_util", "util", s.max_util,
+         obs::Direction::kLowerIsBetter, tolerance);
+  Metric(prefix + ".max_over_median", "x", s.max_over_median,
+         obs::Direction::kLowerIsBetter, tolerance);
+  Metric(prefix + ".cv", "ratio", s.cv, obs::Direction::kLowerIsBetter,
+         tolerance);
+}
 
 // ---------------------------------------------------------------------------
 // Timeline sections.

@@ -9,6 +9,10 @@ Deployment::Deployment(DeploymentOptions options) : options_(options) {
                        options_.num_servers + 1;  // +1: etcd node
   cluster_ = std::make_unique<sim::Cluster>(total_nodes);
   fabric_ = std::make_unique<net::Fabric>(*cluster_);
+  // Per-node NIC/membus telemetry is cheap at bench scale but would mint
+  // thousands of series on a 512-node rescale fleet; cap it. Service devices
+  // (servers, KV shards, stores) are few and always bound.
+  if (total_nodes <= kMaxNodesForDeviceMetrics) cluster_->BindDeviceMetrics();
 
   kv::KvClusterOptions kv_opts;
   for (size_t i = 0; i < options_.num_kv_nodes; ++i) {

@@ -38,6 +38,11 @@ struct DeploymentOptions {
 
 class Deployment {
  public:
+  /// Fleets at or below this size get per-node NIC/membus metrics bound
+  /// automatically; larger fleets keep only service-device telemetry so the
+  /// registry and timeline dumps stay bounded.
+  static constexpr size_t kMaxNodesForDeviceMetrics = 64;
+
   explicit Deployment(DeploymentOptions options);
 
   sim::Cluster& cluster() { return *cluster_; }

@@ -35,7 +35,9 @@ std::string ChunkObjectPrefix(std::string_view dataset) {
 DieselServer::DieselServer(net::Fabric& fabric, kv::KvCluster& kvstore,
                            ostore::ObjectStore& store, ServerOptions options)
     : fabric_(fabric), meta_(kvstore, options.node), store_(store),
-      options_(options), service_(ServerServiceSpec(options.node)) {}
+      options_(options), service_(ServerServiceSpec(options.node)) {
+  service_.BindMetrics("n" + std::to_string(options_.node));
+}
 
 Nanos DieselServer::IngestChunkAt(Nanos arrival, const std::string& dataset,
                                   BytesView chunk, Status& out_status) {

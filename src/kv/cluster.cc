@@ -53,6 +53,7 @@ KvCluster::KvCluster(net::Fabric& fabric, KvClusterOptions options)
     for (uint32_t j = 0; j < options_.shards_per_node; ++j) {
       shards_.push_back(std::make_unique<Shard>(
           id, sim::RedisShardSpec("kv-shard" + std::to_string(id))));
+      shards_.back()->service().BindMetrics("n" + std::to_string(node));
       shard_node_.push_back(node);
       ring_.AddMember(id);
       ++id;

@@ -92,6 +92,14 @@ Fabric::LinkMetrics& Fabric::LinkMetricsFor(sim::NodeId src, sim::NodeId dst) {
     lm.batch_calls = &reg.GetCounter("net.batch.calls", link);
     lm.batch_subrequests = &reg.GetCounter("net.batch.subrequests", link);
     lm.batch_size = &reg.GetHistogram("net.batch.size", link);
+    obs::Labels scoped = link;
+    scoped.emplace_back("node", "n" + std::to_string(src));
+    lm.busy_ns = &reg.GetCounter("net.link.busy_ns", scoped);
+    lm.queue_wait_ns = &reg.GetHistogram("net.link.queue_wait_ns", scoped);
+    lm.channels = &reg.GetGauge("net.link.channels", scoped);
+    lm.channels->Set(
+        static_cast<double>(cluster_.node(src).nic().spec().channels +
+                            cluster_.node(dst).nic().spec().channels));
     it = link_metrics_.emplace(key, lm).first;
   }
   return it->second;
@@ -210,14 +218,26 @@ Status Fabric::CallImpl(sim::VirtualClock& clock, sim::NodeId src,
   // `subs`, when non-null, receives each sub-request's serve completion time.
   auto leg = [&](sim::SimNode& node, Nanos at, uint64_t bytes,
                  std::vector<Nanos>* subs = nullptr) -> Nanos {
-    if (k == 1) return node.nic().Serve(at, bytes, setup);
+    sim::ServeStats st;
+    if (k == 1) {
+      Nanos end = node.nic().Serve(at, bytes, setup, &st);
+      link.busy_ns->Inc(static_cast<uint64_t>(st.service));
+      link.queue_wait_ns->Observe(static_cast<double>(st.queue_wait));
+      return end;
+    }
     uint64_t per = bytes / k;
-    Nanos t = node.nic().Serve(at, per + bytes % k, sim::kRpcCpuOverhead);
+    Nanos t = node.nic().Serve(at, per + bytes % k, sim::kRpcCpuOverhead, &st);
+    Nanos leg_busy = st.service;
+    // The link queued only until the first sub-request started streaming;
+    // later pieces chain off earlier completions by construction.
+    link.queue_wait_ns->Observe(static_cast<double>(st.queue_wait));
     if (subs != nullptr) subs->push_back(t);
     for (size_t i = 1; i < k; ++i) {
-      t = node.nic().Serve(t, per, sim::kRpcBatchSubRequestCost);
+      t = node.nic().Serve(t, per, sim::kRpcBatchSubRequestCost, &st);
+      leg_busy += st.service;
       if (subs != nullptr) subs->push_back(t);
     }
+    link.busy_ns->Inc(static_cast<uint64_t>(leg_busy));
     return t;
   };
 
@@ -290,10 +310,14 @@ Status Fabric::Send(sim::VirtualClock& clock, sim::NodeId src, sim::NodeId dst,
 
   sim::SimNode& s = cluster_.node(src);
   sim::SimNode& d = cluster_.node(dst);
-  Nanos t = s.nic().Serve(clock.now(), bytes, sim::kRpcCpuOverhead);
+  sim::ServeStats st;
+  Nanos t = s.nic().Serve(clock.now(), bytes, sim::kRpcCpuOverhead, &st);
+  link.busy_ns->Inc(static_cast<uint64_t>(st.service));
+  link.queue_wait_ns->Observe(static_cast<double>(st.queue_wait));
   clock.AdvanceTo(t);  // sender is free once bytes are on the wire
   t += wire_latency_ + spike;
-  t = d.nic().Serve(t, bytes, sim::kRpcCpuOverhead);
+  t = d.nic().Serve(t, bytes, sim::kRpcCpuOverhead, &st);
+  link.busy_ns->Inc(static_cast<uint64_t>(st.service));
   deliver(t);
   return Status::Ok();
 }

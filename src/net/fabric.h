@@ -135,6 +135,17 @@ class Fabric {
     obs::Counter* batch_calls;        // net.batch.calls
     obs::Counter* batch_subrequests;  // net.batch.subrequests
     obs::Histo* batch_size;           // net.batch.size
+    // Link occupancy telemetry: every NIC leg of this link's exchanges adds
+    // its service time to busy_ns and its queue wait to queue_wait_ns, so
+    // obs::ClusterView can derive net.link.util. Because the legs run on
+    // both endpoints' multi-channel NICs, the link's parallel capacity is
+    // published as a channels gauge (2 x NIC channels) and the view divides
+    // busy time by it — without that, a moderately loaded link clamps to
+    // 100% and out-ranks genuinely saturated devices in hotspot reports.
+    // Labeled with node=n<src> so link load rolls up to the sending node.
+    obs::Counter* busy_ns;       // net.link.busy_ns
+    obs::Histo* queue_wait_ns;   // net.link.queue_wait_ns
+    obs::Gauge* channels;        // net.link.channels
   };
 
   /// Injector gate shared by Call/Send: fires due flap teardowns, refuses

@@ -1,0 +1,315 @@
+#include "obs/cluster_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace diesel::obs {
+namespace {
+
+constexpr const char* kDeviceBusyPrefix = "sim.device.busy_ns{";
+constexpr const char* kLinkBusyPrefix = "net.link.busy_ns{";
+
+/// Re-key "sim.device.busy_ns{...}" to a sibling series with the same label
+/// block ("sim.device.ops{...}").
+std::string Sibling(const std::string& key, const char* prefix,
+                    const std::string& sibling_name) {
+  return sibling_name + key.substr(std::string(prefix).size() - 1);
+}
+
+/// Natural sort for node labels: "n2" before "n10".
+bool NodeLess(const std::string& a, const std::string& b) {
+  if (a.size() > 1 && b.size() > 1 && a[0] == 'n' && b[0] == 'n') {
+    char* ea = nullptr;
+    char* eb = nullptr;
+    long na = std::strtol(a.c_str() + 1, &ea, 10);
+    long nb = std::strtol(b.c_str() + 1, &eb, 10);
+    if (*ea == '\0' && *eb == '\0') return na < nb;
+  }
+  return a < b;
+}
+
+}  // namespace
+
+ParsedKey ParseMetricKey(const std::string& key) {
+  ParsedKey out;
+  size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    out.name = key;
+    return out;
+  }
+  out.name = key.substr(0, brace);
+  size_t pos = brace + 1;
+  size_t end = key.rfind('}');
+  if (end == std::string::npos || end < pos) end = key.size();
+  while (pos < end) {
+    size_t comma = key.find(',', pos);
+    if (comma == std::string::npos || comma > end) comma = end;
+    size_t eq = key.find('=', pos);
+    if (eq != std::string::npos && eq < comma) {
+      out.labels.emplace(key.substr(pos, eq - pos),
+                         key.substr(eq + 1, comma - eq - 1));
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Nanos ClusterView::InferWindow(const MetricsSnapshot& snap) {
+  double max_end = 0.0;
+  double min_start = -1.0;
+  for (const auto& [key, value] : snap.gauges) {
+    if (key.rfind("sim.device.busy_end_ns", 0) == 0) {
+      max_end = std::max(max_end, value);
+    } else if (key.rfind("sim.device.busy_start_ns", 0) == 0) {
+      if (min_start < 0.0 || value < min_start) min_start = value;
+    }
+  }
+  if (min_start < 0.0) min_start = 0.0;
+  if (max_end <= min_start) return 0;
+  return static_cast<Nanos>(max_end - min_start);
+}
+
+ClusterView ClusterView::Compute(const MetricsSnapshot& current,
+                                 const MetricsSnapshot* base,
+                                 Nanos window_ns) {
+  MetricsSnapshot delta = base ? current.DeltaSince(*base) : current;
+  if (window_ns == 0) window_ns = InferWindow(current);
+
+  std::map<std::string, double> counters;
+  for (const auto& [k, v] : delta.counters) {
+    counters[k] = static_cast<double>(v);
+  }
+  std::map<std::string, double> gauges = current.gauges;  // absolute values
+  std::map<std::string, HistoStat> histos;
+  for (const auto& [k, h] : delta.histograms) {
+    histos[k] = {static_cast<double>(h.count()), h.Mean()};
+  }
+  return Build(counters, gauges, histos, window_ns);
+}
+
+Result<ClusterView> ClusterView::FromRegistryJson(const JsonValue& registry,
+                                                  Nanos window_ns) {
+  if (!registry.is_object()) {
+    return Status::InvalidArgument("registry JSON is not an object");
+  }
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistoStat> histos;
+  if (const JsonValue* c = registry.Find("counters"); c && c->is_object()) {
+    for (const auto& [key, value] : c->object()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("counter '" + key + "' is not numeric");
+      }
+      counters[key] = value.number_value();
+    }
+  }
+  if (const JsonValue* g = registry.Find("gauges"); g && g->is_object()) {
+    for (const auto& [key, value] : g->object()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("gauge '" + key + "' is not numeric");
+      }
+      gauges[key] = value.number_value();
+    }
+  }
+  if (const JsonValue* h = registry.Find("histograms"); h && h->is_object()) {
+    for (const auto& [key, value] : h->object()) {
+      if (!value.is_object()) {
+        return Status::InvalidArgument("histogram '" + key +
+                                       "' is not a summary object");
+      }
+      histos[key] = {value.GetNumber("count", 0.0),
+                     value.GetNumber("mean", 0.0)};
+    }
+  }
+  if (window_ns == 0) {
+    double max_end = 0.0;
+    double min_start = -1.0;
+    for (const auto& [key, value] : gauges) {
+      if (key.rfind("sim.device.busy_end_ns", 0) == 0) {
+        max_end = std::max(max_end, value);
+      } else if (key.rfind("sim.device.busy_start_ns", 0) == 0) {
+        if (min_start < 0.0 || value < min_start) min_start = value;
+      }
+    }
+    if (min_start < 0.0) min_start = 0.0;
+    if (max_end > min_start) {
+      window_ns = static_cast<Nanos>(max_end - min_start);
+    }
+  }
+  return Build(counters, gauges, histos, window_ns);
+}
+
+ClusterView ClusterView::Build(const std::map<std::string, double>& counters,
+                               const std::map<std::string, double>& gauges,
+                               const std::map<std::string, HistoStat>& histos,
+                               Nanos window_ns) {
+  ClusterView view;
+  view.window_ns_ = window_ns;
+  const double window = static_cast<double>(window_ns);
+
+  auto gauge_or = [&](const std::string& key, double fallback) {
+    auto it = gauges.find(key);
+    return it == gauges.end() ? fallback : it->second;
+  };
+  auto counter_or = [&](const std::string& key, double fallback) {
+    auto it = counters.find(key);
+    return it == counters.end() ? fallback : it->second;
+  };
+  auto histo_or = [&](const std::string& key) {
+    auto it = histos.find(key);
+    return it == histos.end() ? HistoStat{} : it->second;
+  };
+
+  for (const auto& [key, busy] : counters) {
+    const bool is_device = key.rfind(kDeviceBusyPrefix, 0) == 0;
+    const bool is_link = !is_device && key.rfind(kLinkBusyPrefix, 0) == 0;
+    if (!is_device && !is_link) continue;
+    ParsedKey parsed = ParseMetricKey(key);
+    const char* prefix = is_device ? kDeviceBusyPrefix : kLinkBusyPrefix;
+
+    ResourceUtil r;
+    r.kind = is_device ? "device" : "link";
+    auto name_it = parsed.labels.find(is_device ? "device" : "link");
+    r.name = name_it == parsed.labels.end() ? "?" : name_it->second;
+    auto node_it = parsed.labels.find("node");
+    if (node_it != parsed.labels.end()) r.node = node_it->second;
+    r.busy_ns = busy;
+    r.channels = std::max(
+        1.0, gauge_or(Sibling(key, prefix,
+                              is_device ? "sim.device.channels"
+                                        : "net.link.channels"),
+                      1.0));
+    HistoStat qw = histo_or(Sibling(
+        key, prefix,
+        is_device ? "sim.device.queue_wait_ns" : "net.link.queue_wait_ns"));
+    r.mean_queue_wait_ns = qw.mean;
+    if (is_device) {
+      r.ops = counter_or(Sibling(key, prefix, "sim.device.ops"), 0.0);
+      r.mean_service_ns =
+          histo_or(Sibling(key, prefix, "sim.device.service_ns")).mean;
+    } else {
+      r.ops = qw.count;  // one queue-wait observation per exchange
+      r.mean_service_ns = r.ops > 0.0 ? busy / r.ops : 0.0;
+    }
+    if (window > 0.0) r.raw_util = busy / (r.channels * window);
+    r.util = std::clamp(r.raw_util, 0.0, 1.0);
+    view.resources_.push_back(std::move(r));
+  }
+
+  std::stable_sort(view.resources_.begin(), view.resources_.end(),
+                   [](const ResourceUtil& a, const ResourceUtil& b) {
+                     return a.util > b.util;
+                   });
+
+  // resources_ is sorted busiest-first, so the first resource seen for a
+  // node is its bottleneck.
+  std::map<std::string, NodeUtil> by_node;
+  for (const ResourceUtil& r : view.resources_) {
+    if (r.node.empty()) continue;
+    NodeUtil& n = by_node[r.node];
+    n.node = r.node;
+    n.sum_busy_ns += r.busy_ns;
+    ++n.resources;
+    if (n.resources == 1) {
+      n.util = r.util;
+      n.max_resource = r.name;
+    }
+  }
+  for (auto& [node, n] : by_node) view.nodes_.push_back(n);
+  std::sort(view.nodes_.begin(), view.nodes_.end(),
+            [](const NodeUtil& a, const NodeUtil& b) {
+              return NodeLess(a.node, b.node);
+            });
+
+  if (!view.nodes_.empty()) {
+    std::vector<double> utils;
+    utils.reserve(view.nodes_.size());
+    double sum = 0.0;
+    for (const NodeUtil& n : view.nodes_) {
+      utils.push_back(n.util);
+      sum += n.util;
+      if (n.util >= view.imbalance_.max_util) {
+        view.imbalance_.max_util = n.util;
+        view.imbalance_.max_node = n.node;
+      }
+    }
+    std::sort(utils.begin(), utils.end());
+    const size_t m = utils.size();
+    view.imbalance_.nodes = m;
+    view.imbalance_.median_util =
+        (m % 2 == 1) ? utils[m / 2] : (utils[m / 2 - 1] + utils[m / 2]) / 2.0;
+    view.imbalance_.mean_util = sum / static_cast<double>(m);
+    double var = 0.0;
+    for (double u : utils) {
+      double d = u - view.imbalance_.mean_util;
+      var += d * d;
+    }
+    var /= static_cast<double>(m);
+    if (view.imbalance_.mean_util > 0.0) {
+      view.imbalance_.cv = std::sqrt(var) / view.imbalance_.mean_util;
+    }
+    if (view.imbalance_.median_util > 0.0) {
+      view.imbalance_.max_over_median =
+          view.imbalance_.max_util / view.imbalance_.median_util;
+    }
+  }
+  return view;
+}
+
+void ClusterView::ExportGauges() const {
+  MetricsRegistry& reg = Metrics();
+  for (const ResourceUtil& r : resources_) {
+    Labels labels;
+    labels.emplace_back(r.kind == "device" ? "device" : "link", r.name);
+    if (!r.node.empty()) labels.emplace_back("node", r.node);
+    reg.GetGauge(r.kind == "device" ? "sim.device.util" : "net.link.util",
+                 labels)
+        .Set(r.util);
+  }
+  for (const NodeUtil& n : nodes_) {
+    reg.GetGauge("cluster.node.util", {{"node", n.node}}).Set(n.util);
+  }
+  reg.GetGauge("cluster.imbalance.max_util").Set(imbalance_.max_util);
+  reg.GetGauge("cluster.imbalance.median_util").Set(imbalance_.median_util);
+  reg.GetGauge("cluster.imbalance.mean_util").Set(imbalance_.mean_util);
+  reg.GetGauge("cluster.imbalance.cv").Set(imbalance_.cv);
+  reg.GetGauge("cluster.imbalance.max_over_median")
+      .Set(imbalance_.max_over_median);
+  reg.GetGauge("cluster.imbalance.nodes")
+      .Set(static_cast<double>(imbalance_.nodes));
+}
+
+std::string ClusterView::Render(size_t top_n) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "window: %.3f ms over %zu resources, %zu nodes\n",
+                static_cast<double>(window_ns_) / 1e6, resources_.size(),
+                nodes_.size());
+  out += line;
+  std::snprintf(line, sizeof(line), "%-28s %-6s %-6s %7s %10s %12s %12s\n",
+                "resource", "node", "kind", "util", "ops", "q-wait(us)",
+                "service(us)");
+  out += line;
+  size_t shown = 0;
+  for (const ResourceUtil& r : resources_) {
+    if (top_n > 0 && shown >= top_n) break;
+    std::snprintf(line, sizeof(line), "%-28s %-6s %-6s %6.1f%% %10.0f %12.1f %12.1f\n",
+                  r.name.c_str(), r.node.c_str(), r.kind.c_str(),
+                  r.util * 100.0, r.ops, r.mean_queue_wait_ns / 1e3,
+                  r.mean_service_ns / 1e3);
+    out += line;
+    ++shown;
+  }
+  std::snprintf(line, sizeof(line),
+                "imbalance: max %.1f%% on %s, median %.1f%%, "
+                "max/median %.2f, cv %.2f\n",
+                imbalance_.max_util * 100.0, imbalance_.max_node.c_str(),
+                imbalance_.median_util * 100.0, imbalance_.max_over_median,
+                imbalance_.cv);
+  out += line;
+  return out;
+}
+
+}  // namespace diesel::obs

@@ -1,0 +1,124 @@
+// Node-scoped resource rollup over the metrics registry.
+//
+// Bound sim::Devices and net::Fabric links publish busy-time counters and
+// queue-wait/service histograms under the systematic `node=` label
+// convention ("n<id>"). ClusterView reads those series — from a live
+// MetricsSnapshot (optionally deltaed against a window base) or from the
+// registry JSON embedded in a bench report — and derives, per resource,
+// utilization in [0,1]:
+//
+//   device: util = busy_ns / (channels * window)
+//   link:   util = busy_ns / window          (serialized occupancy)
+//
+// then rolls resources up per node (a node is as hot as its busiest
+// resource) and computes cluster-wide skew statistics (max/median ratio,
+// coefficient of variation) exported as cluster.imbalance.* gauges. These
+// feed obs::HotspotReport, `dlcmd util`, timeline sampling, and the
+// bench-report gated rows.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace diesel::obs {
+
+/// One device or link with derived utilization.
+struct ResourceUtil {
+  std::string name;   // device name or "nA->nB" link
+  std::string node;   // "n<id>" owning/charged node; "" when unlabeled
+  std::string kind;   // "device" | "link"
+  double util = 0.0;      // clamped to [0, 1]
+  double raw_util = 0.0;  // pre-clamp value (can exceed 1 transiently when
+                          // backfilled work extends past the window edge)
+  double busy_ns = 0.0;
+  double channels = 1.0;
+  double ops = 0.0;
+  double mean_queue_wait_ns = 0.0;
+  double mean_service_ns = 0.0;
+};
+
+/// Per-node rollup: a node is as hot as its busiest resource.
+struct NodeUtil {
+  std::string node;
+  double util = 0.0;          // max over the node's resources
+  std::string max_resource;   // name of the resource setting the max
+  double sum_busy_ns = 0.0;
+  size_t resources = 0;
+};
+
+/// Cluster-wide skew statistics over per-node utilization.
+struct ImbalanceStats {
+  double max_util = 0.0;
+  double median_util = 0.0;
+  double mean_util = 0.0;
+  double cv = 0.0;               // stddev / mean (0 when mean == 0)
+  double max_over_median = 0.0;  // 0 when median == 0
+  std::string max_node;
+  size_t nodes = 0;
+};
+
+/// Split a registry key "name{k=v,...}" into name + label map. Keys without
+/// a label block parse to an empty map.
+struct ParsedKey {
+  std::string name;
+  std::map<std::string, std::string> labels;
+};
+ParsedKey ParseMetricKey(const std::string& key);
+
+class ClusterView {
+ public:
+  /// Derive the view from a live snapshot. Counters/histograms are deltaed
+  /// against `base` when non-null (windowed view); gauges (channel counts)
+  /// are always read from `current`. `window_ns == 0` infers the window from
+  /// the busy_start/busy_end gauges.
+  static ClusterView Compute(const MetricsSnapshot& current,
+                             const MetricsSnapshot* base, Nanos window_ns);
+
+  /// Derive the view from a bench report's embedded registry JSON (counters
+  /// are numbers, histograms are {count,sum,mean,...} summaries).
+  static Result<ClusterView> FromRegistryJson(const JsonValue& registry,
+                                              Nanos window_ns);
+
+  /// Widest busy window over bound devices: max(busy_end) - min(busy_start).
+  /// Returns 0 when no device gauges are present.
+  static Nanos InferWindow(const MetricsSnapshot& snap);
+
+  /// Resources sorted by utilization, busiest first.
+  const std::vector<ResourceUtil>& resources() const { return resources_; }
+  /// Nodes sorted by node id ("n0", "n1", ...).
+  const std::vector<NodeUtil>& nodes() const { return nodes_; }
+  const ImbalanceStats& imbalance() const { return imbalance_; }
+  Nanos window_ns() const { return window_ns_; }
+
+  /// Publish derived gauges into the process registry:
+  ///   sim.device.util{device,node}, net.link.util{link,node},
+  ///   cluster.node.util{node}, cluster.imbalance.{max_util,median_util,
+  ///   mean_util,cv,max_over_median,nodes}.
+  void ExportGauges() const;
+
+  /// Human-readable utilization table (what `dlcmd util` prints).
+  std::string Render(size_t top_n = 0) const;
+
+ private:
+  struct HistoStat {
+    double count = 0.0;
+    double mean = 0.0;
+  };
+  static ClusterView Build(const std::map<std::string, double>& counters,
+                           const std::map<std::string, double>& gauges,
+                           const std::map<std::string, HistoStat>& histos,
+                           Nanos window_ns);
+
+  std::vector<ResourceUtil> resources_;
+  std::vector<NodeUtil> nodes_;
+  ImbalanceStats imbalance_;
+  Nanos window_ns_ = 0;
+};
+
+}  // namespace diesel::obs

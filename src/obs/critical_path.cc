@@ -1,0 +1,140 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace diesel::obs {
+namespace {
+
+struct Tree {
+  std::unordered_map<uint64_t, const Span*> by_id;
+  std::unordered_map<uint64_t, std::vector<const Span*>> children;
+};
+
+/// Walk the tree under `s` over the window [t0, t1], appending critical
+/// segments in reverse time order. At each level the last-finishing child
+/// within the window is on the path; the stretch between the chosen child's
+/// end and the current cursor is the parent's own work.
+void WalkCritical(const Tree& tree, const Span* s, Nanos t0, Nanos t1,
+                  size_t depth, std::vector<CritSegment>* out) {
+  if (t1 <= t0) return;
+  auto it = tree.children.find(s->id);
+  Nanos cursor = t1;
+  if (it != tree.children.end()) {
+    // Children sorted by end descending; repeatedly take the latest-ending
+    // child that fits below the cursor.
+    std::vector<const Span*> kids = it->second;
+    std::sort(kids.begin(), kids.end(), [](const Span* a, const Span* b) {
+      if (a->end != b->end) return a->end > b->end;
+      return a->id > b->id;
+    });
+    for (const Span* c : kids) {
+      if (cursor <= t0) break;
+      Nanos c_end = std::min(c->end, cursor);
+      Nanos c_start = std::max(c->start, t0);
+      if (c_end <= c_start || c_end <= t0) continue;
+      if (c->start >= cursor) continue;  // fully above the cursor: off-path
+      if (c_end < cursor) {
+        // Gap no child covers: the parent itself is the bottleneck there.
+        out->push_back({s->id, s->name, s->node, c_end, cursor, depth});
+      }
+      WalkCritical(tree, c, c_start, c_end, depth + 1, out);
+      cursor = c_start;
+    }
+  }
+  if (cursor > t0) {
+    out->push_back({s->id, s->name, s->node, t0, cursor, depth});
+  }
+}
+
+}  // namespace
+
+CriticalPath CriticalPath::Analyze(const std::vector<Span>& spans,
+                                   uint64_t root_id) {
+  CriticalPath cp;
+  Tree tree;
+  for (const Span& s : spans) {
+    tree.by_id.emplace(s.id, &s);
+    if (s.parent != kNoSpan) tree.children[s.parent].push_back(&s);
+  }
+  const Span* root = nullptr;
+  if (root_id != kNoSpan) {
+    auto it = tree.by_id.find(root_id);
+    if (it != tree.by_id.end()) root = it->second;
+  } else {
+    for (const Span& s : spans) {
+      if (s.parent != kNoSpan) continue;
+      if (root == nullptr || (s.end - s.start) > (root->end - root->start)) {
+        root = &s;
+      }
+    }
+  }
+  if (root == nullptr || root->end <= root->start) return cp;
+
+  cp.root_ = root->id;
+  cp.total_ = root->end - root->start;
+  WalkCritical(tree, root, root->start, root->end, 0, &cp.segments_);
+  std::reverse(cp.segments_.begin(), cp.segments_.end());
+
+  for (const Span& s : spans) {
+    if (s.parent == kNoSpan) continue;
+    auto it = tree.by_id.find(s.parent);
+    if (it == tree.by_id.end()) continue;
+    Nanos parent_end = it->second->end;
+    cp.slack_[s.id] = parent_end > s.end ? parent_end - s.end : 0;
+  }
+  return cp;
+}
+
+std::vector<std::pair<std::string, Nanos>> CriticalPath::Attribution() const {
+  std::map<std::string, Nanos> by_name;
+  for (const CritSegment& seg : segments_) {
+    by_name[seg.name] += seg.duration();
+  }
+  std::vector<std::pair<std::string, Nanos>> out(by_name.begin(),
+                                                 by_name.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string CriticalPath::Render(size_t max_segments) const {
+  std::string out;
+  char line[256];
+  if (!valid()) return "critical path: no completed root span\n";
+  std::snprintf(line, sizeof(line),
+                "critical path: span %llu, %.3f ms over %zu segments\n",
+                static_cast<unsigned long long>(root_),
+                static_cast<double>(total_) / 1e6, segments_.size());
+  out += line;
+  size_t shown = 0;
+  for (const CritSegment& seg : segments_) {
+    if (max_segments > 0 && shown >= max_segments) break;
+    std::snprintf(line, sizeof(line), "  %10.3f..%10.3f us  %*s%s\n",
+                  static_cast<double>(seg.start) / 1e3,
+                  static_cast<double>(seg.end) / 1e3,
+                  static_cast<int>(seg.depth * 2), "", seg.name.c_str());
+    out += line;
+    ++shown;
+  }
+  if (max_segments > 0 && segments_.size() > max_segments) {
+    std::snprintf(line, sizeof(line), "  ... %zu more segments\n",
+                  segments_.size() - max_segments);
+    out += line;
+  }
+  out += "attribution (path time by span name):\n";
+  for (const auto& [name, ns] : Attribution()) {
+    std::snprintf(line, sizeof(line), "  %10.3f us  %5.1f%%  %s\n",
+                  static_cast<double>(ns) / 1e3,
+                  100.0 * static_cast<double>(ns) /
+                      static_cast<double>(total_),
+                  name.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace diesel::obs

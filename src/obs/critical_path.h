@@ -1,0 +1,72 @@
+// Span-tree critical-path analyzer.
+//
+// Given a completed span tree, finds the chain of spans that actually
+// determines the root's end time — at every level, the last-finishing child
+// is on the path; gaps no child covers are the parent's own work — and
+// computes per-span slack: how much a span could lengthen before it pushes
+// its parent's completion (slack 0 means "on the critical chain of its
+// parent"). Path segments are attributed to the resource named by the span
+// ("rpc:node0->node15" -> that link, "server.read_chunk" -> the server
+// service device), so the longest path through an epoch reads as an ordered
+// list of resource charges (`dlcmd critpath`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/trace.h"
+
+namespace diesel::obs {
+
+/// One stretch of the critical path, attributed to a span (and through the
+/// span's name, to a resource).
+struct CritSegment {
+  uint64_t span_id = kNoSpan;
+  std::string name;
+  uint32_t node = kNoNode;
+  Nanos start = 0;
+  Nanos end = 0;
+  size_t depth = 0;  // tree depth of the owning span (root = 0)
+
+  Nanos duration() const { return end - start; }
+};
+
+class CriticalPath {
+ public:
+  /// Analyze the tree under `root_id`; `root_id == kNoSpan` picks the
+  /// longest-duration root span in the tracer.
+  static CriticalPath Analyze(const std::vector<Span>& spans,
+                              uint64_t root_id = kNoSpan);
+  static CriticalPath Analyze(const Tracer& tracer,
+                              uint64_t root_id = kNoSpan) {
+    return Analyze(tracer.spans(), root_id);
+  }
+
+  bool valid() const { return root_ != kNoSpan; }
+  uint64_t root() const { return root_; }
+  Nanos total() const { return total_; }
+
+  /// Path segments ordered by start time; their durations sum to total().
+  const std::vector<CritSegment>& segments() const { return segments_; }
+
+  /// Per-span slack: max(0, parent_end - span_end) — how much the span can
+  /// stretch before it moves its parent's completion. Spans ending exactly
+  /// when their parent ends (the critical chain) have slack 0.
+  const std::map<uint64_t, Nanos>& slack() const { return slack_; }
+
+  /// Path time grouped by span name (resource attribution), largest first.
+  std::vector<std::pair<std::string, Nanos>> Attribution() const;
+
+  std::string Render(size_t max_segments = 0) const;
+
+ private:
+  uint64_t root_ = kNoSpan;
+  Nanos total_ = 0;
+  std::vector<CritSegment> segments_;
+  std::map<uint64_t, Nanos> slack_;
+};
+
+}  // namespace diesel::obs

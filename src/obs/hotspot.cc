@@ -1,0 +1,239 @@
+#include "obs/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace diesel::obs {
+namespace {
+
+double HistoSum(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? 0.0 : it->second.sum();
+}
+
+double JsonHistoSum(const JsonValue& registry, const std::string& name) {
+  const JsonValue* hists = registry.Find("histograms");
+  if (hists == nullptr) return 0.0;
+  const JsonValue* h = hists->Find(name);
+  return h == nullptr ? 0.0 : h->GetNumber("sum", 0.0);
+}
+
+}  // namespace
+
+HotspotReport HotspotReport::Build(const ClusterView& view,
+                                   const MetricsSnapshot& snap) {
+  PhaseTotals phases;
+  phases.total_ns = HistoSum(snap, "read.path.total_ns");
+  phases.owner_wait_ns = HistoSum(snap, "read.path.owner_wait_ns");
+  phases.device_ns = HistoSum(snap, "read.path.device_ns");
+  phases.rpc_ns = HistoSum(snap, "read.path.rpc_ns");
+  return BuildImpl(view, phases);
+}
+
+Result<HotspotReport> HotspotReport::FromRegistryJson(
+    const ClusterView& view, const JsonValue& registry) {
+  if (!registry.is_object()) {
+    return Status::InvalidArgument("registry JSON is not an object");
+  }
+  PhaseTotals phases;
+  phases.total_ns = JsonHistoSum(registry, "read.path.total_ns");
+  phases.owner_wait_ns = JsonHistoSum(registry, "read.path.owner_wait_ns");
+  phases.device_ns = JsonHistoSum(registry, "read.path.device_ns");
+  phases.rpc_ns = JsonHistoSum(registry, "read.path.rpc_ns");
+  return BuildImpl(view, phases);
+}
+
+HotspotReport HotspotReport::BuildImpl(const ClusterView& view,
+                                       PhaseTotals phases) {
+  HotspotReport report;
+  report.phases_ = phases;
+  report.imbalance_ = view.imbalance();
+  for (const ResourceUtil& r : view.resources()) {
+    HotspotEntry e;
+    e.resource = r;
+    e.total_queue_wait_ns = r.ops * r.mean_queue_wait_ns;
+    if (r.util < 1.0) {
+      e.expected_wait_ns = r.util / (1.0 - r.util) * r.mean_service_ns;
+      if (e.expected_wait_ns > 0.0) {
+        e.wait_ratio = r.mean_queue_wait_ns / e.expected_wait_ns;
+      }
+    }
+    report.entries_.push_back(std::move(e));
+  }
+  std::stable_sort(report.entries_.begin(), report.entries_.end(),
+                   [](const HotspotEntry& a, const HotspotEntry& b) {
+                     if (a.resource.util != b.resource.util) {
+                       return a.resource.util > b.resource.util;
+                     }
+                     return a.total_queue_wait_ns > b.total_queue_wait_ns;
+                   });
+  return report;
+}
+
+std::string HotspotReport::Render(size_t top_n) const {
+  std::string out;
+  char line[256];
+  if (phases_.total_ns > 0.0) {
+    auto pct = [&](double v) { return 100.0 * v / phases_.total_ns; };
+    std::snprintf(line, sizeof(line),
+                  "read path: total %.3f ms — owner_wait %.1f%%, "
+                  "device %.1f%%, rpc %.1f%%\n",
+                  phases_.total_ns / 1e6, pct(phases_.owner_wait_ns),
+                  pct(phases_.device_ns), pct(phases_.rpc_ns));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-28s %-6s %7s %14s %12s %9s\n",
+                "hotspot", "node", "util", "q-wait total(ms)",
+                "M/M/1 wait(us)", "obs/exp");
+  out += line;
+  size_t shown = 0;
+  for (const HotspotEntry& e : entries_) {
+    if (top_n > 0 && shown >= top_n) break;
+    std::snprintf(line, sizeof(line),
+                  "%-28s %-6s %6.1f%% %14.3f %12.1f %9.2f\n",
+                  e.resource.name.c_str(), e.resource.node.c_str(),
+                  e.resource.util * 100.0, e.total_queue_wait_ns / 1e6,
+                  e.expected_wait_ns / 1e3, e.wait_ratio);
+    out += line;
+    ++shown;
+  }
+  std::snprintf(line, sizeof(line),
+                "imbalance: max %.1f%% on %s, max/median %.2f, cv %.2f\n",
+                imbalance_.max_util * 100.0, imbalance_.max_node.c_str(),
+                imbalance_.max_over_median, imbalance_.cv);
+  out += line;
+  return out;
+}
+
+namespace {
+
+struct ResourceArgs {
+  std::string path;
+  Nanos window_ns = 0;
+  size_t top_n = 0;
+};
+
+int ParseResourceArgs(const char* cmd, const std::vector<std::string>& args,
+                      ResourceArgs* out, std::ostream& err) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--window" || a == "--top") {
+      if (i + 1 >= args.size()) {
+        err << cmd << ": " << a << " needs a value\n";
+        return 2;
+      }
+      if (a == "--window") {
+        out->window_ns = static_cast<Nanos>(std::stoll(args[++i]));
+      } else {
+        out->top_n = std::stoul(args[++i]);
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      err << cmd << ": unknown flag " << a << "\n";
+      return 2;
+    } else if (out->path.empty()) {
+      out->path = a;
+    } else {
+      err << cmd << ": unexpected argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (out->path.empty()) {
+    err << "usage: " << cmd << " <report.json> [--window ns] [--top N]\n";
+    return 2;
+  }
+  return 0;
+}
+
+/// Accepts either a bench report (registry under "registry") or a bare
+/// registry dump (counters/gauges/histograms at top level).
+Result<JsonValue> LoadRegistryDoc(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = JsonValue::Parse(buf.str());
+  if (!doc.ok()) return doc.status();
+  if (const JsonValue* reg = doc.value().Find("registry");
+      reg != nullptr && reg->is_object()) {
+    return *reg;
+  }
+  if (doc.value().Find("counters") != nullptr) return std::move(doc).value();
+  return Status::InvalidArgument(path +
+                                 ": neither a bench report with an embedded "
+                                 "registry nor a registry dump");
+}
+
+/// CI contract: every derived utilization must be a finite value in [0,1].
+Status ValidateUtil(const ClusterView& view) {
+  for (const ResourceUtil& r : view.resources()) {
+    if (!std::isfinite(r.util) || r.util < 0.0 || r.util > 1.0) {
+      return Status::Internal("utilization out of range for " + r.name +
+                              ": " + std::to_string(r.util));
+    }
+  }
+  for (const NodeUtil& n : view.nodes()) {
+    if (!std::isfinite(n.util) || n.util < 0.0 || n.util > 1.0) {
+      return Status::Internal("node utilization out of range for " + n.node +
+                              ": " + std::to_string(n.util));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ClusterView> ViewFromArgs(const ResourceArgs& ra, JsonValue* registry) {
+  auto doc = LoadRegistryDoc(ra.path);
+  if (!doc.ok()) return doc.status();
+  *registry = std::move(doc).value();
+  auto view = ClusterView::FromRegistryJson(*registry, ra.window_ns);
+  if (!view.ok()) return view.status();
+  if (view.value().resources().empty()) {
+    return Status::NotFound(ra.path +
+                            ": no sim.device.*/net.link.* series — was the "
+                            "workload run with device metrics bound?");
+  }
+  DIESEL_RETURN_IF_ERROR(ValidateUtil(view.value()));
+  return view;
+}
+
+}  // namespace
+
+int UtilCommand(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ResourceArgs ra;
+  if (int rc = ParseResourceArgs("util", args, &ra, err); rc != 0) return rc;
+  JsonValue registry;
+  auto view = ViewFromArgs(ra, &registry);
+  if (!view.ok()) {
+    err << "util: " << view.status().ToString() << "\n";
+    return 1;
+  }
+  out << view.value().Render(ra.top_n);
+  return 0;
+}
+
+int HotspotsCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  ResourceArgs ra;
+  if (int rc = ParseResourceArgs("hotspots", args, &ra, err); rc != 0) {
+    return rc;
+  }
+  JsonValue registry;
+  auto view = ViewFromArgs(ra, &registry);
+  if (!view.ok()) {
+    err << "hotspots: " << view.status().ToString() << "\n";
+    return 1;
+  }
+  auto report = HotspotReport::FromRegistryJson(view.value(), registry);
+  if (!report.ok()) {
+    err << "hotspots: " << report.status().ToString() << "\n";
+    return 1;
+  }
+  out << report.value().Render(ra.top_n == 0 ? 10 : ra.top_n);
+  return 0;
+}
+
+}  // namespace diesel::obs

@@ -1,0 +1,89 @@
+// Hotspot ranking with queueing-delay attribution.
+//
+// Takes an obs::ClusterView plus the read-path phase histograms
+// (read.path.{owner_wait,device,rpc}_ns) and ranks resources by utilization
+// and by how much queueing delay they contribute, with a Little's-law
+// cross-check per resource:
+//
+//   expected_wait = util / (1 - util) * mean_service     (M/M/1-style)
+//
+// A resource whose observed mean queue wait tracks the expected value is a
+// genuine saturation hotspot; a large observed wait with low utilization
+// points at bursty arrivals instead. The report also apportions the
+// end-to-end read phases to resource kinds so "where did the epoch's time
+// go" and "which box is hot" land in one view (`dlcmd hotspots`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/cluster_view.h"
+
+namespace diesel::obs {
+
+struct HotspotEntry {
+  ResourceUtil resource;
+  double total_queue_wait_ns = 0.0;  // ops * mean wait: delay contributed
+  double expected_wait_ns = 0.0;     // Little's-law prediction (0 if util>=1)
+  double wait_ratio = 0.0;           // observed / expected (0 if undefined)
+};
+
+/// End-to-end read-path phase totals (sums over the phase histograms).
+struct PhaseTotals {
+  double total_ns = 0.0;
+  double owner_wait_ns = 0.0;
+  double device_ns = 0.0;
+  double rpc_ns = 0.0;
+};
+
+class HotspotReport {
+ public:
+  /// Build from a computed view plus the registry the view came from (for
+  /// the read.path.* phase sums). Either frontend of ClusterView works; pass
+  /// the matching snapshot/JSON.
+  static HotspotReport Build(const ClusterView& view,
+                             const MetricsSnapshot& snap);
+  static Result<HotspotReport> FromRegistryJson(const ClusterView& view,
+                                                const JsonValue& registry);
+
+  /// Entries ranked by utilization (busiest first), queue-wait contribution
+  /// breaking ties.
+  const std::vector<HotspotEntry>& entries() const { return entries_; }
+  const PhaseTotals& phases() const { return phases_; }
+  const ImbalanceStats& imbalance() const { return imbalance_; }
+
+  /// The top-ranked resource ("" when the view is empty).
+  std::string top_resource() const {
+    return entries_.empty() ? "" : entries_.front().resource.name;
+  }
+
+  std::string Render(size_t top_n = 10) const;
+
+ private:
+  static HotspotReport BuildImpl(const ClusterView& view, PhaseTotals phases);
+
+  std::vector<HotspotEntry> entries_;
+  PhaseTotals phases_;
+  ImbalanceStats imbalance_;
+};
+
+/// `dlcmd util` entry point:
+///   util <report.json> [--window ns] [--top N]
+/// Loads a bench report (or bare registry dump), derives per-resource and
+/// per-node utilization, prints the table. Exits non-zero on parse errors or
+/// any non-finite / out-of-[0,1] utilization value — the CI hotspot-smoke
+/// contract.
+int UtilCommand(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+/// `dlcmd hotspots` entry point:
+///   hotspots <report.json> [--window ns] [--top N]
+/// Same input; prints the hotspot ranking with queueing-delay attribution
+/// and the read-path phase split. Same exit contract as `util`.
+int HotspotsCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace diesel::obs

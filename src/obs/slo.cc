@@ -24,6 +24,7 @@ std::string FmtValue(double v) {
 Result<SloSource> ParseSource(const std::string& s) {
   if (s == "metric") return SloSource::kMetric;
   if (s == "counter") return SloSource::kCounter;
+  if (s == "gauge") return SloSource::kGauge;
   if (s == "histogram_quantile") return SloSource::kHistogramQuantile;
   if (s == "stall_fraction") return SloSource::kStallFraction;
   if (s == "timeline_burn") return SloSource::kTimelineBurn;
@@ -46,9 +47,10 @@ double SignalValue(const JsonValue& holder, SloSource source,
                    const std::string& key, const std::string& qfield,
                    bool* found) {
   *found = false;
-  if (source == SloSource::kCounter) {
-    const JsonValue* counters = holder.Find("counters");
-    const JsonValue* v = counters ? counters->Find(key) : nullptr;
+  if (source == SloSource::kCounter || source == SloSource::kGauge) {
+    const JsonValue* section =
+        holder.Find(source == SloSource::kCounter ? "counters" : "gauges");
+    const JsonValue* v = section ? section->Find(key) : nullptr;
     if (v == nullptr || !v->is_number()) return 0.0;
     *found = true;
     return v->number_value();
@@ -173,6 +175,7 @@ SloResult EvaluateRunLevel(
       break;
     }
     case SloSource::kCounter:
+    case SloSource::kGauge:
     case SloSource::kHistogramQuantile: {
       if (report->registry.is_null()) {
         r.detail = "report has no embedded registry";
@@ -274,9 +277,11 @@ Result<std::vector<SloSpec>> ParseSloSpecs(const JsonValue& doc) {
       if (!signal.ok()) return signal.status();
       spec.signal = signal.value();
       if (spec.signal != SloSource::kCounter &&
+          spec.signal != SloSource::kGauge &&
           spec.signal != SloSource::kHistogramQuantile) {
         return Status::InvalidArgument(
-            "slo: signal must be counter or histogram_quantile: " + spec.name);
+            "slo: signal must be counter, gauge or histogram_quantile: " +
+            spec.name);
       }
       spec.error_budget = s.GetNumber("error_budget", 0.1);
       spec.window_buckets =
@@ -494,6 +499,13 @@ int TimelineCommand(const std::vector<std::string>& args, std::ostream& out,
                    : 0;
     out << "section " << label << ": " << n << " buckets x "
         << s.GetNumber("bucket_ns", 0) / 1e6 << "ms\n";
+    double dropped = s.GetNumber("dropped", 0);
+    if (dropped > 0) {
+      out << "  WARNING: section '" << label << "' dropped "
+          << FmtValue(dropped)
+          << " ticks past capacity — curves below are TRUNCATED and later "
+             "buckets are missing\n";
+    }
     if (n == 0) continue;
     if (key.empty()) {
       // No key chosen: list the counters seen in this section with totals.

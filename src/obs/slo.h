@@ -27,6 +27,7 @@ namespace diesel::obs {
 enum class SloSource {
   kMetric,             // gated bench metric by name
   kCounter,            // registry counter by full key (labels included)
+  kGauge,              // registry gauge by full key (e.g. cluster.node.util)
   kHistogramQuantile,  // registry histogram quantile (0.5 / 0.9 / 0.99)
   kStallFraction,      // sum(fetch_ns)/sum(total_ns) of one epoch arm
   kTimelineBurn,       // burn rate over timeline windows (see SloSpec)
@@ -44,7 +45,7 @@ struct SloSpec {
   // kTimelineBurn only: which section, which per-bucket signal, and the
   // burn-rate contract.
   std::string section;
-  SloSource signal = SloSource::kCounter;  // kCounter or kHistogramQuantile
+  SloSource signal = SloSource::kCounter;  // kCounter/kGauge/kHistogramQuantile
   double error_budget = 0.1;   // allowed violating-bucket fraction per window
   size_t window_buckets = 8;   // sliding window width
   double max_burn_rate = 1.0;  // fail when any window burns faster

@@ -28,7 +28,11 @@ class ModeledStore : public ObjectStore {
                ObjectStore* backing)
       : fabric_(fabric), storage_node_(storage_node),
         device_(std::move(device_spec)), write_device_(std::move(write_spec)),
-        backing_(backing) {}
+        backing_(backing) {
+    const std::string node = "n" + std::to_string(storage_node_);
+    device_.BindMetrics(node);
+    write_device_.BindMetrics(node);
+  }
 
   sim::Device& device() { return device_; }
   sim::Device& write_device() { return write_device_; }

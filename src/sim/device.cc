@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace diesel::sim {
 
 Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {
@@ -20,9 +22,40 @@ Nanos Device::ServiceTime(uint64_t bytes) const {
   return spec_.latency + transfer;
 }
 
-Nanos Device::Serve(Nanos now, uint64_t bytes) { return Serve(now, bytes, 0); }
+Nanos Device::Serve(Nanos now, uint64_t bytes) {
+  return Serve(now, bytes, 0, nullptr);
+}
 
 Nanos Device::Serve(Nanos now, uint64_t bytes, Nanos extra) {
+  return Serve(now, bytes, extra, nullptr);
+}
+
+void Device::BindMetrics(const std::string& node) {
+  obs::MetricsRegistry& reg = obs::Metrics();
+  obs::Labels labels{{"device", spec_.name}, {"node", node}};
+  Metrics m;
+  m.queue_wait_ns = &reg.GetHistogram("sim.device.queue_wait_ns", labels);
+  m.service_ns = &reg.GetHistogram("sim.device.service_ns", labels);
+  m.busy_ns = &reg.GetCounter("sim.device.busy_ns", labels);
+  m.ops = &reg.GetCounter("sim.device.ops", labels);
+  m.bytes = &reg.GetCounter("sim.device.bytes", labels);
+  m.intervals_collapsed =
+      &reg.GetCounter("sim.device.intervals_collapsed", labels);
+  m.channels = &reg.GetGauge("sim.device.channels", labels);
+  m.busy_start_ns = &reg.GetGauge("sim.device.busy_start_ns", labels);
+  m.busy_end_ns = &reg.GetGauge("sim.device.busy_end_ns", labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = m;
+  metrics_.channels->Set(static_cast<double>(spec_.channels));
+  bound_ = true;
+}
+
+bool Device::metrics_bound() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bound_;
+}
+
+Nanos Device::Serve(Nanos now, uint64_t bytes, Nanos extra, ServeStats* out) {
   Nanos service = ServiceTime(bytes) + extra;
   if (service == 0) service = 1;  // occupy a measurable instant
   std::lock_guard<std::mutex> lock(mutex_);
@@ -41,12 +74,34 @@ Nanos Device::Serve(Nanos now, uint64_t bytes, Nanos extra) {
       best_channel = c;
     }
   }
-  Insert(channels_[best_channel], best_start, best_start + service);
+  size_t collapsed =
+      Insert(channels_[best_channel], best_start, best_start + service);
+  intervals_collapsed_ += collapsed;
 
   ++ops_;
   bytes_ += bytes;
   busy_ += service;
-  return best_start + service;
+  Nanos done = best_start + service;
+  if (!seen_start_ || best_start < first_start_) first_start_ = best_start;
+  seen_start_ = true;
+  last_end_ = std::max(last_end_, done);
+  if (out != nullptr) {
+    out->start = best_start;
+    out->done = done;
+    out->queue_wait = best_start - now;
+    out->service = service;
+  }
+  if (bound_) {
+    metrics_.queue_wait_ns->Observe(static_cast<double>(best_start - now));
+    metrics_.service_ns->Observe(static_cast<double>(service));
+    metrics_.busy_ns->Inc(static_cast<uint64_t>(service));
+    metrics_.ops->Inc();
+    metrics_.bytes->Inc(bytes);
+    if (collapsed > 0) metrics_.intervals_collapsed->Inc(collapsed);
+    metrics_.busy_start_ns->Set(static_cast<double>(first_start_));
+    metrics_.busy_end_ns->Set(static_cast<double>(last_end_));
+  }
+  return done;
 }
 
 Nanos Device::EarliestFit(const Channel& ch, Nanos now, Nanos dur) {
@@ -58,7 +113,7 @@ Nanos Device::EarliestFit(const Channel& ch, Nanos now, Nanos dur) {
   return candidate;
 }
 
-void Device::Insert(Channel& ch, Nanos start, Nanos end) {
+size_t Device::Insert(Channel& ch, Nanos start, Nanos end) {
   auto it = std::lower_bound(
       ch.busy.begin(), ch.busy.end(), start,
       [](const Interval& iv, Nanos s) { return iv.start < s; });
@@ -79,11 +134,14 @@ void Device::Insert(Channel& ch, Nanos start, Nanos end) {
   }
   // Bound memory: collapse the oldest gap when the list grows long. This is
   // conservative (pretends the gap was busy) but only affects requests that
-  // arrive more than kMaxIntervals ops in the past.
+  // arrive more than kMaxIntervals ops in the past. Reported so skewed
+  // backfill accounting is visible instead of silent.
   if (ch.busy.size() > kMaxIntervals) {
     ch.busy[1].start = ch.busy[0].start;
     ch.busy.erase(ch.busy.begin());
+    return 1;
   }
+  return 0;
 }
 
 uint64_t Device::ops_served() const {
@@ -101,12 +159,21 @@ Nanos Device::busy_time() const {
   return busy_;
 }
 
+uint64_t Device::intervals_collapsed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return intervals_collapsed_;
+}
+
 void Device::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& ch : channels_) ch.busy.clear();
   ops_ = 0;
   bytes_ = 0;
   busy_ = 0;
+  intervals_collapsed_ = 0;
+  seen_start_ = false;
+  first_start_ = 0;
+  last_end_ = 0;
 }
 
 }  // namespace diesel::sim

@@ -33,6 +33,14 @@ class SimNode {
   Device& nic() { return nic_; }
   Device& membus() { return membus_; }
 
+  /// Attach this node's shared devices to the metrics registry under the
+  /// cluster-wide node label convention "n<id>".
+  void BindDeviceMetrics() {
+    const std::string node = "n" + std::to_string(id_);
+    nic_.BindMetrics(node);
+    membus_.BindMetrics(node);
+  }
+
   bool up() const { return up_.load(std::memory_order_acquire); }
   void set_up(bool up) { up_.store(up, std::memory_order_release); }
 
@@ -67,6 +75,13 @@ class Cluster {
       n->nic().Reset();
       n->membus().Reset();
     }
+  }
+
+  /// Bind every node's NIC and memory bus into the metrics registry. Opt-in
+  /// because a 512-node fleet would mint ~9 series per device; callers gate
+  /// on fleet size (see core::Deployment).
+  void BindDeviceMetrics() {
+    for (auto& n : nodes_) n->BindDeviceMetrics();
   }
 
  private:

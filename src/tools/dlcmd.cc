@@ -15,11 +15,14 @@
 //   dlcmd --root DIR stats <dataset>
 //   dlcmd --root DIR trace <dataset> <diesel-path>
 //   dlcmd --root DIR tail <dataset>
+//   dlcmd --root DIR critpath <dataset>
 //   dlcmd --root DIR prefetch <dataset> [group-size] [nodes] [seed]
 //   dlcmd perf merge <dir> [-o out.json] [--strip-registry]
 //   dlcmd perf diff <baseline.json> <current.json> [--tol X] [--allow-missing]
 //   dlcmd slo <report-dir> [--slo spec.json] [-v]
 //   dlcmd timeline <file.timeline.json> [--section S] [--key K]
+//   dlcmd util <report.json> [--window ns] [--top N]
+//   dlcmd hotspots <report.json> [--window ns] [--top N]
 //   dlcmd membership <nodes> [target] [chunks] [seed]
 //
 // `stats` runs a small metadata workload (recover + list) and prints the
@@ -35,11 +38,16 @@
 // committed baseline (non-zero exit on regression). `slo` (root-less)
 // evaluates the declarative objectives in bench/slo.json against a
 // directory of reports + timelines and exits non-zero on breach;
-// `timeline` pretty-prints a `diesel.timeline/v1` dump. `membership`
-// (also root-less) inspects the elastic-membership ring: ownership balance
-// at <nodes> members, the chunk-move fraction of a planned rescale to
-// [target] members versus the consistent-hashing ideal, and a seeded churn
-// replay with the resulting epoch log.
+// `timeline` pretty-prints a `diesel.timeline/v1` dump. `util` and
+// `hotspots` (root-less) read the registry embedded in a bench report and
+// derive per-resource/per-node utilization, skew statistics, and the
+// hotspot ranking with Little's-law queueing attribution; `critpath`
+// (root-based) runs a cached read workload under the tracer and prints the
+// longest resource-attributed path through the slowest GetFile.
+// `membership` (also root-less) inspects the elastic-membership ring:
+// ownership balance at <nodes> members, the chunk-move fraction of a
+// planned rescale to [target] members versus the consistent-hashing ideal,
+// and a seeded churn replay with the resulting epoch log.
 //
 // The KV metadata tier is in-memory per invocation; `recover` rebuilds it
 // from the persisted self-contained chunks (which is also what every other
@@ -63,6 +71,8 @@
 #include "membership/churn.h"
 #include "membership/membership.h"
 #include "net/fabric.h"
+#include "obs/critical_path.h"
+#include "obs/hotspot.h"
 #include "obs/metrics.h"
 #include "obs/perf_diff.h"
 #include "obs/slo.h"
@@ -127,13 +137,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dlcmd --root DIR "
                "{put|put-tree|get|ls|stat|del|purge|save-meta|recover|"
-               "stats|trace|tail|prefetch} ...\n"
+               "stats|trace|tail|critpath|prefetch} ...\n"
                "       dlcmd --root DIR prefetch <dataset> "
                "[group-size] [nodes] [seed]\n"
                "       dlcmd perf {merge|diff} ...\n"
                "       dlcmd slo <report-dir> [--slo spec.json] [-v]\n"
                "       dlcmd timeline <file.timeline.json> "
                "[--section S] [--key K]\n"
+               "       dlcmd util <report.json> [--window ns] [--top N]\n"
+               "       dlcmd hotspots <report.json> [--window ns] [--top N]\n"
                "       dlcmd membership <nodes> [target] [chunks] [seed]\n"
                "stats prints the process-wide metrics registry; names are\n"
                "prefixed by subsystem: net.* (fabric RPCs), kv.* (metadata\n"
@@ -150,7 +162,14 @@ int Usage() {
                "device,parse,slice,backoff,degraded}_ns plus\n"
                "read.path.retries; tail observations carry span-id exemplars\n"
                "(see `tail`). timeline.samples / .buckets / .dropped count\n"
-               "Timeline sampler activity behind *.timeline.json dumps.\n");
+               "Timeline sampler activity behind *.timeline.json dumps.\n"
+               "resource telemetry: sim.device.{queue_wait_ns,service_ns,\n"
+               "busy_ns,ops,bytes,intervals_collapsed,util}{device=,node=}\n"
+               "per bound queueing device; net.link.{busy_ns,queue_wait_ns,\n"
+               "util}{link=,node=} per fabric link; cluster.node.util{node=}\n"
+               "and cluster.imbalance.{max_util,median_util,mean_util,cv,\n"
+               "max_over_median,nodes} are the obs::ClusterView rollup\n"
+               "(see `util` / `hotspots`).\n");
   return 2;
 }
 
@@ -284,6 +303,15 @@ int Main(int argc, char** argv) {
   }
   if (!args.empty() && args[0] == "timeline") {
     return obs::TimelineCommand({args.begin() + 1, args.end()}, std::cout,
+                                std::cerr);
+  }
+  // `util` / `hotspots` analyze the registry embedded in a bench report.
+  if (!args.empty() && args[0] == "util") {
+    return obs::UtilCommand({args.begin() + 1, args.end()}, std::cout,
+                            std::cerr);
+  }
+  if (!args.empty() && args[0] == "hotspots") {
+    return obs::HotspotsCommand({args.begin() + 1, args.end()}, std::cout,
                                 std::cerr);
   }
   if (args.size() < 3 || args[0] != "--root") return Usage();
@@ -495,6 +523,56 @@ int Main(int argc, char** argv) {
     std::printf("\nworst read (span %llu):\n",
                 static_cast<unsigned long long>(exemplars.front().trace_id));
     std::printf("%s", tracer.TreeDump(exemplars.front().trace_id).c_str());
+    return 0;
+  }
+
+  if (cmd == "critpath" && args.size() == 1) {
+    // Critical-path demo: run a cached read workload over the persisted
+    // dataset with the span tracer attached, then compute the longest
+    // resource-attributed path through the slowest GetFile — which spans
+    // actually determined its completion time, with per-resource totals.
+    obs::Tracer tracer;
+    cli.fabric.set_tracer(&tracer);
+    if (Status st = cli.Bootstrap(args[0]); !st.ok()) return fail(st);
+    core::ClientOptions copts;
+    copts.dataset = args[0];
+    copts.node = 0;
+    core::DieselClient c0(cli.fabric, {&cli.server}, copts);
+    copts.client_index = 1;
+    core::DieselClient c1(cli.fabric, {&cli.server}, copts);
+    if (Status st = c0.FetchSnapshot(); !st.ok()) return fail(st);
+    const core::MetadataSnapshot& snap = *c0.snapshot();
+    if (snap.num_files() == 0)
+      return fail(Status::NotFound("dataset has no files"));
+
+    cache::TaskRegistry registry;
+    registry.Register(c0.endpoint());
+    registry.Register(c1.endpoint());
+    cache::TaskCacheOptions tcopts;
+    tcopts.policy = cache::CachePolicy::kOneshot;
+    cache::TaskCache cache(cli.fabric, cli.server, snap, registry, tcopts);
+    cache.EstablishConnections();
+
+    sim::VirtualClock clk0, clk1;
+    for (uint32_t i = 0; i < snap.num_files(); ++i) {
+      const core::FileMeta& fm = snap.files()[i];
+      bool even = (i % 2) == 0;
+      auto r = cache.GetFile(even ? clk0 : clk1,
+                             even ? c0.endpoint() : c1.endpoint(), fm);
+      if (!r.ok()) return fail(r.status());
+    }
+    cli.fabric.set_tracer(nullptr);
+
+    obs::CriticalPath cp = obs::CriticalPath::Analyze(tracer);
+    if (!cp.valid())
+      return fail(Status::Internal("no completed root span to analyze"));
+    std::printf("%s", cp.Render(30).c_str());
+    size_t zero_slack = 0;
+    for (const auto& [id, slack] : cp.slack()) {
+      if (slack == 0) ++zero_slack;
+    }
+    std::printf("slack: %zu of %zu child spans are on their parent's "
+                "critical chain (slack 0)\n", zero_slack, cp.slack().size());
     return 0;
   }
 

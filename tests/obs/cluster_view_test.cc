@@ -1,0 +1,223 @@
+// ClusterView: metric-key parsing, utilization derivation from live
+// snapshots and report JSON, per-node rollup + imbalance statistics, gauge
+// export, and the Little's-law self-validation of the queueing telemetry
+// the view is built from.
+#include "obs/cluster_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "sim/clock.h"
+#include "sim/device.h"
+
+namespace diesel::obs {
+namespace {
+
+TEST(ParseMetricKeyTest, SplitsNameAndLabels) {
+  ParsedKey k = ParseMetricKey("sim.device.busy_ns{device=nic3,node=n3}");
+  EXPECT_EQ(k.name, "sim.device.busy_ns");
+  EXPECT_EQ(k.labels.at("device"), "nic3");
+  EXPECT_EQ(k.labels.at("node"), "n3");
+
+  ParsedKey bare = ParseMetricKey("cluster.imbalance.cv");
+  EXPECT_EQ(bare.name, "cluster.imbalance.cv");
+  EXPECT_TRUE(bare.labels.empty());
+}
+
+/// Drive a freshly bound device in a closed loop and return the view deltaed
+/// against `base` over the loop's makespan.
+ClusterView DriveAndView(sim::Device& d, const MetricsSnapshot& base,
+                         int workers, int ops) {
+  std::vector<sim::VirtualClock> clocks(workers);
+  Nanos end = 0;
+  for (int i = 0; i < ops; ++i) {
+    for (auto& c : clocks) {
+      c.AdvanceTo(d.Serve(c.now(), 0));
+      end = std::max(end, c.now());
+    }
+  }
+  return ClusterView::Compute(Metrics().Snapshot(), &base, end);
+}
+
+TEST(ClusterViewTest, SaturatedDeviceUtilNearOneAndClamped) {
+  sim::Device d({.name = "cv-sat", .channels = 2, .latency = 100,
+                 .bytes_per_sec = 0});
+  MetricsSnapshot base = Metrics().Snapshot();
+  d.BindMetrics("n1");
+  ClusterView view = DriveAndView(d, base, 8, 200);
+
+  const ResourceUtil* r = nullptr;
+  for (const auto& res : view.resources()) {
+    if (res.name == "cv-sat") r = &res;
+  }
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->node, "n1");
+  EXPECT_EQ(r->kind, "device");
+  EXPECT_EQ(r->channels, 2.0);
+  EXPECT_GE(r->util, 0.95);
+  EXPECT_LE(r->util, 1.0);
+  EXPECT_GT(r->mean_queue_wait_ns, 0.0);  // 8 workers on 2 channels queue
+  EXPECT_NEAR(r->mean_service_ns, 100.0, 1e-9);
+}
+
+TEST(ClusterViewTest, IdleDeviceUtilNearZero) {
+  sim::Device d({.name = "cv-idle", .channels = 4, .latency = 10,
+                 .bytes_per_sec = 0});
+  MetricsSnapshot base = Metrics().Snapshot();
+  d.BindMetrics("n2");
+  // One op every 10us on a device with 40ns/op capacity: essentially idle.
+  sim::VirtualClock c;
+  for (int i = 0; i < 100; ++i) {
+    d.Serve(static_cast<Nanos>(i) * 10000, 0);
+  }
+  ClusterView view =
+      ClusterView::Compute(Metrics().Snapshot(), &base, 100 * 10000);
+  for (const auto& r : view.resources()) {
+    if (r.name != "cv-idle") continue;
+    EXPECT_LT(r.util, 0.01);
+    EXPECT_EQ(r.mean_queue_wait_ns, 0.0);
+    return;
+  }
+  FAIL() << "cv-idle not found in view";
+}
+
+TEST(ClusterViewTest, NodeRollupAndImbalance) {
+  // Two nodes: n10 saturated, n11 half loaded. The rollup must pick each
+  // node's busiest resource and the skew stats must reflect the tilt.
+  sim::Device hot({.name = "cv-hot", .channels = 1, .latency = 100,
+                   .bytes_per_sec = 0});
+  sim::Device cool({.name = "cv-cool", .channels = 1, .latency = 100,
+                    .bytes_per_sec = 0});
+  MetricsSnapshot base = Metrics().Snapshot();
+  hot.BindMetrics("n10");
+  cool.BindMetrics("n11");
+  Nanos end = 0;
+  for (int i = 0; i < 1000; ++i) end = hot.Serve(end, 0);
+  // cool: one op per 200ns window -> ~50% util.
+  for (int i = 0; i < 500; ++i) cool.Serve(static_cast<Nanos>(i) * 200, 0);
+  ClusterView view = ClusterView::Compute(Metrics().Snapshot(), &base, end);
+
+  ASSERT_EQ(view.nodes().size(), 2u);
+  EXPECT_EQ(view.nodes()[0].node, "n10");
+  EXPECT_EQ(view.nodes()[0].max_resource, "cv-hot");
+  EXPECT_NEAR(view.nodes()[0].util, 1.0, 0.01);
+  EXPECT_EQ(view.nodes()[1].node, "n11");
+  EXPECT_NEAR(view.nodes()[1].util, 0.5, 0.01);
+
+  const ImbalanceStats& im = view.imbalance();
+  EXPECT_EQ(im.nodes, 2u);
+  EXPECT_EQ(im.max_node, "n10");
+  EXPECT_NEAR(im.max_util, 1.0, 0.01);
+  EXPECT_NEAR(im.median_util, 0.75, 0.01);
+  EXPECT_NEAR(im.max_over_median, 1.0 / 0.75, 0.02);
+  EXPECT_GT(im.cv, 0.0);
+}
+
+TEST(ClusterViewTest, ExportGaugesPublishesDerivedSeries) {
+  sim::Device d({.name = "cv-export", .channels = 1, .latency = 100,
+                 .bytes_per_sec = 0});
+  MetricsSnapshot base = Metrics().Snapshot();
+  d.BindMetrics("n20");
+  Nanos end = 0;
+  for (int i = 0; i < 100; ++i) end = d.Serve(end, 0);
+  ClusterView view = ClusterView::Compute(Metrics().Snapshot(), &base, end);
+  view.ExportGauges();
+  MetricsSnapshot cur = Metrics().Snapshot();
+  EXPECT_NEAR(cur.gauges.at("sim.device.util{device=cv-export,node=n20}"),
+              1.0, 0.01);
+  EXPECT_NEAR(cur.gauges.at("cluster.node.util{node=n20}"), 1.0, 0.01);
+  EXPECT_GT(cur.gauges.at("cluster.imbalance.max_util"), 0.0);
+  EXPECT_GE(cur.gauges.at("cluster.imbalance.nodes"), 1.0);
+}
+
+TEST(ClusterViewTest, FromRegistryJsonMatchesLiveDerivation) {
+  sim::Device d({.name = "cv-json", .channels = 2, .latency = 50,
+                 .bytes_per_sec = 0});
+  MetricsSnapshot base = Metrics().Snapshot();
+  d.BindMetrics("n30");
+  std::vector<sim::VirtualClock> clocks(4);
+  Nanos end = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (auto& c : clocks) {
+      c.AdvanceTo(d.Serve(c.now(), 0));
+      end = std::max(end, c.now());
+    }
+  }
+  // The JSON frontend reads the full registry (no delta), so compare against
+  // a live view computed the same way.
+  ClusterView live = ClusterView::Compute(Metrics().Snapshot(), nullptr, end);
+  auto doc = JsonValue::Parse(Metrics().Json());
+  ASSERT_TRUE(doc.ok());
+  auto json = ClusterView::FromRegistryJson(doc.value(), end);
+  ASSERT_TRUE(json.ok());
+
+  auto find = [](const ClusterView& v, const std::string& name) {
+    for (const auto& r : v.resources()) {
+      if (r.name == name) return r;
+    }
+    return ResourceUtil{};
+  };
+  ResourceUtil a = find(live, "cv-json");
+  ResourceUtil b = find(json.value(), "cv-json");
+  ASSERT_FALSE(a.name.empty());
+  ASSERT_FALSE(b.name.empty());
+  EXPECT_NEAR(a.util, b.util, 1e-9);
+  EXPECT_NEAR(a.mean_queue_wait_ns, b.mean_queue_wait_ns, 1e-6);
+  EXPECT_NEAR(a.mean_service_ns, b.mean_service_ns, 1e-6);
+}
+
+TEST(ClusterViewTest, FromRegistryJsonRejectsNonNumericCounter) {
+  auto doc = JsonValue::Parse(
+      R"({"counters":{"sim.device.busy_ns{device=x,node=n0}":"oops"}})");
+  ASSERT_TRUE(doc.ok());
+  auto view = ClusterView::FromRegistryJson(doc.value(), 1000);
+  EXPECT_FALSE(view.ok());
+}
+
+// Little's-law self-validation: drive an open-loop M/M/1-ish arrival process
+// (Poisson arrivals, exponential service via the extra-cost hook) through a
+// single-channel device and check the telemetry's mean queue wait against
+// Wq = rho / (1 - rho) * S. This validates that queue_wait and service are
+// measured consistently — a sign error or off-by-service bias in either
+// breaks the identity.
+TEST(ClusterViewTest, LittlesLawCrossCheck) {
+  constexpr double kMeanServiceNs = 1000.0;
+  constexpr double kRho = 0.6;
+  const double mean_interarrival = kMeanServiceNs / kRho;
+  sim::Device d({.name = "cv-mm1", .channels = 1, .latency = 0,
+                 .bytes_per_sec = 0});
+  MetricsSnapshot base = Metrics().Snapshot();
+  d.BindMetrics("n40");
+  Rng rng(2026);
+  auto exponential = [&](double mean) {
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    return static_cast<Nanos>(std::max(1.0, -std::log(u) * mean));
+  };
+  double t = 0.0;
+  Nanos end = 0;
+  constexpr int kOps = 200000;
+  for (int i = 0; i < kOps; ++i) {
+    t += static_cast<double>(exponential(mean_interarrival));
+    end = std::max(end, d.Serve(static_cast<Nanos>(t), 0,
+                                exponential(kMeanServiceNs)));
+  }
+  ClusterView view = ClusterView::Compute(Metrics().Snapshot(), &base, end);
+  const ResourceUtil* r = nullptr;
+  for (const auto& res : view.resources()) {
+    if (res.name == "cv-mm1") r = &res;
+  }
+  ASSERT_NE(r, nullptr);
+  const double rho = r->util;
+  EXPECT_NEAR(rho, kRho, 0.05);
+  const double expected_wait = rho / (1.0 - rho) * r->mean_service_ns;
+  // 10% band: finite-sample noise on 200k arrivals.
+  EXPECT_NEAR(r->mean_queue_wait_ns / expected_wait, 1.0, 0.10);
+}
+
+}  // namespace
+}  // namespace diesel::obs

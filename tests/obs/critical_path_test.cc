@@ -1,0 +1,152 @@
+// CriticalPath over hand-built span trees: path selection (last-finishing
+// child), parent-gap attribution, slack, and the resource attribution
+// rollup.
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace diesel::obs {
+namespace {
+
+TEST(CriticalPathTest, EmptyTracerIsInvalid) {
+  Tracer t;
+  CriticalPath cp = CriticalPath::Analyze(t);
+  EXPECT_FALSE(cp.valid());
+  EXPECT_EQ(cp.total(), 0u);
+  EXPECT_TRUE(cp.segments().empty());
+}
+
+TEST(CriticalPathTest, SingleSpanIsItsOwnPath) {
+  Tracer t;
+  uint64_t id = t.Begin("read", 100, 0, kNoSpan);
+  t.End(id, 400);
+  CriticalPath cp = CriticalPath::Analyze(t);
+  ASSERT_TRUE(cp.valid());
+  EXPECT_EQ(cp.root(), id);
+  EXPECT_EQ(cp.total(), 300u);
+  ASSERT_EQ(cp.segments().size(), 1u);
+  EXPECT_EQ(cp.segments()[0].name, "read");
+  EXPECT_EQ(cp.segments()[0].duration(), 300u);
+}
+
+TEST(CriticalPathTest, LastFinishingChildIsOnPathGapsChargeParent) {
+  // root [0, 1000]
+  //   fast [0, 200]            (overlapped by slow from 100: on-path only
+  //                             for its head [0, 100])
+  //   slow [100, 700]          (last finisher below 1000's tail)
+  // The tail [700, 1000] has no child covering it -> parent's own work. The
+  // stretch [0, 100) before slow starts is charged to fast, which was
+  // running then — a parent-charged gap only appears when no child is
+  // active.
+  Tracer t;
+  uint64_t root = t.Begin("epoch", 0, 0, kNoSpan);
+  uint64_t fast = t.Begin("rpc:a->b", 0, 0, root);
+  t.End(fast, 200);
+  uint64_t slow = t.Begin("device.read", 100, 0, root);
+  t.End(slow, 700);
+  t.End(root, 1000);
+
+  CriticalPath cp = CriticalPath::Analyze(t);
+  ASSERT_TRUE(cp.valid());
+  EXPECT_EQ(cp.total(), 1000u);
+
+  // Durations sum to the root's duration.
+  Nanos sum = 0;
+  for (const auto& s : cp.segments()) sum += s.duration();
+  EXPECT_EQ(sum, cp.total());
+
+  // Segments in start order: rpc:a->b [0,100], device.read [100,700],
+  // epoch [700,1000].
+  ASSERT_EQ(cp.segments().size(), 3u);
+  EXPECT_EQ(cp.segments()[0].name, "rpc:a->b");
+  EXPECT_EQ(cp.segments()[0].end, 100u);
+  EXPECT_EQ(cp.segments()[1].name, "device.read");
+  EXPECT_EQ(cp.segments()[1].start, 100u);
+  EXPECT_EQ(cp.segments()[1].end, 700u);
+  EXPECT_EQ(cp.segments()[2].name, "epoch");
+  EXPECT_EQ(cp.segments()[2].start, 700u);
+
+  // Slack: fast could stretch 800ns before moving root; slow is the last
+  // finisher but still ends 300 before the root.
+  EXPECT_EQ(cp.slack().at(fast), 800u);
+  EXPECT_EQ(cp.slack().at(slow), 300u);
+}
+
+TEST(CriticalPathTest, RecursesIntoNestedChildren) {
+  // root [0, 1000]
+  //   outer [0, 1000]
+  //     inner [400, 1000]
+  // Path: outer's own [0,400], then inner [400,1000].
+  Tracer t;
+  uint64_t root = t.Begin("epoch", 0, 0, kNoSpan);
+  uint64_t outer = t.Begin("cache.get", 0, 0, root);
+  uint64_t inner = t.Begin("rpc:n0->n1", 400, 0, outer);
+  t.End(inner, 1000);
+  t.End(outer, 1000);
+  t.End(root, 1000);
+
+  CriticalPath cp = CriticalPath::Analyze(t);
+  ASSERT_TRUE(cp.valid());
+  Nanos sum = 0;
+  bool saw_inner = false;
+  for (const auto& s : cp.segments()) {
+    sum += s.duration();
+    if (s.span_id == inner) {
+      saw_inner = true;
+      EXPECT_EQ(s.duration(), 600u);
+      EXPECT_EQ(s.depth, 2u);
+    }
+  }
+  EXPECT_EQ(sum, cp.total());
+  EXPECT_TRUE(saw_inner);
+  // Spans ending when their parent ends are on the critical chain: slack 0.
+  EXPECT_EQ(cp.slack().at(outer), 0u);
+  EXPECT_EQ(cp.slack().at(inner), 0u);
+}
+
+TEST(CriticalPathTest, AttributionGroupsByNameLargestFirst) {
+  Tracer t;
+  uint64_t root = t.Begin("epoch", 0, 0, kNoSpan);
+  uint64_t a = t.Begin("rpc:n0->n1", 0, 0, root);
+  t.End(a, 300);
+  uint64_t b = t.Begin("rpc:n0->n1", 300, 0, root);
+  t.End(b, 600);
+  uint64_t c = t.Begin("device.read", 600, 0, root);
+  t.End(c, 700);
+  t.End(root, 700);
+
+  CriticalPath cp = CriticalPath::Analyze(t);
+  auto attr = cp.Attribution();
+  ASSERT_GE(attr.size(), 2u);
+  EXPECT_EQ(attr[0].first, "rpc:n0->n1");
+  EXPECT_EQ(attr[0].second, 600u);
+  EXPECT_EQ(attr[1].first, "device.read");
+  EXPECT_EQ(attr[1].second, 100u);
+}
+
+TEST(CriticalPathTest, PicksLongestRootWhenUnspecified) {
+  Tracer t;
+  uint64_t small = t.Begin("short", 0, 0, kNoSpan);
+  t.End(small, 10);
+  uint64_t big = t.Begin("long", 0, 0, kNoSpan);
+  t.End(big, 500);
+  CriticalPath cp = CriticalPath::Analyze(t);
+  EXPECT_EQ(cp.root(), big);
+  EXPECT_EQ(cp.total(), 500u);
+}
+
+TEST(CriticalPathTest, ExplicitRootOverridesSelection) {
+  Tracer t;
+  uint64_t small = t.Begin("short", 0, 0, kNoSpan);
+  t.End(small, 10);
+  uint64_t big = t.Begin("long", 0, 0, kNoSpan);
+  t.End(big, 500);
+  CriticalPath cp = CriticalPath::Analyze(t.spans(), small);
+  EXPECT_EQ(cp.root(), small);
+  EXPECT_EQ(cp.total(), 10u);
+}
+
+}  // namespace
+}  // namespace diesel::obs

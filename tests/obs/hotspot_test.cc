@@ -1,0 +1,132 @@
+// HotspotReport ranking + Little's-law attribution, and the dlcmd
+// util/hotspots command plumbing (report loading, validation, exit codes).
+#include "obs/hotspot.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/cluster_view.h"
+
+namespace diesel::obs {
+namespace {
+
+// A two-device registry over a 1ms window: "svc" on n5 at 90% on one
+// channel (queue wait tracking M/M/1), "nic" on n6 at 10% across 8
+// channels. Phase histograms give the read-path split.
+constexpr char kRegistry[] = R"({
+  "counters": {
+    "sim.device.busy_ns{device=svc,node=n5}": 900000,
+    "sim.device.ops{device=svc,node=n5}": 900,
+    "sim.device.busy_ns{device=nic,node=n6}": 800000,
+    "sim.device.ops{device=nic,node=n6}": 800
+  },
+  "gauges": {
+    "sim.device.channels{device=svc,node=n5}": 1,
+    "sim.device.channels{device=nic,node=n6}": 8
+  },
+  "histograms": {
+    "sim.device.queue_wait_ns{device=svc,node=n5}":
+      {"count": 900, "sum": 8100000, "mean": 9000},
+    "sim.device.service_ns{device=svc,node=n5}":
+      {"count": 900, "sum": 900000, "mean": 1000},
+    "sim.device.queue_wait_ns{device=nic,node=n6}":
+      {"count": 800, "sum": 0, "mean": 0},
+    "sim.device.service_ns{device=nic,node=n6}":
+      {"count": 800, "sum": 800000, "mean": 1000},
+    "read.path.total_ns": {"count": 900, "sum": 10000000, "mean": 11111},
+    "read.path.owner_wait_ns": {"count": 900, "sum": 2000000, "mean": 2222},
+    "read.path.device_ns": {"count": 900, "sum": 5000000, "mean": 5556},
+    "read.path.rpc_ns": {"count": 900, "sum": 3000000, "mean": 3333}
+  }
+})";
+
+constexpr Nanos kWindow = 1000000;
+
+Result<JsonValue> ParseRegistry() { return JsonValue::Parse(kRegistry); }
+
+TEST(HotspotReportTest, RanksByUtilizationWithLittlesLawCrossCheck) {
+  auto doc = ParseRegistry();
+  ASSERT_TRUE(doc.ok());
+  auto view = ClusterView::FromRegistryJson(doc.value(), kWindow);
+  ASSERT_TRUE(view.ok());
+  auto report = HotspotReport::FromRegistryJson(view.value(), doc.value());
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report.value().top_resource(), "svc");
+  const HotspotEntry& top = report.value().entries().front();
+  EXPECT_NEAR(top.resource.util, 0.9, 1e-9);
+  // M/M/1: Wq = 0.9 / 0.1 * 1000ns = 9000ns — matching the observed mean,
+  // so the ratio is 1 (a genuine saturation hotspot).
+  EXPECT_NEAR(top.expected_wait_ns, 9000.0, 1e-6);
+  EXPECT_NEAR(top.wait_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(top.total_queue_wait_ns, 900.0 * 9000.0, 1e-3);
+
+  const PhaseTotals& phases = report.value().phases();
+  EXPECT_NEAR(phases.total_ns, 1e7, 1e-3);
+  EXPECT_NEAR(phases.device_ns / phases.total_ns, 0.5, 1e-9);
+
+  std::string rendered = report.value().Render();
+  EXPECT_NE(rendered.find("svc"), std::string::npos);
+  EXPECT_NE(rendered.find("read path:"), std::string::npos);
+  EXPECT_NE(rendered.find("imbalance:"), std::string::npos);
+}
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(HotspotCommandTest, UtilAndHotspotsSucceedOnValidReport) {
+  // Commands accept a full bench report with an embedded registry.
+  std::string path = WriteTemp("hotspot_ok.json",
+                               std::string("{\"registry\":") + kRegistry + "}");
+  std::ostringstream out, err;
+  EXPECT_EQ(UtilCommand({path, "--window", std::to_string(kWindow)}, out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("svc"), std::string::npos);
+  EXPECT_NE(out.str().find("n5"), std::string::npos);
+
+  std::ostringstream hout, herr;
+  EXPECT_EQ(HotspotsCommand({path, "--window", std::to_string(kWindow)}, hout,
+                            herr),
+            0)
+      << herr.str();
+  // Ranking: the 90%-utilized service device leads the listing.
+  EXPECT_LT(hout.str().find("svc"), hout.str().find("nic"));
+}
+
+TEST(HotspotCommandTest, FailsOnMissingFile) {
+  std::ostringstream out, err;
+  EXPECT_EQ(UtilCommand({"/nonexistent/report.json"}, out, err), 1);
+  EXPECT_EQ(HotspotsCommand({"/nonexistent/report.json"}, out, err), 1);
+}
+
+TEST(HotspotCommandTest, FailsOnUnparseableJson) {
+  std::string path = WriteTemp("hotspot_garbage.json", "not json {");
+  std::ostringstream out, err;
+  EXPECT_EQ(UtilCommand({path}, out, err), 1);
+}
+
+TEST(HotspotCommandTest, FailsWhenNoResourceSeriesPresent) {
+  std::string path =
+      WriteTemp("hotspot_empty.json", R"({"counters":{},"gauges":{}})");
+  std::ostringstream out, err;
+  EXPECT_EQ(HotspotsCommand({path}, out, err), 1);
+  EXPECT_NE(err.str().find("no sim.device"), std::string::npos);
+}
+
+TEST(HotspotCommandTest, UsageErrorsExitTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(UtilCommand({}, out, err), 2);
+  EXPECT_EQ(UtilCommand({"x.json", "--bogus"}, out, err), 2);
+  EXPECT_EQ(HotspotsCommand({"x.json", "--top"}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace diesel::obs

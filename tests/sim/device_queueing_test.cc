@@ -1,0 +1,131 @@
+// Queueing semantics of sim::Device: per-request ServeStats accounting,
+// backfill and channel-selection behavior of EarliestFit/Serve, busy-time
+// bounds, the kMaxIntervals collapse counter, and the registry series a
+// BindMetrics()-bound device publishes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/clock.h"
+#include "sim/device.h"
+
+namespace diesel::sim {
+namespace {
+
+TEST(DeviceQueueingTest, ServeStatsReportStartDoneWaitService) {
+  Device d({.name = "qstats", .channels = 1, .latency = 100,
+            .bytes_per_sec = 1e9});
+  ServeStats st;
+  Nanos done = d.Serve(50, 1000, 25, &st);  // service = 100 + 1000 + 25
+  EXPECT_EQ(st.done, done);
+  EXPECT_EQ(st.start, 50u);
+  EXPECT_EQ(st.queue_wait, 0u);
+  EXPECT_EQ(st.service, 1125u);
+  EXPECT_EQ(st.done, st.start + st.service);
+
+  // Second request at the same arrival queues behind the first.
+  Nanos done2 = d.Serve(50, 0, 0, &st);
+  EXPECT_EQ(st.start, done);
+  EXPECT_EQ(st.queue_wait, done - 50);
+  EXPECT_EQ(st.done, done2);
+}
+
+TEST(DeviceQueueingTest, QueueWaitIsNonNegativeAndZeroWhenBackfilled) {
+  Device d({.name = "qbackfill", .channels = 1, .latency = 100,
+            .bytes_per_sec = 0});
+  // Book far in the future, then arrive early: the early request backfills
+  // the idle gap and must report zero queue wait, not a wait until the
+  // booked work finishes.
+  ServeStats st;
+  d.Serve(10000, 0, 0, &st);
+  EXPECT_EQ(st.queue_wait, 0u);
+  d.Serve(0, 0, 0, &st);
+  EXPECT_EQ(st.start, 0u);
+  EXPECT_EQ(st.queue_wait, 0u);
+  // Gap [200, 10000) still has room: arrival at 150 starts at 200 and the
+  // wait is exactly the gap to the feasible start.
+  d.Serve(0, 0, 0, &st);
+  EXPECT_EQ(st.start, 100u);
+  d.Serve(150, 0, 0, &st);
+  EXPECT_EQ(st.start, 200u);
+  EXPECT_EQ(st.queue_wait, 50u);
+}
+
+TEST(DeviceQueueingTest, ChannelSelectionAvoidsQueueingWhenIdleChannelExists) {
+  Device d({.name = "qchan", .channels = 2, .latency = 100,
+            .bytes_per_sec = 0});
+  ServeStats st;
+  d.Serve(0, 0, 0, &st);
+  EXPECT_EQ(st.queue_wait, 0u);
+  d.Serve(0, 0, 0, &st);
+  EXPECT_EQ(st.queue_wait, 0u);  // second channel picks up the request
+  d.Serve(0, 0, 0, &st);
+  EXPECT_EQ(st.start, 100u);  // both busy: queue behind the earlier finisher
+  EXPECT_EQ(st.queue_wait, 100u);
+}
+
+TEST(DeviceQueueingTest, BusyTimeBoundedByChannelsTimesElapsed) {
+  // Closed-loop overload of a 3-channel device: total busy time can never
+  // exceed channels x the busy window (channels are physical servers), and
+  // under saturation it should be close to that bound.
+  Device d({.name = "qbound", .channels = 3, .latency = 50,
+            .bytes_per_sec = 0});
+  constexpr int kWorkers = 8, kOps = 500;
+  std::vector<VirtualClock> clocks(kWorkers);
+  Nanos latest = 0;
+  for (int i = 0; i < kOps; ++i) {
+    for (auto& c : clocks) {
+      c.AdvanceTo(d.Serve(c.now(), 0));
+      latest = std::max(latest, c.now());
+    }
+  }
+  Nanos cap = static_cast<Nanos>(d.spec().channels) * latest;
+  EXPECT_LE(d.busy_time(), cap);
+  EXPECT_GE(d.busy_time(), cap * 9 / 10);  // saturated: near the bound
+  EXPECT_EQ(d.busy_time(), static_cast<Nanos>(kWorkers) * kOps * 50);
+}
+
+TEST(DeviceQueueingTest, IntervalCapCollapseIsCounted) {
+  // Widely spaced serves leave disjoint busy intervals; past kMaxIntervals
+  // (4096) the oldest gap is collapsed and the device counts it.
+  Device d({.name = "qcap", .channels = 1, .latency = 10,
+            .bytes_per_sec = 0});
+  constexpr int kOps = 5000;
+  for (int i = 0; i < kOps; ++i) {
+    d.Serve(static_cast<Nanos>(i) * 1000, 0);
+  }
+  EXPECT_GT(d.intervals_collapsed(), 0u);
+  EXPECT_EQ(d.ops_served(), static_cast<uint64_t>(kOps));
+  d.Reset();
+  EXPECT_EQ(d.intervals_collapsed(), 0u);
+}
+
+TEST(DeviceQueueingTest, BoundDevicePublishesRegistrySeries) {
+  Device d({.name = "qbound-metrics", .channels = 2, .latency = 100,
+            .bytes_per_sec = 0});
+  EXPECT_FALSE(d.metrics_bound());
+  obs::MetricsSnapshot base = obs::Metrics().Snapshot();
+  d.BindMetrics("n7");
+  EXPECT_TRUE(d.metrics_bound());
+  d.Serve(0, 64);
+  d.Serve(0, 64);
+  d.Serve(0, 64);  // queues: one non-zero queue-wait observation
+
+  obs::MetricsSnapshot delta = obs::Metrics().Snapshot().DeltaSince(base);
+  const std::string labels = "{device=qbound-metrics,node=n7}";
+  EXPECT_EQ(delta.counters.at("sim.device.ops" + labels), 3u);
+  EXPECT_EQ(delta.counters.at("sim.device.bytes" + labels), 3u * 64);
+  EXPECT_EQ(delta.counters.at("sim.device.busy_ns" + labels), d.busy_time());
+  EXPECT_EQ(delta.histograms.at("sim.device.queue_wait_ns" + labels).count(),
+            3u);
+  EXPECT_EQ(delta.histograms.at("sim.device.service_ns" + labels).count(), 3u);
+  // Gauges are absolute: read from the current snapshot.
+  obs::MetricsSnapshot cur = obs::Metrics().Snapshot();
+  EXPECT_EQ(cur.gauges.at("sim.device.channels" + labels), 2.0);
+  EXPECT_EQ(cur.gauges.at("sim.device.busy_end_ns" + labels), 200.0);
+}
+
+}  // namespace
+}  // namespace diesel::sim
