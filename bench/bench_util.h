@@ -207,6 +207,15 @@ inline void OpenReport(std::string bench_name, uint64_t seed) {
   detail::g_report_open = true;
 }
 
+/// Per-job variant for multi-tenant benches: each tenant's figures land in
+/// their own `<bench>.job<id>.report.json` next to the aggregate document,
+/// so one run yields per-job artifacts the fairness gates can inspect
+/// without re-running.
+inline void OpenReport(const std::string& bench_name, uint64_t seed,
+                       uint32_t job_id) {
+  OpenReport(bench_name + ".job" + std::to_string(job_id), seed);
+}
+
 /// Record a configuration parameter that shaped the run.
 inline void Param(std::string key, std::string value) {
   detail::g_report.params.emplace_back(std::move(key), std::move(value));

@@ -113,6 +113,29 @@ SliceCounters& SlCounters() {
   return c;
 }
 
+/// Registry mirrors of the cross-task shared-tier counters. These are the
+/// process-wide aggregates; the per-tenant labeled series live in
+/// tenant::CacheFabric. discarded_bytes is charged even with no tier
+/// attached, so the teardown waste tenancy recovers stays visible when
+/// tenancy is disabled.
+struct TenantCacheCounters {
+  obs::Counter& adopted_chunks =
+      obs::Metrics().GetCounter("tenant.adopted_chunks");
+  obs::Counter& adopted_bytes =
+      obs::Metrics().GetCounter("tenant.adopted_bytes");
+  obs::Counter& demoted_chunks =
+      obs::Metrics().GetCounter("tenant.demoted_chunks");
+  obs::Counter& demoted_bytes =
+      obs::Metrics().GetCounter("tenant.demoted_bytes");
+  obs::Counter& discarded_bytes =
+      obs::Metrics().GetCounter("tenant.discarded_bytes");
+};
+
+TenantCacheCounters& TnCounters() {
+  static TenantCacheCounters c;
+  return c;
+}
+
 /// Critical-path attribution for the hot read path: every phase a
 /// GetFile/GetFiles request can spend virtual time in, observed as
 /// durations into "read.path.*" histograms. total_ns additionally captures
@@ -388,6 +411,21 @@ Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
     std::lock_guard<std::mutex> lock(part.mutex);
     if (part.chunks.count(chunk_index) > 0) return Status::Ok();
   }
+  SharedCacheTier* tier = shared_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr) {
+    // Warm start: another task already holds these bytes — adopt the shared
+    // buffer (a refcount bump plus the simulated transfer) instead of
+    // re-reading the object store. Adoptions are NOT chunk_loads: the
+    // backend never saw this request.
+    auto adopted = tier->Adopt(clock, owner, chunk_index);
+    if (adopted.ok()) {
+      CountAdoption(adopted->buffer.size());
+      InsertChunk(owner, chunk_index, std::move(adopted->buffer),
+                  /*prefetched=*/false, /*ready_at=*/0,
+                  std::move(adopted->verified));
+      return Status::Ok();
+    }
+  }
   // Miss: pull the whole chunk from the server (on-demand policy / recovery).
   uint32_t header_len = 0;
   DIESEL_ASSIGN_OR_RETURN(Bytes blob,
@@ -397,9 +435,18 @@ Status TaskCache::EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
     std::lock_guard<std::mutex> slock(stats_mutex_);
     ++stats_.chunk_loads;
   }
-  InsertChunk(owner, chunk_index,
-              core::ChunkBuffer::Wrap(std::move(blob), header_len));
+  core::ChunkBuffer buffer = core::ChunkBuffer::Wrap(std::move(blob), header_len);
+  if (tier != nullptr) tier->Publish(owner, chunk_index, buffer, {}, clock.now());
+  InsertChunk(owner, chunk_index, std::move(buffer));
   return Status::Ok();
+}
+
+void TaskCache::CountAdoption(uint64_t bytes) {
+  TnCounters().adopted_chunks.Inc();
+  TnCounters().adopted_bytes.Inc(bytes);
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  ++stats_.adopted_chunks;
+  stats_.adopted_bytes += bytes;
 }
 
 Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
@@ -451,6 +498,31 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
       ++stats_.corruptions_detected;
     }
   }
+  SharedCacheTier* tier = shared_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr) {
+    // Warm start before touching the backend: adopt a copy another task has
+    // resident. The adopted blob carries its CRC memo; an adopted copy that
+    // fails its checksum falls through to a fresh backend fetch exactly
+    // like a corrupt cached one.
+    auto adopted = tier->Adopt(clock, owner, chunk_index);
+    if (adopted.ok()) {
+      CachedChunk local;
+      local.buffer = std::move(adopted->buffer);
+      local.verified = std::move(adopted->verified);
+      Result<core::FileSlice> content = SliceFile(local, meta);
+      if (!content.status().IsCorruption()) {
+        DIESEL_RETURN_IF_ERROR(content.status());
+        CountAdoption(local.buffer.size());
+        InsertChunk(owner, chunk_index, std::move(local.buffer),
+                    /*prefetched=*/false, /*ready_at=*/0,
+                    std::move(local.verified));
+        return content;
+      }
+      Counters().corruptions.Inc();
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.corruptions_detected;
+    }
+  }
   // Miss: fetch the chunk, slice from the local copy (immune to concurrent
   // eviction), then install it for subsequent readers. A corrupted fetch is
   // detected by the slice CRC and re-fetched once (injected corruption is
@@ -477,6 +549,10 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
     }
     // Install the shared buffer along with the CRC memo of the file just
     // verified — the resident copy is the same immutable bytes.
+    if (tier != nullptr) {
+      tier->Publish(owner, chunk_index, local.buffer, local.verified,
+                    clock.now());
+    }
     InsertChunk(owner, chunk_index, std::move(local.buffer),
                 /*prefetched=*/false, /*ready_at=*/0,
                 std::move(local.verified));
@@ -1233,6 +1309,59 @@ void TaskCache::DropAll() {
   }
 }
 
+void TaskCache::AttachSharedTier(SharedCacheTier* tier) {
+  shared_tier_.store(tier, std::memory_order_release);
+}
+
+uint64_t TaskCache::Teardown(Nanos now) {
+  SharedCacheTier* tier = shared_tier_.load(std::memory_order_acquire);
+  uint64_t demoted_chunks = 0;
+  uint64_t demoted_bytes = 0;
+  uint64_t discarded_bytes = 0;
+  std::lock_guard<std::mutex> plock(partitions_mutex_);
+  // Deterministic demote order (node, then chunk index): the shared tier's
+  // admission policy may evict on every offer, so the iteration order is
+  // part of the simulation's reproducible behavior.
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(partitions_.size());
+  for (const auto& [node, part] : partitions_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  for (sim::NodeId node : nodes) {
+    NodePartition& part = *partitions_.at(node);
+    std::lock_guard<std::mutex> lock(part.mutex);
+    std::vector<size_t> chunks;
+    chunks.reserve(part.chunks.size());
+    for (const auto& [ci, cc] : part.chunks) chunks.push_back(ci);
+    std::sort(chunks.begin(), chunks.end());
+    for (size_t ci : chunks) {
+      const CachedChunk& cc = part.chunks.at(ci);
+      uint64_t kept = 0;
+      if (tier != nullptr) {
+        kept = tier->Demote(node, ci, cc.buffer, cc.verified, now);
+      }
+      if (kept > 0) {
+        ++demoted_chunks;
+        demoted_bytes += kept;
+      } else {
+        discarded_bytes += cc.buffer.size();
+      }
+    }
+    DropPartitionLocked(part);
+  }
+  if (demoted_chunks > 0) {
+    TnCounters().demoted_chunks.Inc(demoted_chunks);
+    TnCounters().demoted_bytes.Inc(demoted_bytes);
+  }
+  if (discarded_bytes > 0) TnCounters().discarded_bytes.Inc(discarded_bytes);
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats_.demoted_chunks += demoted_chunks;
+    stats_.demoted_bytes += demoted_bytes;
+    stats_.discarded_bytes += discarded_bytes;
+  }
+  return demoted_bytes;
+}
+
 void TaskCache::InstallEvictionOracle(const EvictionOracle* oracle) {
   std::lock_guard<std::mutex> lock(oracle_mutex_);
   oracle_ = oracle;
@@ -1303,6 +1432,27 @@ Result<TaskCache::PrefetchOutcome> TaskCache::PrefetchChunk(
   }
   obs::ScopedSpan span(fabric_.tracer(), "prefetch.fill", stream, owner);
   span.Note("chunk=" + std::to_string(chunk_index));
+  SharedCacheTier* tier = shared_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr) {
+    // Background fills adopt too: a fill satisfied from the shared tier
+    // frees the backend streams (and the prefetch byte budget drains at
+    // peer-transfer speed instead of object-store speed).
+    auto adopted = tier->Adopt(stream, owner, chunk_index);
+    if (adopted.ok()) {
+      span.Note("tenant.adopted");
+      CountAdoption(adopted->buffer.size());
+      out.bytes = adopted->buffer.size();
+      out.ready_at = stream.now();
+      InsertResult r = InsertChunk(owner, chunk_index,
+                                   std::move(adopted->buffer),
+                                   /*prefetched=*/true,
+                                   /*ready_at=*/stream.now(),
+                                   std::move(adopted->verified));
+      out.inserted = r == InsertResult::kInserted;
+      out.already_resident = r == InsertResult::kAlreadyResident;
+      return out;
+    }
+  }
   uint32_t header_len = 0;
   DIESEL_ASSIGN_OR_RETURN(
       Bytes blob, FetchChunkBlob(stream, owner, chunk_index, &header_len));
@@ -1313,9 +1463,12 @@ Result<TaskCache::PrefetchOutcome> TaskCache::PrefetchChunk(
   }
   out.bytes = blob.size();
   out.ready_at = stream.now();
+  core::ChunkBuffer buffer = core::ChunkBuffer::Wrap(std::move(blob), header_len);
+  if (tier != nullptr) {
+    tier->Publish(owner, chunk_index, buffer, {}, stream.now());
+  }
   InsertResult r =
-      InsertChunk(owner, chunk_index,
-                  core::ChunkBuffer::Wrap(std::move(blob), header_len),
+      InsertChunk(owner, chunk_index, std::move(buffer),
                   /*prefetched=*/true, /*ready_at=*/stream.now());
   out.inserted = r == InsertResult::kInserted;
   out.already_resident = r == InsertResult::kAlreadyResident;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/registry.h"
+#include "cache/shared_tier.h"
 #include "common/circuit_breaker.h"
 #include "common/retry.h"
 #include "core/chunk_buffer.h"
@@ -93,6 +94,11 @@ struct TaskCacheStats {
   uint64_t migrated_bytes = 0;       // bytes those migrations moved
   uint64_t reown_chunks = 0;         // chunks re-fetched from the backend
   uint64_t reown_skipped = 0;        // re-own skipped: oracle says dead
+  uint64_t adopted_chunks = 0;       // misses warm-started from the shared tier
+  uint64_t adopted_bytes = 0;        // bytes those adoptions avoided re-reading
+  uint64_t demoted_chunks = 0;       // teardown chunks the shared tier retained
+  uint64_t demoted_bytes = 0;        // bytes demoted into the shared tier
+  uint64_t discarded_bytes = 0;      // teardown bytes no tier retained (waste)
 };
 
 class TaskCache : public membership::MembershipListener {
@@ -180,6 +186,22 @@ class TaskCache : public membership::MembershipListener {
   /// measures the chunk-granular recovery time.
   void DropNode(sim::NodeId node);
   void DropAll();
+
+  // ---- Cross-task shared tier (src/tenant) -------------------------------
+
+  /// Attach the cluster-wide shared tier: misses first try to adopt an
+  /// already-resident copy from another task, backend loads are published
+  /// for later tasks, and Teardown demotes residency instead of dropping
+  /// it. nullptr detaches. The tier must outlive the cache.
+  void AttachSharedTier(SharedCacheTier* tier);
+
+  /// Orderly end of task: every resident chunk is offered to the shared
+  /// tier (demote) before the partitions are cleared. Without a tier this
+  /// is DropAll plus accounting — the discarded bytes are counted so the
+  /// teardown waste is visible even when tenancy is disabled. DropAll /
+  /// DropNode keep their crash semantics (nothing survives a crash).
+  /// Returns the bytes the tier retained.
+  uint64_t Teardown(Nanos now);
 
   /// Reload every non-resident chunk (recovery). Returns makespan end time.
   Result<Nanos> Reload(Nanos start);
@@ -325,6 +347,9 @@ class TaskCache : public membership::MembershipListener {
   Status EnsureLoaded(sim::VirtualClock& clock, sim::NodeId owner,
                       size_t chunk_index);
 
+  /// Charge the warm-start counters for one adopted chunk of `bytes`.
+  void CountAdoption(uint64_t bytes);
+
   /// Slice one file out of the owner's partition (loads on miss). The slice
   /// is taken under the partition lock and holds its own reference on the
   /// blob, so concurrent eviction is safe.
@@ -380,6 +405,10 @@ class TaskCache : public membership::MembershipListener {
   /// Elastic membership (null = static round-robin ownership). Set once by
   /// AttachMembership before churn starts; hot paths read it lock-free.
   std::atomic<membership::MembershipTable*> membership_{nullptr};
+  /// Cross-task shared tier (null = task-private caching, the seed
+  /// behavior). Hot paths read it lock-free; it only engages on misses and
+  /// teardown, so attached-but-idle costs nothing.
+  std::atomic<SharedCacheTier*> shared_tier_{nullptr};
   /// In-flight move of one chunk: the old owner serves reads until
   /// ready_at, after which the source copy is finalized away.
   struct MigrationRec {

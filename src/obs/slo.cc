@@ -337,6 +337,7 @@ int SloCommand(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err) {
   std::string dir;
   std::string spec_path = "bench/slo.json";
+  std::string bench_filter;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--slo") {
@@ -345,6 +346,12 @@ int SloCommand(const std::vector<std::string>& args, std::ostream& out,
         return 2;
       }
       spec_path = args[++i];
+    } else if (a == "--bench") {
+      if (i + 1 >= args.size()) {
+        err << "slo: --bench needs a bench name\n";
+        return 2;
+      }
+      bench_filter = args[++i];
     } else if (a == "-v" || a == "--verbose") {
       // The table always prints every row; accepted for symmetry with perf.
     } else if (!a.empty() && a[0] == '-') {
@@ -358,7 +365,7 @@ int SloCommand(const std::vector<std::string>& args, std::ostream& out,
     }
   }
   if (dir.empty()) {
-    err << "usage: slo <dir> [--slo spec.json]\n";
+    err << "usage: slo <dir> [--slo spec.json] [--bench name]\n";
     return 2;
   }
 
@@ -371,6 +378,21 @@ int SloCommand(const std::vector<std::string>& args, std::ostream& out,
   if (!specs.ok()) {
     err << "slo: " << specs.status().ToString() << "\n";
     return 2;
+  }
+  if (!bench_filter.empty()) {
+    // Keep only objectives on the named bench — a missing signal counts as
+    // a breach, so a partial report directory (CI smoke jobs running one
+    // bench) must not be judged against the full objective set.
+    auto& list = specs.value();
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const SloSpec& s) {
+                                return s.bench != bench_filter;
+                              }),
+               list.end());
+    if (list.empty()) {
+      err << "slo: no objectives for bench " << bench_filter << "\n";
+      return 2;
+    }
   }
 
   std::error_code ec;

@@ -50,14 +50,22 @@ PrefetchScheduler::PrefetchScheduler(cache::TaskCache& cache,
 PrefetchScheduler::~PrefetchScheduler() { FinishEpoch(); }
 
 uint64_t PrefetchScheduler::EffectiveBudget() const {
-  if (options_.budget_bytes_per_node != 0) {
-    return options_.budget_bytes_per_node;
+  uint64_t base = options_.budget_bytes_per_node;
+  if (base == 0) {
+    // Inherit half the cache partition: pinned prefetch bytes may never
+    // saturate capacity, or fills start getting denied (every resident chunk
+    // pinned) and the cancelled chunks fall back to on-demand loads on the
+    // critical path — worse than no prefetch at all.
+    base = cache_.options().per_node_capacity_bytes / 2;
   }
-  // Inherit half the cache partition: pinned prefetch bytes may never
-  // saturate capacity, or fills start getting denied (every resident chunk
-  // pinned) and the cancelled chunks fall back to on-demand loads on the
-  // critical path — worse than no prefetch at all.
-  return cache_.options().per_node_capacity_bytes / 2;
+  if (const BudgetGovernor* g = governor_.load(std::memory_order_acquire)) {
+    return g->PrefetchBudgetBytes(base);
+  }
+  return base;
+}
+
+void PrefetchScheduler::SetBudgetGovernor(const BudgetGovernor* governor) {
+  governor_.store(governor, std::memory_order_release);
 }
 
 void PrefetchScheduler::StartEpoch(const shuffle::ShufflePlan& plan,

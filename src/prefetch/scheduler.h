@@ -19,6 +19,7 @@
 // prefetch to on-demand instead of wedging the cache.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,19 @@
 #include "shuffle/shuffle.h"
 
 namespace diesel::prefetch {
+
+/// QoS hook over the scheduler's per-node byte budget (src/tenant). With a
+/// governor installed, every budget decision passes the configured base
+/// through it — the multi-tenant fabric returns this tenant's weighted fair
+/// share so one job's fills cannot monopolize prefetch bandwidth.
+class BudgetGovernor {
+ public:
+  virtual ~BudgetGovernor() = default;
+
+  /// Final per-node prefetch byte budget given the scheduler's configured
+  /// base (0 = unbounded). Return `base` unchanged to opt out.
+  virtual uint64_t PrefetchBudgetBytes(uint64_t base) const = 0;
+};
 
 struct PrefetchOptions {
   /// Fill chunks whose first access lies within this many file-order
@@ -100,6 +114,10 @@ class PrefetchScheduler : public membership::MembershipListener {
   /// cancelled` holds across any churn sequence.
   void OnMembershipChange(const membership::MembershipChange& change) override;
 
+  /// Install the multi-tenant budget governor (nullptr restores the
+  /// ungoverned budget). The governor must outlive the scheduler.
+  void SetBudgetGovernor(const BudgetGovernor* governor);
+
   /// The current epoch's schedule (nullptr between epochs).
   const AccessSchedule* schedule() const;
 
@@ -131,6 +149,9 @@ class PrefetchScheduler : public membership::MembershipListener {
   net::Fabric& fabric_;
   const core::MetadataSnapshot& snapshot_;
   PrefetchOptions options_;
+  /// Multi-tenant budget governor (null = ungoverned). Lock-free: budget
+  /// checks run under mutex_ but installs may come from outside the epoch.
+  std::atomic<const BudgetGovernor*> governor_{nullptr};
   std::vector<uint64_t> chunk_bytes_;  // payload estimate per chunk
 
   mutable std::mutex mutex_;

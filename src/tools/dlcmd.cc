@@ -19,11 +19,12 @@
 //   dlcmd --root DIR prefetch <dataset> [group-size] [nodes] [seed]
 //   dlcmd perf merge <dir> [-o out.json] [--strip-registry]
 //   dlcmd perf diff <baseline.json> <current.json> [--tol X] [--allow-missing]
-//   dlcmd slo <report-dir> [--slo spec.json] [-v]
+//   dlcmd slo <report-dir> [--slo spec.json] [--bench name] [-v]
 //   dlcmd timeline <file.timeline.json> [--section S] [--key K]
 //   dlcmd util <report.json> [--window ns] [--top N]
 //   dlcmd hotspots <report.json> [--window ns] [--top N]
 //   dlcmd membership <nodes> [target] [chunks] [seed]
+//   dlcmd tenants <jobs> [files] [capacity_mb] [seed]
 //
 // `stats` runs a small metadata workload (recover + list) and prints the
 // process-wide metrics registry; `trace` reads one file with the span
@@ -47,7 +48,13 @@
 // `membership` (also root-less) inspects the elastic-membership ring:
 // ownership balance at <nodes> members, the chunk-move fraction of a
 // planned rescale to [target] members versus the consistent-hashing ideal,
-// and a seeded churn replay with the resulting epoch log.
+// and a seeded churn replay with the resulting epoch log. `tenants`
+// (root-less) demonstrates the multi-tenant cache fabric: job 0 cold-loads
+// a dataset and tears down (demoting residency into the shared tier), then
+// <jobs>-1 successor jobs warm-start by adopting the shared chunks; it
+// prints the per-tenant accounting table (resident/demoted/adopted bytes,
+// shared hits) and each job's backend load count, which should be zero for
+// every job after the first.
 //
 // The KV metadata tier is in-memory per invocation; `recover` rebuilds it
 // from the persisted self-contained chunks (which is also what every other
@@ -63,6 +70,9 @@
 
 #include "cache/registry.h"
 #include "cache/task_cache.h"
+#include "core/deployment.h"
+#include "dlt/dataset_gen.h"
+#include "tenant/fabric.h"
 #include "common/rng.h"
 #include "core/client.h"
 #include "core/housekeeping.h"
@@ -141,12 +151,14 @@ int Usage() {
                "       dlcmd --root DIR prefetch <dataset> "
                "[group-size] [nodes] [seed]\n"
                "       dlcmd perf {merge|diff} ...\n"
-               "       dlcmd slo <report-dir> [--slo spec.json] [-v]\n"
+               "       dlcmd slo <report-dir> [--slo spec.json] "
+               "[--bench name] [-v]\n"
                "       dlcmd timeline <file.timeline.json> "
                "[--section S] [--key K]\n"
                "       dlcmd util <report.json> [--window ns] [--top N]\n"
                "       dlcmd hotspots <report.json> [--window ns] [--top N]\n"
                "       dlcmd membership <nodes> [target] [chunks] [seed]\n"
+               "       dlcmd tenants <jobs> [files] [capacity_mb] [seed]\n"
                "stats prints the process-wide metrics registry; names are\n"
                "prefixed by subsystem: net.* (fabric RPCs), kv.* (metadata\n"
                "tier), core.* (server/client), cache.* (task cache),\n"
@@ -169,7 +181,16 @@ int Usage() {
                "util}{link=,node=} per fabric link; cluster.node.util{node=}\n"
                "and cluster.imbalance.{max_util,median_util,mean_util,cv,\n"
                "max_over_median,nodes} are the obs::ClusterView rollup\n"
-               "(see `util` / `hotspots`).\n");
+               "(see `util` / `hotspots`).\n"
+               "multi-tenant fabric counters: tenant.adopted_chunks /\n"
+               ".adopted_bytes (misses warm-started from the shared tier),\n"
+               "tenant.demoted_chunks / .demoted_bytes (teardown residency\n"
+               "retained by the shared tier) vs tenant.discarded_bytes\n"
+               "(teardown bytes dropped — nonzero means re-reads later);\n"
+               "per-tenant series tenant.{resident_bytes,resident_chunks,\n"
+               "shared_hits,evictions,evicted_by_other}{tenant=} and\n"
+               "fabric-wide tenant.fabric.{resident_bytes,resident_chunks,\n"
+               "tenants_active,declined_chunks} (see `tenants`).\n");
   return 2;
 }
 
@@ -278,6 +299,99 @@ int MembershipCommand(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Multi-tenant fabric inspector: run a warm-start relay in-memory — job 0
+// cold-loads the dataset, tears down through the demote path, and every
+// successor job adopts the shared residency — then print the per-tenant
+// accounting table the fabric keeps.
+int TenantsCommand(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 4) return Usage();
+  size_t jobs = std::stoul(args[0]);
+  size_t files = args.size() > 1 ? std::stoul(args[1]) : 80;
+  uint64_t capacity_mb = args.size() > 2 ? std::stoull(args[2]) : 0;
+  uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 42;
+  if (jobs == 0 || files == 0) {
+    std::fprintf(stderr, "dlcmd: jobs/files must be > 0\n");
+    return 1;
+  }
+
+  core::DeploymentOptions dopts;
+  dopts.num_client_nodes = 2;
+  core::Deployment dep(dopts);
+  dlt::DatasetSpec spec;
+  spec.name = "tenantdemo";
+  spec.num_classes = 4;
+  spec.files_per_class = (files + 3) / 4;
+  spec.mean_file_bytes = 2048;
+  spec.seed = seed;
+  auto writer = dep.MakeClient(0, 0, spec.name, 16 * 1024);
+  Status ingest = dlt::ForEachFile(spec, [&](const dlt::GeneratedFile& f) {
+    return writer->Put(f.path, f.content);
+  });
+  if (!ingest.ok() || !writer->Flush().ok()) {
+    std::fprintf(stderr, "dlcmd: dataset ingest failed\n");
+    return 1;
+  }
+
+  tenant::FabricOptions fopts;
+  fopts.capacity_bytes = capacity_mb * 1024 * 1024;
+  tenant::CacheFabric shared(dep.fabric(), fopts);
+
+  sim::VirtualClock clock;
+  std::printf("%-8s %8s %8s %8s %8s %8s %8s\n", "job", "backend", "adopted",
+              "demoted", "shared", "resident", "discard");
+  for (size_t j = 0; j < jobs; ++j) {
+    std::string name = "job" + std::to_string(j);
+    tenant::TenantBinding* binding = shared.RegisterTenant(spec.name, {name});
+    auto client = dep.MakeClient(j % dopts.num_client_nodes, 1, spec.name);
+    cache::TaskRegistry registry;
+    registry.Register(client->endpoint());
+    if (!client->FetchSnapshot().ok()) {
+      std::fprintf(stderr, "dlcmd: snapshot fetch failed\n");
+      return 1;
+    }
+    cache::TaskCache cache(dep.fabric(), dep.server(0), *client->snapshot(),
+                           registry, {});
+    cache.AttachSharedTier(binding);
+    for (size_t i = 0; i < spec.total_files(); ++i) {
+      const core::FileMeta* meta =
+          client->snapshot()->Lookup(dlt::FilePath(spec, i));
+      if (meta == nullptr) continue;
+      auto r = cache.GetFile(clock, client->endpoint(), *meta);
+      if (!r.ok()) {
+        std::fprintf(stderr, "dlcmd: read failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    cache::TaskCacheStats cs = cache.stats();
+    cache.Teardown(clock.now());
+    cache::TaskCacheStats after = cache.stats();
+    shared.DeregisterTenant(binding);
+    std::printf("%-8s %8llu %8llu %8llu %8s %8s %8llu\n", name.c_str(),
+                static_cast<unsigned long long>(cs.chunk_loads),
+                static_cast<unsigned long long>(cs.adopted_chunks),
+                static_cast<unsigned long long>(after.demoted_chunks), "-",
+                "-", static_cast<unsigned long long>(after.discarded_bytes));
+  }
+
+  std::printf("\nfabric: %llu chunks / %llu bytes resident\n",
+              static_cast<unsigned long long>(shared.resident_chunks()),
+              static_cast<unsigned long long>(shared.resident_bytes()));
+  std::printf("%-8s %6s %8s %8s %8s %8s %8s %8s\n", "tenant", "active",
+              "resident", "pub", "demoted", "adopted", "shared", "evicted");
+  for (const tenant::TenantStats& t : shared.Stats()) {
+    std::printf("%-8s %6s %8llu %8llu %8llu %8llu %8llu %8llu\n",
+                t.name.c_str(), t.active ? "yes" : "no",
+                static_cast<unsigned long long>(t.resident_chunks),
+                static_cast<unsigned long long>(t.published_chunks),
+                static_cast<unsigned long long>(t.demoted_chunks),
+                static_cast<unsigned long long>(t.adopted_chunks),
+                static_cast<unsigned long long>(t.shared_hits),
+                static_cast<unsigned long long>(t.evictions));
+  }
+  return 0;
+}
+
 core::DieselClient MakeClient(Cli& cli, const std::string& dataset) {
   core::ClientOptions copts;
   copts.dataset = dataset;
@@ -295,6 +409,10 @@ int Main(int argc, char** argv) {
   // `membership` inspects the elastic-membership ring — no deployment either.
   if (!args.empty() && args[0] == "membership") {
     return MembershipCommand({args.begin() + 1, args.end()});
+  }
+  // `tenants` runs the multi-tenant warm-start relay in-memory.
+  if (!args.empty() && args[0] == "tenants") {
+    return TenantsCommand({args.begin() + 1, args.end()});
   }
   // `slo` gates report/timeline artifacts; `timeline` pretty-prints one.
   if (!args.empty() && args[0] == "slo") {
