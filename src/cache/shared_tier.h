@@ -56,6 +56,14 @@ class SharedCacheTier {
   virtual uint64_t Demote(sim::NodeId home, size_t chunk_index,
                           const core::ChunkBuffer& buffer,
                           const std::vector<bool>& verified, Nanos now) = 0;
+
+  /// A reader detected CRC corruption in `buffer` (a copy it adopted from,
+  /// or published to, the tier). Drop the shared entry for `chunk_index` iff
+  /// it still holds those exact bytes, so later adopters do not keep paying
+  /// the adopt transfer + failed scan + backend refetch; if the entry was
+  /// already replaced with a different blob, this is a no-op.
+  virtual void Invalidate(size_t chunk_index,
+                          const core::ChunkBuffer& buffer) = 0;
 };
 
 }  // namespace diesel::cache

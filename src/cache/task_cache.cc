@@ -454,6 +454,7 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
                                                      size_t chunk_index,
                                                      const core::FileMeta& meta) {
   NodePartition& part = PartitionFor(owner);
+  core::ChunkBuffer corrupt_evicted;
   {
     std::lock_guard<std::mutex> lock(part.mutex);
     auto it = part.chunks.find(chunk_index);
@@ -487,7 +488,10 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
       Result<core::FileSlice> sliced = SliceFile(cc, meta);
       if (!sliced.status().IsCorruption()) return sliced;
       // Cached copy failed its checksum: evict it and fall through to a
-      // fresh fetch below.
+      // fresh fetch below. Remember the blob so the shared tier's copy —
+      // the same bytes if this chunk was ever published/adopted — can be
+      // invalidated too.
+      corrupt_evicted = it->second.buffer;
       part.bytes -= it->second.buffer.size();
       part.fifo.erase(std::remove(part.fifo.begin(), part.fifo.end(),
                                   chunk_index),
@@ -499,6 +503,12 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
     }
   }
   SharedCacheTier* tier = shared_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr && corrupt_evicted) {
+    // The evicted copy's bytes may also be resident in the shared tier
+    // (publish is a refcount share): purge them so the adopt below — and
+    // every other task's — doesn't hand the corruption straight back.
+    tier->Invalidate(chunk_index, corrupt_evicted);
+  }
   if (tier != nullptr) {
     // Warm start before touching the backend: adopt a copy another task has
     // resident. The adopted blob carries its CRC memo; an adopted copy that
@@ -518,6 +528,10 @@ Result<core::FileSlice> TaskCache::ReadFromPartition(sim::VirtualClock& clock,
                     std::move(local.verified));
         return content;
       }
+      // Adopted copy is corrupt: purge it from the shared tier so other
+      // adopters stop paying the transfer + scan + refetch for the same
+      // bad blob, then fall through to a fresh backend fetch.
+      tier->Invalidate(chunk_index, local.buffer);
       Counters().corruptions.Inc();
       std::lock_guard<std::mutex> slock(stats_mutex_);
       ++stats_.corruptions_detected;

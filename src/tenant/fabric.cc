@@ -14,6 +14,7 @@ struct FabricGauges {
   obs::Gauge& resident_chunks;
   obs::Gauge& tenants_active;
   obs::Counter& declined_chunks;
+  obs::Counter& invalidated_chunks;
 };
 
 FabricGauges& FbGauges() {
@@ -22,8 +23,14 @@ FabricGauges& FbGauges() {
       obs::Metrics().GetGauge("tenant.fabric.resident_chunks"),
       obs::Metrics().GetGauge("tenant.fabric.tenants_active"),
       obs::Metrics().GetCounter("tenant.fabric.declined_chunks"),
+      obs::Metrics().GetCounter("tenant.fabric.invalidated_chunks"),
   };
   return g;
+}
+
+bool AnyVerified(const std::vector<bool>& verified) {
+  return std::any_of(verified.begin(), verified.end(),
+                     [](bool v) { return v; });
 }
 
 /// Adoption RPC request overhead (chunk id + directory bookkeeping).
@@ -54,6 +61,13 @@ uint64_t TenantBinding::Demote(sim::NodeId home, size_t chunk_index,
                         /*demote=*/true);
 }
 
+void TenantBinding::Invalidate(size_t chunk_index,
+                               const core::ChunkBuffer& buffer) {
+  fabric_->InvalidateImpl(slot_, chunk_index, buffer);
+}
+
+std::string TenantBinding::dataset() const { return fabric_->DatasetOf(slot_); }
+
 uint64_t TenantBinding::PrefetchBudgetBytes(uint64_t base) const {
   return fabric_->GovernedBudget(slot_, base);
 }
@@ -68,13 +82,16 @@ TenantBinding* CacheFabric::RegisterTenant(const std::string& dataset,
                                            TenantOptions options) {
   std::lock_guard<std::mutex> lock(mutex_);
   // Revive a departed tenant of the same name (task restart keeps its
-  // accounting history and re-owns its residue at full weight).
+  // accounting history and re-owns its residue at full weight). A name that
+  // is still active belongs to a live task: handing out its binding again
+  // would alias two tasks onto one accounting row (and double-count the
+  // active gauge), so the registration is rejected instead.
   for (auto& t : tenants_) {
     if (t->opts.name == options.name) {
+      if (t->active) return nullptr;
       t->opts = std::move(options);
       t->dataset = dataset;
       t->active = true;
-      t->binding->dataset_ = dataset;
       FbGauges().tenants_active.Add(1.0);
       return t->binding.get();
     }
@@ -96,7 +113,7 @@ TenantBinding* CacheFabric::RegisterTenant(const std::string& dataset,
       &obs::Metrics().GetCounter("tenant.evictions", labels);
   rec->series.evicted_by_other =
       &obs::Metrics().GetCounter("tenant.evicted_by_other", labels);
-  rec->binding.reset(new TenantBinding(this, slot, rec->opts.name, dataset));
+  rec->binding.reset(new TenantBinding(this, slot, rec->opts.name));
   tenants_.push_back(std::move(rec));
   FbGauges().tenants_active.Add(1.0);
   return tenants_.back()->binding.get();
@@ -193,14 +210,39 @@ uint64_t CacheFabric::Offer(size_t slot, sim::NodeId home, size_t chunk_index,
   auto it = directory_.find(key);
   if (it != directory_.end()) {
     // Already shared: the bytes are retained regardless of who owns them.
-    // Refresh the home hint so adoptions ride the freshest copy, and fold
-    // the caller's CRC memo in (a union — verification never regresses).
+    // Refresh the home hint so adoptions ride the freshest copy.
     Entry& e = it->second;
     if (home != sim::kInvalidNode) e.home = home;
-    if (e.verified.size() < verified.size()) e.verified.resize(verified.size());
-    for (size_t i = 0; i < verified.size(); ++i) {
-      if (verified[i]) e.verified[i] = true;
+    if (e.buffer.shared_blob() == buffer.shared_blob()) {
+      // Byte-identical share: fold the caller's CRC memo in (a union —
+      // verification of the same immutable blob never regresses).
+      if (e.verified.size() < verified.size())
+        e.verified.resize(verified.size());
+      for (size_t i = 0; i < verified.size(); ++i) {
+        if (verified[i]) e.verified[i] = true;
+      }
+    } else if (AnyVerified(verified)) {
+      // A DIFFERENT blob carrying fresh verification: the resident copy may
+      // be a corrupt blob published before any CRC scan, which the caller
+      // just detected, refetched around and verified. The memo only vouches
+      // for the caller's bytes, so unioning it onto the resident buffer
+      // would mark corruption verified — replace the buffer AND the memo
+      // wholesale instead. The owner keeps the charge (re-priced if the
+      // sizes differ).
+      TenantRec& o = *tenants_.at(e.owner);
+      uint64_t old_sz = e.buffer.size();
+      uint64_t new_sz = buffer.size();
+      e.buffer = buffer;
+      e.verified = verified;
+      if (old_sz != new_sz) {
+        bytes_ += new_sz - old_sz;
+        o.charged_bytes += new_sz - old_sz;
+        o.series.resident_bytes->Set(static_cast<double>(o.charged_bytes));
+        FbGauges().resident_bytes.Set(static_cast<double>(bytes_));
+      }
     }
+    // else: a different, unverified blob — nothing trustworthy to merge;
+    // the resident entry and its memo stand.
     if (demote) ++t.demoted_chunks;
     return e.buffer.size();
   }
@@ -225,6 +267,36 @@ uint64_t CacheFabric::Offer(size_t slot, sim::NodeId home, size_t chunk_index,
   FbGauges().resident_bytes.Set(static_cast<double>(bytes_));
   FbGauges().resident_chunks.Set(static_cast<double>(directory_.size()));
   return sz;
+}
+
+void CacheFabric::InvalidateImpl(size_t slot, size_t chunk_index,
+                                 const core::ChunkBuffer& buffer) {
+  if (!buffer) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantRec& t = *tenants_.at(slot);
+  auto it = directory_.find(Key{t.dataset, chunk_index});
+  if (it == directory_.end()) return;
+  Entry& e = it->second;
+  // Identity check: a concurrent publish may already have replaced the
+  // corrupt blob with a verified one — don't throw the good copy away.
+  if (e.buffer.shared_blob() != buffer.shared_blob()) return;
+  TenantRec& o = *tenants_.at(e.owner);
+  uint64_t sz = e.buffer.size();
+  directory_.erase(it);
+  bytes_ -= sz;
+  o.charged_bytes -= sz;
+  --o.resident_chunks;
+  // The owner's FIFO keeps a stale key; the lazy victim scan skips it.
+  o.series.resident_bytes->Set(static_cast<double>(o.charged_bytes));
+  o.series.resident_chunks->Set(static_cast<double>(o.resident_chunks));
+  FbGauges().resident_bytes.Set(static_cast<double>(bytes_));
+  FbGauges().resident_chunks.Set(static_cast<double>(directory_.size()));
+  FbGauges().invalidated_chunks.Inc();
+}
+
+std::string CacheFabric::DatasetOf(size_t slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.at(slot)->dataset;
 }
 
 Result<cache::SharedCacheTier::Adopted> CacheFabric::AdoptImpl(

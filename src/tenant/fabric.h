@@ -97,22 +97,23 @@ class TenantBinding : public cache::SharedCacheTier,
   uint64_t Demote(sim::NodeId home, size_t chunk_index,
                   const core::ChunkBuffer& buffer,
                   const std::vector<bool>& verified, Nanos now) override;
+  void Invalidate(size_t chunk_index,
+                  const core::ChunkBuffer& buffer) override;
   uint64_t PrefetchBudgetBytes(uint64_t base) const override;
 
   const std::string& name() const { return name_; }
-  const std::string& dataset() const { return dataset_; }
+  /// Bound dataset. Read under the fabric mutex — revival may rebind it
+  /// concurrently with readers.
+  std::string dataset() const;
 
  private:
   friend class CacheFabric;
-  TenantBinding(CacheFabric* fabric, size_t slot, std::string name,
-                std::string dataset)
-      : fabric_(fabric), slot_(slot), name_(std::move(name)),
-        dataset_(std::move(dataset)) {}
+  TenantBinding(CacheFabric* fabric, size_t slot, std::string name)
+      : fabric_(fabric), slot_(slot), name_(std::move(name)) {}
 
   CacheFabric* fabric_;
   size_t slot_;  // index into the fabric's tenant table
   std::string name_;
-  std::string dataset_;
 };
 
 class CacheFabric {
@@ -126,7 +127,9 @@ class CacheFabric {
 
   /// Register a task reading `dataset`. The returned binding stays valid
   /// for the fabric's lifetime. Names must be unique; re-registering a
-  /// departed name revives that tenant's accounting row (warm restart).
+  /// departed name revives that tenant's accounting row (warm restart),
+  /// while a name that is still active is rejected (returns nullptr) — two
+  /// live tasks must never share a binding.
   TenantBinding* RegisterTenant(const std::string& dataset,
                                 TenantOptions options);
 
@@ -199,6 +202,15 @@ class CacheFabric {
   uint64_t Offer(size_t slot, sim::NodeId home, size_t chunk_index,
                  const core::ChunkBuffer& buffer,
                  const std::vector<bool>& verified, bool demote);
+
+  /// Corruption invalidation body: erase the entry iff it still holds
+  /// exactly `buffer`'s bytes (identity by shared blob pointer).
+  void InvalidateImpl(size_t slot, size_t chunk_index,
+                      const core::ChunkBuffer& buffer);
+
+  /// Binding accessor body (the bound dataset is rebound on revival, so
+  /// reads go through the fabric mutex).
+  std::string DatasetOf(size_t slot) const;
 
   /// Adoption body: directory lookup under the lock, virtual-time transfer
   /// charge outside it (the handler touches shared simulated devices).

@@ -190,7 +190,9 @@ int Usage() {
                "per-tenant series tenant.{resident_bytes,resident_chunks,\n"
                "shared_hits,evictions,evicted_by_other}{tenant=} and\n"
                "fabric-wide tenant.fabric.{resident_bytes,resident_chunks,\n"
-               "tenants_active,declined_chunks} (see `tenants`).\n");
+               "tenants_active,declined_chunks,invalidated_chunks}\n"
+               "(invalidated = shared entries purged after a reader's CRC\n"
+               "detected corruption; see `tenants`).\n");
   return 2;
 }
 

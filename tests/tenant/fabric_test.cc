@@ -150,6 +150,94 @@ TEST_F(FabricTest, DepartedResidueStaysAdoptable) {
   EXPECT_TRUE(next->Adopt(clock, 1, 0).ok());
 }
 
+TEST_F(FabricTest, VerifiedMemoUnionsOnlyOnIdenticalBytes) {
+  CacheFabric fabric(net_, {});
+  TenantBinding* a = fabric.RegisterTenant("ds", {.name = "a"});
+  TenantBinding* b = fabric.RegisterTenant("ds", {.name = "b"});
+  // A corrupt blob published before any CRC scan (EnsureLoaded/prefetch
+  // publish with an empty memo).
+  core::ChunkBuffer corrupt = MakeBuffer(1024, 0xbd);
+  a->Publish(0, 7, corrupt, {}, 0);
+  // An adopter detects the corruption, refetches clean bytes and publishes
+  // them verified. The memo vouches for the NEW bytes only: the fabric must
+  // not keep the corrupt blob and mark it verified.
+  core::ChunkBuffer clean = MakeBuffer(1024, 0x5a);
+  b->Publish(1, 7, clean, {true}, 0);
+  sim::VirtualClock clock;
+  auto adopted = a->Adopt(clock, 2, 7);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_EQ(adopted.value().buffer.shared_blob().get(),
+            clean.shared_blob().get());
+  ASSERT_EQ(adopted.value().verified.size(), 1u);
+  EXPECT_TRUE(adopted.value().verified[0]);
+  // Same blob re-offered: the memo unions in place (no replacement).
+  a->Publish(0, 7, clean, {true, true}, 0);
+  adopted = a->Adopt(clock, 2, 7);
+  ASSERT_TRUE(adopted.ok());
+  ASSERT_EQ(adopted.value().verified.size(), 2u);
+  EXPECT_TRUE(adopted.value().verified[1]);
+  EXPECT_EQ(fabric.resident_chunks(), 1u);
+  EXPECT_EQ(fabric.resident_bytes(), 1024u);
+}
+
+TEST_F(FabricTest, UnverifiedDistinctOfferKeepsTheVerifiedResident) {
+  CacheFabric fabric(net_, {});
+  TenantBinding* a = fabric.RegisterTenant("ds", {.name = "a"});
+  core::ChunkBuffer verified_blob = MakeBuffer(512, 0x01);
+  a->Publish(0, 3, verified_blob, {true}, 0);
+  // A second task's independent (possibly corrupt) backend load of the same
+  // chunk carries no verification — it must not displace the verified copy.
+  a->Publish(1, 3, MakeBuffer(512, 0x02), {}, 0);
+  sim::VirtualClock clock;
+  auto adopted = a->Adopt(clock, 2, 3);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_EQ(adopted.value().buffer.shared_blob().get(),
+            verified_blob.shared_blob().get());
+  ASSERT_EQ(adopted.value().verified.size(), 1u);
+  EXPECT_TRUE(adopted.value().verified[0]);
+}
+
+TEST_F(FabricTest, InvalidateDropsOnlyTheMatchingBytes) {
+  CacheFabric fabric(net_, {});
+  TenantBinding* a = fabric.RegisterTenant("ds", {.name = "a"});
+  core::ChunkBuffer corrupt = MakeBuffer(256, 0xbd);
+  a->Publish(0, 0, corrupt, {}, 0);
+  // Mismatched bytes (entry already replaced elsewhere): no-op.
+  a->Invalidate(0, MakeBuffer(256, 0x00));
+  EXPECT_EQ(fabric.resident_chunks(), 1u);
+  // Matching bytes: the corrupt entry and its accounting are gone.
+  a->Invalidate(0, corrupt);
+  EXPECT_EQ(fabric.resident_chunks(), 0u);
+  EXPECT_EQ(fabric.resident_bytes(), 0u);
+  sim::VirtualClock clock;
+  EXPECT_FALSE(a->Adopt(clock, 1, 0).ok());
+  auto stats = fabric.Stats();
+  EXPECT_EQ(stats[0].resident_bytes, 0u);
+  EXPECT_EQ(stats[0].resident_chunks, 0u);
+  // Re-publishing clean bytes after invalidation works (the stale FIFO key
+  // is skipped lazily by the victim scan).
+  core::ChunkBuffer clean = MakeBuffer(256, 0x5a);
+  a->Publish(0, 0, clean, {true}, 0);
+  auto adopted = a->Adopt(clock, 1, 0);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_EQ(adopted.value().buffer.shared_blob().get(),
+            clean.shared_blob().get());
+}
+
+TEST_F(FabricTest, RegisteringAnActiveNameIsRejected) {
+  CacheFabric fabric(net_, {});
+  TenantBinding* a = fabric.RegisterTenant("ds", {.name = "a"});
+  ASSERT_NE(a, nullptr);
+  // The name is live: a second registration must not alias the binding.
+  EXPECT_EQ(fabric.RegisterTenant("ds2", {.name = "a"}), nullptr);
+  EXPECT_EQ(a->dataset(), "ds");
+  EXPECT_EQ(fabric.Stats().size(), 1u);
+  // After deregistration the name revives (and may rebind the dataset).
+  fabric.DeregisterTenant(a);
+  EXPECT_EQ(fabric.RegisterTenant("ds3", {.name = "a"}), a);
+  EXPECT_EQ(a->dataset(), "ds3");
+}
+
 TEST_F(FabricTest, ReRegisteringRevivesTheDepartedTenant) {
   CacheFabric fabric(net_, {});
   TenantBinding* a = fabric.RegisterTenant("ds", {.name = "a"});
